@@ -1,0 +1,250 @@
+package mascbgmp_test
+
+// Benchmark harness for the paper's evaluation artifacts. One benchmark per
+// figure regenerates the corresponding result at a laptop-friendly scale
+// and reports the headline metrics with b.ReportMetric; cmd/mascsim and
+// cmd/treesim produce the full-scale series. The Ablation* benchmarks vary
+// the design choices DESIGN.md §5 calls out.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"testing"
+	"time"
+
+	"mascbgmp"
+)
+
+// fig2Bench returns a configuration that finishes in well under a second
+// per iteration while preserving the paper's dynamics.
+func fig2Bench() mascbgmp.Fig2Config {
+	cfg := mascbgmp.DefaultFig2Config()
+	cfg.TopLevel = 8
+	cfg.ChildrenPer = 8
+	cfg.Days = 120
+	return cfg
+}
+
+// steadyState averages utilization and G-RIB size after the startup
+// transient.
+func steadyState(res mascbgmp.Fig2Result) (util, gribAvg float64, gribMax int) {
+	var n int
+	for _, s := range res.Samples {
+		if s.Day > 60 {
+			util += s.Utilization
+			gribAvg += s.GRIBAvg
+			if s.GRIBMax > gribMax {
+				gribMax = s.GRIBMax
+			}
+			n++
+		}
+	}
+	if n > 0 {
+		util /= float64(n)
+		gribAvg /= float64(n)
+	}
+	return util, gribAvg, gribMax
+}
+
+// BenchmarkFig2aUtilization regenerates Figure 2(a): address-space
+// utilization of the MASC claim algorithm (paper steady state ≈ 50 %).
+func BenchmarkFig2aUtilization(b *testing.B) {
+	cfg := fig2Bench()
+	var util float64
+	for i := 0; i < b.N; i++ {
+		res := mascbgmp.RunFig2(cfg)
+		util, _, _ = steadyState(res)
+	}
+	b.ReportMetric(util*100, "%util")
+}
+
+// BenchmarkFig2bGRIBSize regenerates Figure 2(b): G-RIB sizes (paper:
+// mean ≈ 175, max ≤ 180 at 50×50 scale; scales with domain count).
+func BenchmarkFig2bGRIBSize(b *testing.B) {
+	cfg := fig2Bench()
+	var gribAvg float64
+	var gribMax int
+	for i := 0; i < b.N; i++ {
+		res := mascbgmp.RunFig2(cfg)
+		_, gribAvg, gribMax = steadyState(res)
+	}
+	b.ReportMetric(gribAvg, "routes-avg")
+	b.ReportMetric(float64(gribMax), "routes-max")
+}
+
+// BenchmarkFig2FullScale runs the paper's exact 50×50×800-day parameters.
+// Expensive (~8 s/iteration); excluded from -short runs.
+func BenchmarkFig2FullScale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-scale Fig 2 takes ~8s per iteration")
+	}
+	cfg := mascbgmp.DefaultFig2Config()
+	var util float64
+	var live int
+	for i := 0; i < b.N; i++ {
+		res := mascbgmp.RunFig2(cfg)
+		util, _, _ = steadyState(res)
+		live = res.LiveBlocks
+	}
+	b.ReportMetric(util*100, "%util")
+	b.ReportMetric(float64(live), "live-blocks")
+}
+
+func fig4Bench() mascbgmp.Fig4Config {
+	cfg := mascbgmp.DefaultFig4Config()
+	cfg.Domains = 800
+	cfg.ExtraPeering = 100
+	cfg.GroupSizes = []int{10, 100, 400}
+	cfg.Trials = 3
+	return cfg
+}
+
+// BenchmarkFig4PathLength regenerates Figure 4: path-length overhead
+// ratios of unidirectional, bidirectional, and hybrid trees relative to the
+// shortest-path tree (paper: ≈2.0× / <1.3× / <1.2×).
+func BenchmarkFig4PathLength(b *testing.B) {
+	cfg := fig4Bench()
+	var pts []mascbgmp.Fig4Point
+	for i := 0; i < b.N; i++ {
+		pts = mascbgmp.RunFig4(cfg)
+	}
+	last := pts[len(pts)-1]
+	b.ReportMetric(last.UniAvg, "uni-ratio")
+	b.ReportMetric(last.BidirAvg, "bidir-ratio")
+	b.ReportMetric(last.HybridAvg, "hybrid-ratio")
+}
+
+// BenchmarkFig4FullScale runs the paper's 3326-domain topology with the
+// full 1..1000 receiver sweep.
+func BenchmarkFig4FullScale(b *testing.B) {
+	cfg := mascbgmp.DefaultFig4Config()
+	var pts []mascbgmp.Fig4Point
+	for i := 0; i < b.N; i++ {
+		pts = mascbgmp.RunFig4(cfg)
+	}
+	last := pts[len(pts)-1]
+	b.ReportMetric(last.UniAvg, "uni-ratio")
+	b.ReportMetric(last.BidirAvg, "bidir-ratio")
+	b.ReportMetric(last.HybridAvg, "hybrid-ratio")
+}
+
+// BenchmarkAblationRootPlacement compares initiator-domain rooting (the
+// paper's §5.1 choice) against random third-party rooting.
+func BenchmarkAblationRootPlacement(b *testing.B) {
+	base := fig4Bench()
+	random := base
+	random.RandomRoot = true
+	var initiator, third float64
+	for i := 0; i < b.N; i++ {
+		a := mascbgmp.RunFig4(base)
+		c := mascbgmp.RunFig4(random)
+		initiator, third = 0, 0
+		for j := range a {
+			initiator += a[j].BidirAvg
+			third += c[j].BidirAvg
+		}
+		initiator /= float64(len(a))
+		third /= float64(len(c))
+	}
+	b.ReportMetric(initiator, "initiator-root-ratio")
+	b.ReportMetric(third, "random-root-ratio")
+}
+
+// BenchmarkAblationPrefixLimit varies the §4.3.3 "at most two prefixes"
+// target, reporting its effect on G-RIB size and utilization.
+func BenchmarkAblationPrefixLimit(b *testing.B) {
+	for _, limit := range []int{1, 2, 4} {
+		limit := limit
+		name := map[int]string{1: "max1", 2: "max2-paper", 4: "max4"}[limit]
+		b.Run(name, func(b *testing.B) {
+			cfg := fig2Bench()
+			st := mascbgmp.DefaultStrategy()
+			st.MaxActivePrefixes = limit
+			cfg.Strategy = st
+			var util, grib float64
+			for i := 0; i < b.N; i++ {
+				res := mascbgmp.RunFig2(cfg)
+				util, grib, _ = steadyState(res)
+			}
+			b.ReportMetric(util*100, "%util")
+			b.ReportMetric(grib, "routes-avg")
+		})
+	}
+}
+
+// BenchmarkAblationOccupancyTarget varies the 75 % target-occupancy rule.
+func BenchmarkAblationOccupancyTarget(b *testing.B) {
+	for _, tgt := range []float64{0.5, 0.75, 0.9} {
+		tgt := tgt
+		name := map[float64]string{0.5: "t50", 0.75: "t75-paper", 0.9: "t90"}[tgt]
+		b.Run(name, func(b *testing.B) {
+			cfg := fig2Bench()
+			st := mascbgmp.DefaultStrategy()
+			st.TargetOccupancy = tgt
+			cfg.Strategy = st
+			var util, grib float64
+			for i := 0; i < b.N; i++ {
+				res := mascbgmp.RunFig2(cfg)
+				util, grib, _ = steadyState(res)
+			}
+			b.ReportMetric(util*100, "%util")
+			b.ReportMetric(grib, "routes-avg")
+		})
+	}
+}
+
+// BenchmarkEndToEndDelivery measures one multicast send across three
+// domains through the full protocol stack (synchronous dispatch).
+func BenchmarkEndToEndDelivery(b *testing.B) {
+	clk := mascbgmp.NewSimClock(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
+	net := mascbgmp.NewNetwork(mascbgmp.Config{Clock: clk, Seed: 7, Synchronous: true})
+	mustDomain := func(dc mascbgmp.DomainConfig) {
+		if _, err := net.AddDomain(dc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mustDomain(mascbgmp.DomainConfig{ID: 1, Routers: []mascbgmp.RouterID{11, 12},
+		Protocol: mascbgmp.NewDVMRP(), TopLevel: true,
+		HostPrefix: mascbgmp.MustParsePrefix("10.1.0.0/16")})
+	mustDomain(mascbgmp.DomainConfig{ID: 2, Routers: []mascbgmp.RouterID{21},
+		Protocol: mascbgmp.NewDVMRP(), HostPrefix: mascbgmp.MustParsePrefix("10.2.0.0/16")})
+	mustDomain(mascbgmp.DomainConfig{ID: 3, Routers: []mascbgmp.RouterID{31},
+		Protocol: mascbgmp.NewDVMRP(), HostPrefix: mascbgmp.MustParsePrefix("10.3.0.0/16")})
+	if err := net.Link(21, 11); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Link(31, 12); err != nil {
+		b.Fatal(err)
+	}
+	net.MASCPeerParentChild(1, 2)
+	net.MASCPeerParentChild(1, 3)
+	net.Domain(1).MASC().RequestSpace(1<<16, 1000*time.Hour)
+	clk.RunFor(49 * time.Hour)
+	net.Domain(2).MASC().RequestSpace(256, 900*time.Hour)
+	clk.RunFor(49 * time.Hour)
+	lease, err := net.Domain(2).NewGroup(800 * time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.Domain(3).Join(lease.Addr, 0)
+	src := net.Domain(1).HostAddr(1)
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Domain(1).Send(lease.Addr, src, "bench", 0)
+	}
+	b.StopTimer()
+	if len(net.Domain(3).Received()) != b.N {
+		b.Fatalf("deliveries = %d, want %d", len(net.Domain(3).Received()), b.N)
+	}
+}
+
+// BenchmarkTopologyGeneration measures synthesizing the paper-scale
+// 3326-domain graph.
+func BenchmarkTopologyGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mascbgmp.ASGraph(3326, 350, int64(i))
+	}
+}

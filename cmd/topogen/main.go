@@ -1,0 +1,67 @@
+// Command topogen emits synthetic inter-domain topologies in a simple
+// edge-list format, for use with treesim-style analyses or external tools.
+//
+// Two generators are provided: the AS-like preferential-attachment graph
+// used as the stand-in for the paper's BGP-dump topology, and the regular
+// provider hierarchy of the Figure 2 simulation.
+//
+// Usage:
+//
+//	topogen -kind as [-n 3326] [-peering 350] [-seed 1998]
+//	topogen -kind hierarchy [-top 50] [-children 50]
+//
+// Output: one "a b" pair per link on stdout, preceded by a comment header
+// with graph statistics.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"mascbgmp/internal/topology"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "as", `generator: "as" or "hierarchy"`)
+		n        = flag.Int("n", 3326, "domains (as)")
+		peering  = flag.Int("peering", 350, "extra peering links (as)")
+		seed     = flag.Int64("seed", 1998, "random seed (as)")
+		top      = flag.Int("top", 50, "top-level domains (hierarchy)")
+		children = flag.Int("children", 50, "children per top-level domain (hierarchy)")
+	)
+	flag.Parse()
+
+	var g *topology.Graph
+	switch *kind {
+	case "as":
+		g = topology.ASGraph(*n, *peering, *seed)
+	case "hierarchy":
+		g, _, _ = topology.Hierarchy(*top, *children)
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown -kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	maxDeg := 0
+	for d := 0; d < g.NumDomains(); d++ {
+		if deg := g.Degree(topology.DomainID(d)); deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	fmt.Fprintf(w, "# kind=%s domains=%d links=%d avg_degree=%.2f max_degree=%d connected=%v\n",
+		*kind, g.NumDomains(), g.NumLinks(),
+		2*float64(g.NumLinks())/float64(g.NumDomains()), maxDeg, g.Connected())
+	for a := 0; a < g.NumDomains(); a++ {
+		for _, e := range g.Neighbors(topology.DomainID(a)) {
+			if int(e.To) > a {
+				fmt.Fprintf(w, "%d %d\n", a, e.To)
+			}
+		}
+	}
+}

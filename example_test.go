@@ -1,0 +1,91 @@
+package mascbgmp_test
+
+import (
+	"fmt"
+	"time"
+
+	"mascbgmp"
+)
+
+// Example builds the smallest complete internetwork — a backbone provider
+// and two customer domains — and walks a multicast group through its whole
+// life cycle: MASC range allocation, MAAS address lease, BGMP tree
+// construction, and data delivery.
+func Example() {
+	clk := mascbgmp.NewSimClock(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
+	net := mascbgmp.NewNetwork(mascbgmp.Config{Clock: clk, Seed: 1, Synchronous: true})
+
+	for _, dc := range []mascbgmp.DomainConfig{
+		{ID: 1, Routers: []mascbgmp.RouterID{11, 12}, Protocol: mascbgmp.NewDVMRP(),
+			TopLevel: true, HostPrefix: mascbgmp.MustParsePrefix("10.1.0.0/16")},
+		{ID: 2, Routers: []mascbgmp.RouterID{21}, Protocol: mascbgmp.NewDVMRP(),
+			HostPrefix: mascbgmp.MustParsePrefix("10.2.0.0/16")},
+		{ID: 3, Routers: []mascbgmp.RouterID{31}, Protocol: mascbgmp.NewDVMRP(),
+			HostPrefix: mascbgmp.MustParsePrefix("10.3.0.0/16")},
+	} {
+		if _, err := net.AddDomain(dc); err != nil {
+			panic(err)
+		}
+	}
+	_ = net.Link(21, 11)
+	_ = net.Link(31, 12)
+	_ = net.MASCPeerParentChild(1, 2)
+	_ = net.MASCPeerParentChild(1, 3)
+
+	// MASC: the backbone claims from 224/4; the customer claims within.
+	net.Domain(1).MASC().RequestSpace(1<<16, 60*24*time.Hour)
+	clk.RunFor(49 * time.Hour) // the 48h collision waiting period
+	net.Domain(2).MASC().RequestSpace(256, 30*24*time.Hour)
+	clk.RunFor(49 * time.Hour)
+	fmt.Println("backbone range:", net.Domain(1).MASC().Holdings()[0].Prefix)
+	fmt.Println("customer range:", net.Domain(2).MASC().Holdings()[0].Prefix)
+
+	// MAAS + BGMP: lease a group in domain 2, join in 3, send from 1.
+	lease, err := net.Domain(2).NewGroup(24 * time.Hour)
+	if err != nil {
+		panic(err)
+	}
+	net.Domain(3).Join(lease.Addr, 0)
+	net.Domain(1).Send(lease.Addr, net.Domain(1).HostAddr(1), "hello", 0)
+	for _, d := range net.Domain(3).Received() {
+		fmt.Printf("domain 3 got %q\n", d.Payload)
+	}
+	// Output:
+	// backbone range: 224.0.0.0/16
+	// customer range: 224.0.0.0/24
+	// domain 3 got "hello"
+}
+
+// ExampleRunFig2 regenerates a scaled-down Figure 2 and prints the
+// steady-state utilization band.
+func ExampleRunFig2() {
+	cfg := mascbgmp.DefaultFig2Config()
+	cfg.TopLevel, cfg.ChildrenPer, cfg.Days = 8, 8, 150
+	res := mascbgmp.RunFig2(cfg)
+	var sum float64
+	var n int
+	for _, s := range res.Samples {
+		if s.Day > 60 {
+			sum += s.Utilization
+			n++
+		}
+	}
+	u := sum / float64(n)
+	fmt.Printf("steady-state utilization near 50%%: %v\n", u > 0.40 && u < 0.65)
+	// Output:
+	// steady-state utilization near 50%: true
+}
+
+// ExampleRunFig4 regenerates a scaled-down Figure 4 and prints the tree
+// quality ordering.
+func ExampleRunFig4() {
+	cfg := mascbgmp.DefaultFig4Config()
+	cfg.Domains, cfg.ExtraPeering = 600, 80
+	cfg.GroupSizes, cfg.Trials = []int{100}, 4
+	p := mascbgmp.RunFig4(cfg)[0]
+	fmt.Println("unidirectional worst:", p.UniAvg > p.BidirAvg)
+	fmt.Println("hybrid at least as good as bidirectional:", p.HybridAvg <= p.BidirAvg)
+	// Output:
+	// unidirectional worst: true
+	// hybrid at least as good as bidirectional: true
+}

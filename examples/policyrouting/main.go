@@ -1,0 +1,108 @@
+// Policy routing: multicast policies through selective propagation of
+// group routes (paper §3, §4.2).
+//
+// "We propose to realize multicast policies through selective propagation
+// of the group routes in BGP so that use of the provider's networks can be
+// suitably restricted (similar to the unicast case)."
+//
+// A transit provider (domain T) connects its customer (C) and two peers
+// (P1, P2). T's export policy advertises only its own and its customer's
+// group routes toward peers — so groups rooted in P1 are invisible through
+// T at P2, and P2 cannot use T as transit to reach them: joins from P2
+// simply have no route. Groups rooted in the customer C, however, are
+// advertised to everyone, and both peers can join them through T.
+//
+// Run with: go run ./examples/policyrouting
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mascbgmp"
+)
+
+func main() {
+	clk := mascbgmp.NewSimClock(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
+	net := mascbgmp.NewNetwork(mascbgmp.Config{Clock: clk, Seed: 5, Synchronous: true})
+
+	const (
+		transit  = mascbgmp.DomainID(1)
+		customer = mascbgmp.DomainID(2)
+		peer1    = mascbgmp.DomainID(3)
+		peer2    = mascbgmp.DomainID(4)
+	)
+	// The transit provider's policy: group routes go to peers only when
+	// originated by itself or its customer.
+	policy := mascbgmp.TableExportFilter(mascbgmp.TableGRIB,
+		mascbgmp.CustomerExportFilter(transit, map[mascbgmp.DomainID]bool{customer: true}))
+
+	for _, dc := range []mascbgmp.DomainConfig{
+		{ID: transit, Routers: []mascbgmp.RouterID{11, 12, 13}, Protocol: mascbgmp.NewDVMRP(),
+			TopLevel: true, Export: policy, HostPrefix: mascbgmp.MustParsePrefix("10.1.0.0/16")},
+		{ID: customer, Routers: []mascbgmp.RouterID{21}, Protocol: mascbgmp.NewDVMRP(),
+			HostPrefix: mascbgmp.MustParsePrefix("10.2.0.0/16")},
+		{ID: peer1, Routers: []mascbgmp.RouterID{31}, Protocol: mascbgmp.NewDVMRP(),
+			TopLevel: true, HostPrefix: mascbgmp.MustParsePrefix("10.3.0.0/16")},
+		{ID: peer2, Routers: []mascbgmp.RouterID{41}, Protocol: mascbgmp.NewDVMRP(),
+			TopLevel: true, HostPrefix: mascbgmp.MustParsePrefix("10.4.0.0/16")},
+	} {
+		if _, err := net.AddDomain(dc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(net.Link(11, 21)) // transit ↔ customer
+	must(net.Link(12, 31)) // transit ↔ peer1
+	must(net.Link(13, 41)) // transit ↔ peer2
+	must(net.MASCPeerParentChild(transit, customer))
+	must(net.MASCPeerSiblings(transit, peer1))
+	must(net.MASCPeerSiblings(transit, peer2))
+	must(net.MASCPeerSiblings(peer1, peer2))
+
+	// Every domain acquires address space.
+	net.Domain(transit).MASC().RequestSpace(1<<16, 90*24*time.Hour)
+	net.Domain(peer1).MASC().RequestSpace(1<<12, 90*24*time.Hour)
+	net.Domain(peer2).MASC().RequestSpace(1<<12, 90*24*time.Hour)
+	clk.RunFor(49 * time.Hour)
+	net.Domain(customer).MASC().RequestSpace(256, 30*24*time.Hour)
+	clk.RunFor(49 * time.Hour)
+
+	show := func(id mascbgmp.DomainID, name string) {
+		r := net.Domain(id).Routers()[0]
+		fmt.Printf("G-RIB at %s:\n", name)
+		for _, e := range r.BGP().Table(mascbgmp.TableGRIB) {
+			fmt.Printf("  %v origin=domain %d via router %d\n", e.Route.Prefix, e.Route.Origin, e.NextHop)
+		}
+	}
+	show(peer2, "peer2 (sees transit + customer + its own routes — NOT peer1's)")
+
+	// A group rooted in peer1: peer2 has no route through the transit
+	// provider, so its join dies and no data arrives.
+	leaseP1, err := net.Domain(peer1).NewGroup(6 * time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.Domain(peer2).Join(leaseP1.Addr, 0)
+	net.Domain(peer1).Send(leaseP1.Addr, net.Domain(peer1).HostAddr(1), "peer1 broadcast", 0)
+	fmt.Printf("\ngroup %v rooted in peer1: peer2 received %d packets (policy: no transit between peers)\n",
+		leaseP1.Addr, len(net.Domain(peer2).Received()))
+
+	// A group rooted in the customer: both peers can join through the
+	// provider (customers pay for transit).
+	leaseC, err := net.Domain(customer).NewGroup(6 * time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.Domain(peer1).Join(leaseC.Addr, 0)
+	net.Domain(peer2).Join(leaseC.Addr, 0)
+	net.Domain(customer).Send(leaseC.Addr, net.Domain(customer).HostAddr(1), "customer webcast", 0)
+	fmt.Printf("group %v rooted in customer: peer1 received %d, peer2 received %d (customer routes are exported)\n",
+		leaseC.Addr, len(net.Domain(peer1).Received()), len(net.Domain(peer2).Received()))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Quickstart: the smallest complete MASC/BGMP internetwork.
+//
+// Three domains — a backbone provider and two customers — run the whole
+// stack in-process: MASC allocates multicast address ranges, BGP-lite
+// distributes them as group routes, a MAAS leases a group address, BGMP
+// builds the bidirectional shared tree, and a packet crosses it.
+//
+// A simulated clock compresses the 48-hour MASC waiting periods to
+// nothing, so the example runs instantly and deterministically.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mascbgmp"
+)
+
+func main() {
+	clk := mascbgmp.NewSimClock(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
+	net := mascbgmp.NewNetwork(mascbgmp.Config{
+		Clock:       clk,
+		Seed:        1,
+		Synchronous: true, // deterministic in-process dispatch
+	})
+
+	// Backbone (domain 1) with two border routers; customers 2 and 3.
+	for _, dc := range []mascbgmp.DomainConfig{
+		{ID: 1, Routers: []mascbgmp.RouterID{11, 12}, Protocol: mascbgmp.NewDVMRP(),
+			TopLevel: true, HostPrefix: mascbgmp.MustParsePrefix("10.1.0.0/16")},
+		{ID: 2, Routers: []mascbgmp.RouterID{21}, Protocol: mascbgmp.NewDVMRP(),
+			HostPrefix: mascbgmp.MustParsePrefix("10.2.0.0/16")},
+		{ID: 3, Routers: []mascbgmp.RouterID{31}, Protocol: mascbgmp.NewDVMRP(),
+			HostPrefix: mascbgmp.MustParsePrefix("10.3.0.0/16")},
+	} {
+		if _, err := net.AddDomain(dc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(net.Link(21, 11)) // customer 2 ↔ backbone
+	must(net.Link(31, 12)) // customer 3 ↔ backbone
+	must(net.MASCPeerParentChild(1, 2))
+	must(net.MASCPeerParentChild(1, 3))
+
+	// 1. MASC: the backbone claims a /16 from 224/4; after the waiting
+	// period the range is injected into BGP as a group route.
+	net.Domain(1).MASC().RequestSpace(1<<16, 60*24*time.Hour)
+	clk.RunFor(49 * time.Hour)
+	fmt.Println("backbone holds:", net.Domain(1).MASC().Holdings()[0].Prefix)
+
+	// 2. Customer 2 claims a sub-range of the backbone's space.
+	net.Domain(2).MASC().RequestSpace(256, 30*24*time.Hour)
+	clk.RunFor(49 * time.Hour)
+	fmt.Println("customer 2 holds:", net.Domain(2).MASC().Holdings()[0].Prefix)
+
+	// 3. A session in domain 2 leases a group address from its MAAS —
+	// domain 2 becomes the group's root domain.
+	lease, err := net.Domain(2).NewGroup(24 * time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("group address:", lease.Addr, "(rooted in domain 2)")
+
+	// 4. A host in domain 3 joins; BGMP builds the shared tree toward the
+	// root domain.
+	net.Domain(3).Join(lease.Addr, 0)
+
+	// 5. A host in domain 1 sends — senders need not be members.
+	src := net.Domain(1).HostAddr(1)
+	net.Domain(1).Send(lease.Addr, src, "hello, inter-domain multicast!", 0)
+
+	for _, d := range net.Domain(3).Received() {
+		fmt.Printf("domain 3 received %q from %v on group %v\n", d.Payload, d.Source, d.Group)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

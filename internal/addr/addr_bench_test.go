@@ -1,0 +1,70 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSetAdd(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ps := make([]Prefix, 256)
+	for i := range ps {
+		ps[i] = randPrefix(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSet()
+		for _, p := range ps {
+			s.Add(p)
+		}
+	}
+}
+
+func BenchmarkFreeWithin(b *testing.B) {
+	s := NewSet()
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 64; i++ {
+		s.Add(Prefix{Base: MulticastSpace.Base | Addr(r.Uint32()&0x0fffff00), Len: 24}.Canonical())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.FreeWithin(MulticastSpace)
+	}
+}
+
+func BenchmarkShortestFree(b *testing.B) {
+	s := NewSet()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 64; i++ {
+		s.Add(Prefix{Base: MulticastSpace.Base | Addr(r.Uint32()&0x0fffff00), Len: 24}.Canonical())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.ShortestFree(MulticastSpace); !ok {
+			b.Fatal("full")
+		}
+	}
+}
+
+func BenchmarkAggregated(b *testing.B) {
+	s := NewSet()
+	for i := 0; i < 128; i++ {
+		s.Add(Prefix{Base: MakeAddr(230, 0, byte(i), 0), Len: 24})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Aggregated()
+	}
+}
+
+func BenchmarkMaskLenFor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if MaskLenFor(uint64(i%100000+1)) < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}

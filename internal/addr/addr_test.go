@@ -1,0 +1,352 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"224.0.1.0", MakeAddr(224, 0, 1, 0), true},
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"128.9.0.1", MakeAddr(128, 9, 0, 1), true},
+		{"256.0.0.0", 0, false},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"a.b.c.d", 0, false},
+		{"01.2.3.4", 0, false},
+		{"", 0, false},
+		{"-1.0.0.0", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseAddr(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrIsMulticast(t *testing.T) {
+	if !MakeAddr(224, 0, 0, 1).IsMulticast() {
+		t.Error("224.0.0.1 should be multicast")
+	}
+	if !MakeAddr(239, 255, 255, 255).IsMulticast() {
+		t.Error("239.255.255.255 should be multicast")
+	}
+	if MakeAddr(223, 255, 255, 255).IsMulticast() {
+		t.Error("223.255.255.255 should not be multicast")
+	}
+	if MakeAddr(240, 0, 0, 0).IsMulticast() {
+		t.Error("240.0.0.0 should not be multicast")
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"224.0.1.0/24", true},
+		{"224.0.0.0/4", true},
+		{"0.0.0.0/0", true},
+		{"1.2.3.4/32", true},
+		{"224.0.1.1/24", false}, // host bits set
+		{"224.0.1.0/33", false},
+		{"224.0.1.0/-1", false},
+		{"224.0.1.0", false},
+		{"x/24", false},
+	}
+	for _, c := range cases {
+		p, err := ParsePrefix(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParsePrefix(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && p.String() != c.in {
+			t.Errorf("ParsePrefix(%q).String() = %q", c.in, p.String())
+		}
+	}
+}
+
+func TestMustParsePrefixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParsePrefix on bad input should panic")
+		}
+	}()
+	MustParsePrefix("not-a-prefix")
+}
+
+func TestPrefixSizeFirstLast(t *testing.T) {
+	p := MustParsePrefix("224.0.1.0/24")
+	if p.Size() != 256 {
+		t.Errorf("Size = %d, want 256", p.Size())
+	}
+	if p.First() != MakeAddr(224, 0, 1, 0) {
+		t.Errorf("First = %v", p.First())
+	}
+	if p.Last() != MakeAddr(224, 0, 1, 255) {
+		t.Errorf("Last = %v", p.Last())
+	}
+	if got := (Prefix{Len: 0}).Size(); got != 1<<32 {
+		t.Errorf("/0 Size = %d", got)
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("224.0.1.0/24")
+	if !p.Contains(MakeAddr(224, 0, 1, 77)) {
+		t.Error("should contain 224.0.1.77")
+	}
+	if p.Contains(MakeAddr(224, 0, 2, 0)) {
+		t.Error("should not contain 224.0.2.0")
+	}
+}
+
+func TestContainsPrefixAndOverlap(t *testing.T) {
+	a16 := MustParsePrefix("224.0.0.0/16")
+	b24 := MustParsePrefix("224.0.128.0/24")
+	c24 := MustParsePrefix("224.1.0.0/24")
+	if !a16.ContainsPrefix(b24) {
+		t.Error("/16 should contain its /24")
+	}
+	if b24.ContainsPrefix(a16) {
+		t.Error("/24 must not contain its /16")
+	}
+	if !a16.Overlaps(b24) || !b24.Overlaps(a16) {
+		t.Error("overlap should be symmetric and true")
+	}
+	if a16.Overlaps(c24) {
+		t.Error("disjoint prefixes must not overlap")
+	}
+	if !a16.ContainsPrefix(a16) {
+		t.Error("a prefix contains itself")
+	}
+}
+
+func TestHalvesAndParent(t *testing.T) {
+	p := MustParsePrefix("228.0.0.0/6")
+	lo, hi, err := p.Halves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.String() != "228.0.0.0/7" || hi.String() != "230.0.0.0/7" {
+		t.Errorf("halves = %v, %v", lo, hi)
+	}
+	if lo.Parent() != p || hi.Parent() != p {
+		t.Error("halves' parent should be the original")
+	}
+	if _, _, err := (Prefix{Len: 32}).Halves(); err != ErrCannotSplit {
+		t.Errorf("splitting /32: err = %v, want ErrCannotSplit", err)
+	}
+	z := Prefix{Len: 0}
+	if z.Parent() != z {
+		t.Error("parent of /0 is itself")
+	}
+}
+
+func TestSibling(t *testing.T) {
+	p := MustParsePrefix("128.8.0.0/16")
+	q := MustParsePrefix("128.9.0.0/16")
+	if p.Sibling() != q || q.Sibling() != p {
+		t.Errorf("sibling of %v = %v, want %v", p, p.Sibling(), q)
+	}
+	z := Prefix{Len: 0}
+	if z.Sibling() != z {
+		t.Error("sibling of /0 is itself")
+	}
+}
+
+// TestAggregatePaperExample checks the paper's §2 CIDR example:
+// 128.8.0.0/16 + 128.9.0.0/16 aggregate to 128.8.0.0/15.
+func TestAggregatePaperExample(t *testing.T) {
+	p := MustParsePrefix("128.8.0.0/16")
+	q := MustParsePrefix("128.9.0.0/16")
+	agg, ok := Aggregate(p, q)
+	if !ok || agg.String() != "128.8.0.0/15" {
+		t.Errorf("Aggregate = %v, %v; want 128.8.0.0/15, true", agg, ok)
+	}
+	if _, ok := Aggregate(p, MustParsePrefix("128.10.0.0/16")); ok {
+		t.Error("non-siblings must not aggregate")
+	}
+	if _, ok := Aggregate(p, MustParsePrefix("128.9.0.0/17")); ok {
+		t.Error("different lengths must not aggregate")
+	}
+}
+
+// TestMaskLenForPaperExample checks the paper's §4.3.3 example: a domain
+// requiring 1024 addresses needs a /22.
+func TestMaskLenForPaperExample(t *testing.T) {
+	if got := MaskLenFor(1024); got != 22 {
+		t.Errorf("MaskLenFor(1024) = %d, want 22", got)
+	}
+	if got := MaskLenFor(256); got != 24 {
+		t.Errorf("MaskLenFor(256) = %d, want 24", got)
+	}
+	if got := MaskLenFor(1); got != 32 {
+		t.Errorf("MaskLenFor(1) = %d, want 32", got)
+	}
+	if got := MaskLenFor(0); got != 32 {
+		t.Errorf("MaskLenFor(0) = %d, want 32", got)
+	}
+	if got := MaskLenFor(257); got != 23 {
+		t.Errorf("MaskLenFor(257) = %d, want 23", got)
+	}
+	if got := MaskLenFor(1 << 33); got != -1 {
+		t.Errorf("MaskLenFor(2^33) = %d, want -1", got)
+	}
+}
+
+func TestFirstSub(t *testing.T) {
+	p := MustParsePrefix("228.0.0.0/6")
+	sub, err := p.FirstSub(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.String() != "228.0.0.0/22" {
+		t.Errorf("FirstSub = %v", sub)
+	}
+	if _, err := p.FirstSub(4); err == nil {
+		t.Error("FirstSub shorter than the space must fail")
+	}
+}
+
+func TestDouble(t *testing.T) {
+	p := MustParsePrefix("224.0.1.0/24")
+	d, err := p.Double()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.String() != "224.0.0.0/23" {
+		t.Errorf("Double = %v", d)
+	}
+	if !d.ContainsPrefix(p) {
+		t.Error("doubled prefix must cover the original")
+	}
+	if _, err := (Prefix{Len: 0}).Double(); err == nil {
+		t.Error("doubling /0 must fail")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	p := Prefix{Base: MakeAddr(224, 0, 1, 77), Len: 24}
+	if p.Valid() {
+		t.Error("prefix with host bits should be invalid")
+	}
+	c := p.Canonical()
+	if !c.Valid() || c.String() != "224.0.1.0/24" {
+		t.Errorf("Canonical = %v", c)
+	}
+	if got := (Prefix{Len: 40}).Canonical(); got.Len != 32 {
+		t.Errorf("Canonical clamps Len: got %d", got.Len)
+	}
+	if got := (Prefix{Len: -3}).Canonical(); got.Len != 0 {
+		t.Errorf("Canonical clamps negative Len: got %d", got.Len)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := MustParsePrefix("224.0.0.0/16")
+	b := MustParsePrefix("224.0.0.0/24")
+	c := MustParsePrefix("224.1.0.0/16")
+	if Compare(a, b) != -1 || Compare(b, a) != 1 {
+		t.Error("shorter mask sorts first at same base")
+	}
+	if Compare(a, c) != -1 || Compare(c, a) != 1 {
+		t.Error("lower base sorts first")
+	}
+	if Compare(a, a) != 0 {
+		t.Error("equal prefixes compare 0")
+	}
+}
+
+// randPrefix generates a canonical prefix within the multicast space.
+func randPrefix(r *rand.Rand) Prefix {
+	l := 4 + r.Intn(29) // /4../32
+	p := Prefix{Base: MulticastSpace.Base | Addr(r.Uint32())>>4, Len: l}
+	return p.Canonical()
+}
+
+// Property: canonicalization is idempotent and the result is valid.
+func TestCanonicalIdempotentProperty(t *testing.T) {
+	f := func(v uint32, l int) bool {
+		p := Prefix{Base: Addr(v), Len: l % 64}.Canonical()
+		return p.Valid() && p.Canonical() == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a prefix's halves are disjoint, contained in it, and exactly
+// cover it by size.
+func TestHalvesProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		p := randPrefix(r)
+		if p.Len == 32 {
+			continue
+		}
+		lo, hi, err := p.Halves()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo.Overlaps(hi) {
+			t.Fatalf("halves of %v overlap", p)
+		}
+		if !p.ContainsPrefix(lo) || !p.ContainsPrefix(hi) {
+			t.Fatalf("halves of %v not contained", p)
+		}
+		if lo.Size()+hi.Size() != p.Size() {
+			t.Fatalf("halves of %v don't cover it", p)
+		}
+	}
+}
+
+// Property: Overlaps is symmetric and equivalent to one containing the other.
+func TestOverlapSymmetryProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		p, q := randPrefix(r), randPrefix(r)
+		if p.Overlaps(q) != q.Overlaps(p) {
+			t.Fatalf("overlap not symmetric for %v, %v", p, q)
+		}
+		want := p.ContainsPrefix(q) || q.ContainsPrefix(p)
+		if p.Overlaps(q) != want {
+			t.Fatalf("overlap(%v,%v) = %v, want %v", p, q, p.Overlaps(q), want)
+		}
+	}
+}
+
+// Property: prefix String/Parse round-trips.
+func TestPrefixRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		p := randPrefix(r)
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip of %v failed: %v %v", p, back, err)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package addr
+
+import "sort"
+
+// Set is a collection of pairwise-disjoint prefixes, kept sorted by base
+// address. The zero value is an empty set ready to use.
+//
+// Set is the bookkeeping structure behind both the MASC allocation state
+// (which ranges a domain currently holds) and the sibling-claim record a
+// claimer consults before picking a new range.
+type Set struct {
+	prefixes []Prefix // sorted by Compare, pairwise disjoint
+}
+
+// NewSet builds a set from the given prefixes. Prefixes covered by other
+// members are absorbed; overlapping entries are legal on input and reduced
+// to their covering prefix.
+func NewSet(prefixes ...Prefix) *Set {
+	s := &Set{}
+	for _, p := range prefixes {
+		s.Add(p)
+	}
+	return s
+}
+
+// Len returns the number of disjoint prefixes in the set.
+func (s *Set) Len() int { return len(s.prefixes) }
+
+// Prefixes returns a copy of the set's prefixes in sorted order.
+func (s *Set) Prefixes() []Prefix {
+	out := make([]Prefix, len(s.prefixes))
+	copy(out, s.prefixes)
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	return &Set{prefixes: s.Prefixes()}
+}
+
+// Add inserts prefix p. Members covered by p are removed; if p is already
+// covered by a member, the set is unchanged. Add reports whether the set
+// changed.
+func (s *Set) Add(p Prefix) bool {
+	p = p.Canonical()
+	for _, q := range s.prefixes {
+		if q.ContainsPrefix(p) {
+			return false
+		}
+	}
+	kept := s.prefixes[:0]
+	for _, q := range s.prefixes {
+		if !p.ContainsPrefix(q) {
+			kept = append(kept, q)
+		}
+	}
+	s.prefixes = append(kept, p)
+	sort.Slice(s.prefixes, func(i, j int) bool { return Compare(s.prefixes[i], s.prefixes[j]) < 0 })
+	return true
+}
+
+// Remove deletes the exact prefix p from the set, reporting whether it was
+// present. Removing a prefix that merely overlaps a member is a no-op.
+func (s *Set) Remove(p Prefix) bool {
+	for i, q := range s.prefixes {
+		if q == p {
+			s.prefixes = append(s.prefixes[:i], s.prefixes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether address a is covered by any member.
+func (s *Set) Contains(a Addr) bool {
+	for _, q := range s.prefixes {
+		if q.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsPrefix reports whether p is entirely covered by a single member.
+func (s *Set) ContainsPrefix(p Prefix) bool {
+	for _, q := range s.prefixes {
+		if q.ContainsPrefix(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// OverlapsPrefix reports whether p shares any address with a member.
+func (s *Set) OverlapsPrefix(p Prefix) bool {
+	for _, q := range s.prefixes {
+		if q.Overlaps(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the total number of addresses covered by the set.
+func (s *Set) Size() uint64 {
+	var n uint64
+	for _, q := range s.prefixes {
+		n += q.Size()
+	}
+	return n
+}
+
+// Aggregated returns a copy of the set with adjacent sibling prefixes merged
+// into their parents, repeatedly, until no aggregation is possible. This is
+// the CIDR aggregation BGP applies to group routes (paper §2, §4.3.2).
+func (s *Set) Aggregated() *Set {
+	out := s.Clone()
+	for {
+		merged := false
+		for i := 0; i+1 < len(out.prefixes); i++ {
+			if agg, ok := Aggregate(out.prefixes[i], out.prefixes[i+1]); ok {
+				out.prefixes[i] = agg
+				out.prefixes = append(out.prefixes[:i+1], out.prefixes[i+2:]...)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			return out
+		}
+	}
+}
+
+// FreeWithin returns the maximal free prefixes inside space not overlapped
+// by any member of s, in sorted order. "Maximal" means no returned prefix's
+// parent is also fully free: the result is the canonical free-space
+// decomposition the claim algorithm searches.
+func (s *Set) FreeWithin(space Prefix) []Prefix {
+	var free []Prefix
+	var walk func(p Prefix)
+	walk = func(p Prefix) {
+		if !s.OverlapsPrefix(p) {
+			free = append(free, p)
+			return
+		}
+		if s.ContainsPrefix(p) {
+			return
+		}
+		lo, hi, err := p.Halves()
+		if err != nil {
+			return // a /32 overlapped by a member is fully allocated
+		}
+		walk(lo)
+		walk(hi)
+	}
+	walk(space.Canonical())
+	sort.Slice(free, func(i, j int) bool { return Compare(free[i], free[j]) < 0 })
+	return free
+}
+
+// ShortestFree returns the free prefixes inside space whose mask length is
+// the shortest available (the largest free blocks), per the claim algorithm:
+// "it finds all the remaining prefixes of the shortest possible mask length"
+// (paper §4.3.3). The boolean is false when space is fully allocated.
+func (s *Set) ShortestFree(space Prefix) ([]Prefix, bool) {
+	free := s.FreeWithin(space)
+	if len(free) == 0 {
+		return nil, false
+	}
+	best := 33
+	for _, p := range free {
+		if p.Len < best {
+			best = p.Len
+		}
+	}
+	out := free[:0:0]
+	for _, p := range free {
+		if p.Len == best {
+			out = append(out, p)
+		}
+	}
+	return out, true
+}

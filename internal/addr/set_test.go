@@ -1,0 +1,240 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetAddAbsorbs(t *testing.T) {
+	s := NewSet()
+	if !s.Add(MustParsePrefix("224.0.1.0/24")) {
+		t.Error("first add should change the set")
+	}
+	if s.Add(MustParsePrefix("224.0.1.0/25")) {
+		t.Error("adding a covered prefix should be a no-op")
+	}
+	if !s.Add(MustParsePrefix("224.0.0.0/16")) {
+		t.Error("adding a covering prefix should change the set")
+	}
+	if s.Len() != 1 {
+		t.Errorf("covering add should absorb members; len = %d", s.Len())
+	}
+	if s.Prefixes()[0].String() != "224.0.0.0/16" {
+		t.Errorf("unexpected member %v", s.Prefixes()[0])
+	}
+}
+
+func TestSetRemove(t *testing.T) {
+	p := MustParsePrefix("224.0.1.0/24")
+	s := NewSet(p)
+	if s.Remove(MustParsePrefix("224.0.1.0/25")) {
+		t.Error("removing a non-member overlap should fail")
+	}
+	if !s.Remove(p) {
+		t.Error("removing an exact member should succeed")
+	}
+	if s.Len() != 0 {
+		t.Error("set should be empty")
+	}
+	if s.Remove(p) {
+		t.Error("removing from empty set should fail")
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(MustParsePrefix("224.0.1.0/24"), MustParsePrefix("239.0.0.0/8"))
+	if !s.Contains(MakeAddr(224, 0, 1, 9)) {
+		t.Error("should contain 224.0.1.9")
+	}
+	if s.Contains(MakeAddr(224, 0, 2, 9)) {
+		t.Error("should not contain 224.0.2.9")
+	}
+	if !s.ContainsPrefix(MustParsePrefix("239.1.0.0/16")) {
+		t.Error("should cover 239.1/16")
+	}
+	if s.ContainsPrefix(MustParsePrefix("224.0.0.0/16")) {
+		t.Error("must not cover 224.0/16")
+	}
+	if !s.OverlapsPrefix(MustParsePrefix("224.0.0.0/16")) {
+		t.Error("should overlap 224.0/16")
+	}
+}
+
+func TestSetSize(t *testing.T) {
+	s := NewSet(MustParsePrefix("224.0.1.0/24"), MustParsePrefix("224.0.2.0/24"))
+	if s.Size() != 512 {
+		t.Errorf("Size = %d, want 512", s.Size())
+	}
+}
+
+func TestSetClone(t *testing.T) {
+	s := NewSet(MustParsePrefix("224.0.1.0/24"))
+	c := s.Clone()
+	c.Add(MustParsePrefix("224.0.2.0/24"))
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Error("clone must be independent")
+	}
+}
+
+func TestSetAggregated(t *testing.T) {
+	s := NewSet(
+		MustParsePrefix("224.0.0.0/24"),
+		MustParsePrefix("224.0.1.0/24"),
+		MustParsePrefix("224.0.2.0/24"),
+		MustParsePrefix("224.0.3.0/24"),
+	)
+	agg := s.Aggregated()
+	if agg.Len() != 1 || agg.Prefixes()[0].String() != "224.0.0.0/22" {
+		t.Errorf("Aggregated = %v", agg.Prefixes())
+	}
+	// Non-aggregatable pair stays apart.
+	s2 := NewSet(MustParsePrefix("224.0.1.0/24"), MustParsePrefix("224.0.2.0/24"))
+	if s2.Aggregated().Len() != 2 {
+		t.Error("224.0.1/24 + 224.0.2/24 are not siblings and must not merge")
+	}
+}
+
+// TestFreeWithinPaperExample reproduces the paper's §4.3.3 worked example:
+// with 224.0.1/24 and 239/8 allocated out of 224/4, the largest free
+// sub-prefixes are 228/6 and 232/6.
+func TestFreeWithinPaperExample(t *testing.T) {
+	s := NewSet(MustParsePrefix("224.0.1.0/24"), MustParsePrefix("239.0.0.0/8"))
+	shortest, ok := s.ShortestFree(MulticastSpace)
+	if !ok {
+		t.Fatal("space should not be full")
+	}
+	if len(shortest) != 2 {
+		t.Fatalf("want 2 shortest-free prefixes, got %v", shortest)
+	}
+	if shortest[0].String() != "228.0.0.0/6" || shortest[1].String() != "232.0.0.0/6" {
+		t.Errorf("shortest free = %v, want [228.0.0.0/6 232.0.0.0/6]", shortest)
+	}
+	// And the claim itself: the first /22 inside a chosen /6.
+	claim, err := shortest[0].FirstSub(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if claim.String() != "228.0.0.0/22" {
+		t.Errorf("claim = %v, want 228.0.0.0/22", claim)
+	}
+}
+
+func TestFreeWithinEmptyAndFull(t *testing.T) {
+	empty := NewSet()
+	free := empty.FreeWithin(MulticastSpace)
+	if len(free) != 1 || free[0] != MulticastSpace {
+		t.Errorf("free of empty set = %v", free)
+	}
+	full := NewSet(MulticastSpace)
+	if got := full.FreeWithin(MulticastSpace); len(got) != 0 {
+		t.Errorf("free of full set = %v", got)
+	}
+	if _, ok := full.ShortestFree(MulticastSpace); ok {
+		t.Error("ShortestFree of full space must report false")
+	}
+}
+
+func TestFreeWithinHostGranularity(t *testing.T) {
+	space := MustParsePrefix("224.0.0.0/30") // 4 addresses
+	s := NewSet(MustParsePrefix("224.0.0.1/32"))
+	free := s.FreeWithin(space)
+	// Free: 224.0.0.0/32 and 224.0.0.2/31.
+	if len(free) != 2 {
+		t.Fatalf("free = %v", free)
+	}
+	if free[0].String() != "224.0.0.0/32" || free[1].String() != "224.0.0.2/31" {
+		t.Errorf("free = %v", free)
+	}
+}
+
+// Property: FreeWithin's result is disjoint from the set, disjoint from
+// itself, lies inside the space, and sizes account for every address.
+func TestFreeWithinCoverageProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		s := NewSet()
+		space := MustParsePrefix("224.0.0.0/8")
+		for i := 0; i < r.Intn(8); i++ {
+			l := 8 + r.Intn(12)
+			p := Prefix{Base: space.Base | Addr(r.Uint32()&0x00ffffff), Len: l}.Canonical()
+			s.Add(p)
+		}
+		free := s.FreeWithin(space)
+		var freeSize, allocSize uint64
+		for i, f := range free {
+			if !space.ContainsPrefix(f) {
+				t.Fatalf("free prefix %v outside space", f)
+			}
+			if s.OverlapsPrefix(f) {
+				t.Fatalf("free prefix %v overlaps allocation", f)
+			}
+			for j := i + 1; j < len(free); j++ {
+				if f.Overlaps(free[j]) {
+					t.Fatalf("free prefixes %v and %v overlap", f, free[j])
+				}
+			}
+			freeSize += f.Size()
+		}
+		for _, p := range s.prefixes {
+			if space.ContainsPrefix(p) {
+				allocSize += p.Size()
+			}
+		}
+		if freeSize+allocSize != space.Size() {
+			t.Fatalf("free %d + alloc %d != space %d (alloc %v)",
+				freeSize, allocSize, space.Size(), s.prefixes)
+		}
+	}
+}
+
+// Property: set members remain pairwise disjoint and sorted under random
+// add/remove churn.
+func TestSetDisjointInvariantProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	s := NewSet()
+	for i := 0; i < 3000; i++ {
+		p := randPrefix(r)
+		if r.Intn(3) == 0 && s.Len() > 0 {
+			s.Remove(s.prefixes[r.Intn(s.Len())])
+		} else {
+			s.Add(p)
+		}
+		for j := 0; j < s.Len(); j++ {
+			for k := j + 1; k < s.Len(); k++ {
+				if s.prefixes[j].Overlaps(s.prefixes[k]) {
+					t.Fatalf("members %v and %v overlap", s.prefixes[j], s.prefixes[k])
+				}
+			}
+			if k := j + 1; k < s.Len() && Compare(s.prefixes[j], s.prefixes[k]) >= 0 {
+				t.Fatal("members out of order")
+			}
+		}
+	}
+}
+
+// Property: aggregation preserves the covered address set (same total size,
+// covers every original member).
+func TestAggregatedPreservesCoverageProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 200; iter++ {
+		s := NewSet()
+		// Dense sibling-rich allocations to trigger aggregation.
+		base := MustParsePrefix("230.0.0.0/16")
+		for i := 0; i < 16; i++ {
+			sub := Prefix{Base: base.Base + Addr(r.Intn(64))<<8, Len: 24}.Canonical()
+			s.Add(sub)
+		}
+		agg := s.Aggregated()
+		if agg.Size() != s.Size() {
+			t.Fatalf("aggregation changed size: %d -> %d", s.Size(), agg.Size())
+		}
+		for _, p := range s.Prefixes() {
+			if !agg.ContainsPrefix(p) {
+				t.Fatalf("aggregation lost member %v", p)
+			}
+		}
+		if agg.Len() > s.Len() {
+			t.Fatal("aggregation must not grow the set")
+		}
+	}
+}

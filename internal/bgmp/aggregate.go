@@ -1,0 +1,111 @@
+package bgmp
+
+import (
+	"sort"
+
+	"mascbgmp/internal/addr"
+)
+
+// Forwarding-state aggregation (paper §7, "Scaling forwarding entries"):
+// "BGMP has provisions for this by allowing (*,G-prefix) ... state to be
+// stored at the routers wherever the list of targets are the same."
+//
+// CompressState merges (*,G) entries whose group addresses fall inside a
+// prefix and whose target lists are identical into a single (*,G-prefix)
+// entry. Forwarding falls back to the longest-match prefix entry when no
+// exact (*,G) entry exists; joins and prunes for a covered group
+// re-materialize an exact entry from the prefix entry first, so control
+// traffic keeps per-group precision.
+
+// StateSize reports the number of forwarding entries of each kind.
+func (c *Component) StateSize() (groups, sources, groupPrefixes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.groups), len(c.srcs), len(c.prefixes)
+}
+
+// CompressState merges the (*,G) entries covered by p that share an
+// identical target list into one (*,G-prefix) entry, returning how many
+// entries were absorbed. Entries with differing targets are left alone.
+// A compression with fewer than two matching entries is skipped.
+func (c *Component) CompressState(p addr.Prefix) int {
+	p = p.Canonical()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Partition covered groups by their canonical target signature.
+	bySig := map[string][]addr.Addr{}
+	for g, e := range c.groups {
+		if !p.Contains(g) {
+			continue
+		}
+		bySig[entrySig(e)] = append(bySig[entrySig(e)], g)
+	}
+	var bestSig string
+	for sig, gs := range bySig {
+		if len(gs) > len(bySig[bestSig]) {
+			bestSig = sig
+		}
+	}
+	gs := bySig[bestSig]
+	if len(gs) < 2 {
+		return 0
+	}
+	proto := c.groups[gs[0]]
+	agg := proto.clone()
+	agg.sharedClone = false
+	if c.prefixes == nil {
+		c.prefixes = map[addr.Prefix]*entry{}
+	}
+	c.prefixes[p] = agg
+	for _, g := range gs {
+		delete(c.groups, g)
+	}
+	return len(gs)
+}
+
+// entrySig builds a canonical signature of an entry's parent and children.
+func entrySig(e *entry) string {
+	ts := e.targets()
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].MIGP != ts[j].MIGP {
+			return ts[i].MIGP
+		}
+		return ts[i].Router < ts[j].Router
+	})
+	sig := e.parent.key().String() + "|"
+	for _, t := range ts {
+		sig += t.String() + ";"
+	}
+	if e.root {
+		sig += "root"
+	}
+	return sig
+}
+
+// prefixEntryFor returns the longest-match (*,G-prefix) entry covering g.
+// Caller holds c.mu.
+func (c *Component) prefixEntryFor(g addr.Addr) *entry {
+	var best *entry
+	bestLen := -1
+	for p, e := range c.prefixes {
+		if p.Contains(g) && p.Len > bestLen {
+			best, bestLen = e, p.Len
+		}
+	}
+	return best
+}
+
+// materializeLocked re-creates an exact (*,G) entry from the covering
+// prefix entry, so a join or prune can modify per-group state without
+// disturbing sibling groups. Caller holds c.mu.
+func (c *Component) materializeLocked(g addr.Addr) *entry {
+	pe := c.prefixEntryFor(g)
+	if pe == nil {
+		return nil
+	}
+	e := pe.clone()
+	e.sharedClone = false
+	c.groups[g] = e
+	return e
+}

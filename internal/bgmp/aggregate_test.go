@@ -1,0 +1,204 @@
+package bgmp
+
+import (
+	"testing"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/bgp"
+	"mascbgmp/internal/wire"
+)
+
+// buildManyGroups creates n (*,G) entries inside 224.0.128.0/24 with
+// identical target lists (parent 7, child 8).
+func buildManyGroups(rig *testRig, n int) []addr.Addr {
+	var gs []addr.Addr
+	for i := 0; i < n; i++ {
+		g := addr.MakeAddr(224, 0, 128, byte(i))
+		rig.groups[g] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+		rig.comp.HandlePeer(8, &wire.GroupJoin{Group: g})
+		gs = append(gs, g)
+	}
+	rig.sent = nil
+	return gs
+}
+
+func TestCompressStateMergesIdenticalEntries(t *testing.T) {
+	rig := newRig(1, 5, false)
+	gs := buildManyGroups(rig, 10)
+
+	groups, _, prefixes := rig.comp.StateSize()
+	if groups != 10 || prefixes != 0 {
+		t.Fatalf("before: groups=%d prefixes=%d", groups, prefixes)
+	}
+	merged := rig.comp.CompressState(addr.MustParsePrefix("224.0.128.0/24"))
+	if merged != 10 {
+		t.Fatalf("merged = %d, want 10", merged)
+	}
+	groups, _, prefixes = rig.comp.StateSize()
+	if groups != 0 || prefixes != 1 {
+		t.Fatalf("after: groups=%d prefixes=%d", groups, prefixes)
+	}
+	// Forwarding still works for every covered group via the prefix entry.
+	for _, g := range gs {
+		rig.sent = nil
+		rig.comp.HandleData(PeerTarget(7), &wire.Data{Group: g, Source: sourceS, TTL: 16})
+		found := false
+		for _, s := range rig.sent {
+			if d, ok := s.msg.(*wire.Data); ok && s.to == 8 && d.Group == g {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("group %v not forwarded from prefix state", g)
+		}
+	}
+}
+
+func TestCompressStateSkipsDifferingTargets(t *testing.T) {
+	rig := newRig(1, 5, false)
+	buildManyGroups(rig, 4)
+	// A fifth group with a different child set.
+	odd := addr.MakeAddr(224, 0, 128, 200)
+	rig.groups[odd] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+	rig.comp.HandlePeer(9, &wire.GroupJoin{Group: odd})
+
+	merged := rig.comp.CompressState(addr.MustParsePrefix("224.0.128.0/24"))
+	if merged != 4 {
+		t.Fatalf("merged = %d, want 4 (the odd one stays)", merged)
+	}
+	groups, _, prefixes := rig.comp.StateSize()
+	if groups != 1 || prefixes != 1 {
+		t.Fatalf("after: groups=%d prefixes=%d", groups, prefixes)
+	}
+	// The odd group keeps its own entry and forwarding.
+	rig.sent = nil
+	rig.comp.HandleData(PeerTarget(7), &wire.Data{Group: odd, Source: sourceS, TTL: 16})
+	found := false
+	for _, s := range rig.sent {
+		if _, ok := s.msg.(*wire.Data); ok && s.to == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("odd group lost its specific forwarding")
+	}
+}
+
+func TestCompressStateTooFewEntriesIsNoop(t *testing.T) {
+	rig := newRig(1, 5, false)
+	buildManyGroups(rig, 1)
+	if merged := rig.comp.CompressState(addr.MustParsePrefix("224.0.128.0/24")); merged != 0 {
+		t.Fatalf("merged = %d, want 0", merged)
+	}
+}
+
+func TestJoinMaterializesFromPrefixState(t *testing.T) {
+	rig := newRig(1, 5, false)
+	gs := buildManyGroups(rig, 5)
+	rig.comp.CompressState(addr.MustParsePrefix("224.0.128.0/24"))
+
+	// A new child joins one covered group: it gets a materialized exact
+	// entry (inheriting the prefix entry's targets) plus the new child,
+	// and no join is propagated (the parent state already exists).
+	rig.sent = nil
+	rig.comp.HandlePeer(9, &wire.GroupJoin{Group: gs[2]})
+	if len(rig.sent) != 0 {
+		t.Fatalf("materialized join must not re-propagate: %v", rig.sent)
+	}
+	parent, children, ok := rig.comp.GroupEntry(gs[2])
+	if !ok || parent != PeerTarget(7) {
+		t.Fatalf("materialized entry parent = %v ok=%v", parent, ok)
+	}
+	has := map[Target]bool{}
+	for _, c := range children {
+		has[c] = true
+	}
+	if !has[PeerTarget(8)] || !has[PeerTarget(9)] {
+		t.Fatalf("materialized children = %v", children)
+	}
+	// Data to that group now reaches both children; sibling groups are
+	// unaffected (still prefix-served, child 8 only).
+	rig.sent = nil
+	rig.comp.HandleData(PeerTarget(7), &wire.Data{Group: gs[2], Source: sourceS, TTL: 16})
+	got := map[wire.RouterID]bool{}
+	for _, s := range rig.sent {
+		if _, ok := s.msg.(*wire.Data); ok {
+			got[s.to] = true
+		}
+	}
+	if !got[8] || !got[9] {
+		t.Fatalf("materialized forwarding peers = %v", got)
+	}
+	rig.sent = nil
+	rig.comp.HandleData(PeerTarget(7), &wire.Data{Group: gs[3], Source: sourceS, TTL: 16})
+	for _, s := range rig.sent {
+		if s.to == 9 {
+			t.Fatal("sibling group leaked to the new child")
+		}
+	}
+}
+
+func TestPruneMaterializesFromPrefixState(t *testing.T) {
+	rig := newRig(1, 5, false)
+	gs := buildManyGroups(rig, 3)
+	rig.comp.CompressState(addr.MustParsePrefix("224.0.128.0/24"))
+
+	// Child 8 prunes one covered group: that group materializes, loses
+	// its last child, and a prune propagates upstream — without touching
+	// the other covered groups.
+	rig.sent = nil
+	rig.comp.HandlePeer(8, &wire.GroupPrune{Group: gs[0]})
+	if rig.comp.HasGroupState(gs[0]) {
+		t.Fatal("pruned group should have no exact state")
+	}
+	foundPrune := false
+	for _, s := range rig.sent {
+		if _, ok := s.msg.(*wire.GroupPrune); ok && s.to == 7 {
+			foundPrune = true
+		}
+	}
+	if !foundPrune {
+		t.Fatalf("prune not propagated: %v", rig.sent)
+	}
+	// Other groups still forward via the prefix entry.
+	rig.sent = nil
+	rig.comp.HandleData(PeerTarget(7), &wire.Data{Group: gs[1], Source: sourceS, TTL: 16})
+	if len(rig.sent) == 0 {
+		t.Fatal("sibling group lost forwarding after prune")
+	}
+}
+
+func BenchmarkStateLookupExact(b *testing.B) {
+	rig := newRig(1, 5, false)
+	gs := buildManyGroups(rig, 200)
+	d := &wire.Data{Group: gs[100], Source: sourceS, TTL: 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.sent = rig.sent[:0]
+		rig.comp.HandleData(PeerTarget(7), d)
+	}
+}
+
+func BenchmarkStateLookupCompressed(b *testing.B) {
+	rig := newRig(1, 5, false)
+	gs := buildManyGroups(rig, 200)
+	rig.comp.CompressState(addr.MustParsePrefix("224.0.128.0/24"))
+	d := &wire.Data{Group: gs[100], Source: sourceS, TTL: 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.sent = rig.sent[:0]
+		rig.comp.HandleData(PeerTarget(7), d)
+	}
+}
+
+func BenchmarkCompressState(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rig := newRig(1, 5, false)
+		buildManyGroups(rig, 100)
+		b.StartTimer()
+		rig.comp.CompressState(addr.MustParsePrefix("224.0.128.0/24"))
+	}
+}

@@ -1,0 +1,379 @@
+package bgmp
+
+import (
+	"sync"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/bgp"
+	"mascbgmp/internal/wire"
+)
+
+// MIGP is the interface between a border router's BGMP component and the
+// domain's Multicast Interior Gateway Protocol component (paper §5: "The
+// portion of the border router running an MIGP is referred to as the MIGP
+// component"). Implementations live in internal/migp and internal/core.
+//
+// All methods are called without BGMP-internal locks held.
+type MIGP interface {
+	// JoinGroup registers interior interest in g at this border router
+	// (e.g. a DVMRP Graft toward pruned sources, or joining the PIM-SM RP
+	// tree) so interior data for g reaches it and members receive data it
+	// injects.
+	JoinGroup(g addr.Addr)
+	// LeaveGroup undoes JoinGroup.
+	LeaveGroup(g addr.Addr)
+	// RelayToBorder carries a BGMP control or encapsulated data message
+	// through the domain to another of its border routers, setting up
+	// any transit state the interior protocol needs.
+	RelayToBorder(to wire.RouterID, msg wire.Message)
+	// Inject delivers a multicast packet into the domain at this border
+	// router: the interior protocol distributes it to interior members
+	// and to the other border routers with state for the group. The
+	// return value is false when interior RPF would drop the packet
+	// (the packet entered at the wrong border router for its source, the
+	// encapsulation case of §5.3) — the caller must encapsulate instead.
+	Inject(d *wire.Data) bool
+	// ExpectedEntry returns the border router through which interior RPF
+	// expects packets from src to enter the domain (the best exit toward
+	// src).
+	ExpectedEntry(src addr.Addr) wire.RouterID
+}
+
+// Config parameterizes a Component.
+type Config struct {
+	Router wire.RouterID
+	Domain wire.DomainID
+	// LookupGroup resolves a group address in the G-RIB.
+	LookupGroup func(g addr.Addr) (bgp.Entry, bool)
+	// LookupSource resolves a source address for RPF-style forwarding
+	// (the M-RIB view, falling back to unicast).
+	LookupSource func(s addr.Addr) (bgp.Entry, bool)
+	// Internal reports whether a router ID is a border router of this
+	// same domain.
+	Internal func(r wire.RouterID) bool
+	// SendPeer transmits a BGMP message to an external peer.
+	SendPeer func(to wire.RouterID, msg wire.Message)
+	// MIGP is the interior component; required.
+	MIGP MIGP
+	// BuildSourceBranches enables §5.3 source-specific branches: a border
+	// router receiving encapsulated data may join toward the source to
+	// stop the encapsulation. Disabled, BGMP uses pure bidirectional
+	// trees (the ablation baseline).
+	BuildSourceBranches bool
+}
+
+// Component is the BGMP speaker of one border router. Safe for concurrent
+// use.
+type Component struct {
+	cfg Config
+
+	mu     sync.Mutex
+	groups map[addr.Addr]*entry
+	srcs   map[sgKey]*entry
+	// prefixes holds (*,G-prefix) aggregated forwarding state (§7); see
+	// aggregate.go.
+	prefixes map[addr.Prefix]*entry
+	// encapFrom remembers, per (S,G), the internal border router that is
+	// encapsulating data to us, so we can source-prune it once the
+	// source-specific branch delivers.
+	encapFrom map[sgKey]wire.RouterID
+	// importedSG marks (S,G) flows this router itself encapsulates into
+	// the domain: interior copies of them are its own reflux and must not
+	// be re-exported up the shared tree (they would loop B2↔F1 in the
+	// paper's Fig 3(b) topology).
+	importedSG map[sgKey]bool
+	// out buffers messages generated under the lock.
+	out []outItem
+}
+
+type outItem struct {
+	target Target
+	msg    wire.Message
+}
+
+// New returns a Component.
+func New(cfg Config) *Component {
+	return &Component{
+		cfg:        cfg,
+		groups:     map[addr.Addr]*entry{},
+		srcs:       map[sgKey]*entry{},
+		encapFrom:  map[sgKey]wire.RouterID{},
+		importedSG: map[sgKey]bool{},
+	}
+}
+
+// Router returns the component's router ID.
+func (c *Component) Router() wire.RouterID { return c.cfg.Router }
+
+// GroupEntry exposes the (*,G) target list for inspection: parent first,
+// then children. ok is false when the router has no state for g.
+func (c *Component) GroupEntry(g addr.Addr) (parent Target, children []Target, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.groups[g]
+	if !ok {
+		return Target{}, nil, false
+	}
+	for t := range e.children {
+		children = append(children, t)
+	}
+	sort := func(ts []Target) {
+		for i := 1; i < len(ts); i++ {
+			for j := i; j > 0 && (ts[j].Router < ts[j-1].Router || (ts[j].MIGP && !ts[j-1].MIGP)); j-- {
+				ts[j], ts[j-1] = ts[j-1], ts[j]
+			}
+		}
+	}
+	sort(children)
+	return e.parent, children, true
+}
+
+// SourceEntry exposes the (S,G) target list.
+func (c *Component) SourceEntry(s, g addr.Addr) (parent Target, children []Target, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.srcs[sgKey{s, g}]
+	if !ok {
+		return Target{}, nil, false
+	}
+	for t := range e.children {
+		children = append(children, t)
+	}
+	return e.parent, children, true
+}
+
+// HasGroupState reports whether the router holds an exact (*,G) entry.
+func (c *Component) HasGroupState(g addr.Addr) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.groups[g]
+	return ok
+}
+
+// HasForwardingState reports whether the router can forward g's data from
+// tree state: an exact (*,G) entry or covering (*,G-prefix) state.
+func (c *Component) HasForwardingState(g addr.Addr) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.groups[g]; ok {
+		return true
+	}
+	return c.prefixEntryFor(g) != nil
+}
+
+// ---------------------------------------------------------------- joining
+
+// LocalJoin is called by the MIGP component when a host in the domain has
+// joined g and this router is the domain's best exit router for g. It adds
+// the MIGP component as a child target, creating the (*,G) entry and
+// propagating the join toward the root domain as needed.
+func (c *Component) LocalJoin(g addr.Addr) {
+	c.mu.Lock()
+	c.joinLocked(g, MIGPTarget)
+	out := c.drain()
+	c.mu.Unlock()
+	c.flush(out)
+}
+
+// LocalLeave undoes LocalJoin when no interior members remain.
+func (c *Component) LocalLeave(g addr.Addr) {
+	c.mu.Lock()
+	c.pruneLocked(g, MIGPTarget)
+	out := c.drain()
+	c.mu.Unlock()
+	c.flush(out)
+}
+
+// HandlePeer processes a BGMP message from an external peer.
+func (c *Component) HandlePeer(from wire.RouterID, msg wire.Message) {
+	c.mu.Lock()
+	switch m := msg.(type) {
+	case *wire.GroupJoin:
+		c.joinLocked(m.Group, PeerTarget(from))
+	case *wire.GroupPrune:
+		c.pruneLocked(m.Group, PeerTarget(from))
+	case *wire.SourceJoin:
+		c.sourceJoinLocked(m.Source, m.Group, PeerTarget(from))
+	case *wire.SourcePrune:
+		c.sourcePruneLocked(m.Source, m.Group, PeerTarget(from))
+	case *wire.Data:
+		out := c.drain()
+		c.mu.Unlock()
+		c.flush(out)
+		c.HandleData(PeerTarget(from), m)
+		return
+	}
+	out := c.drain()
+	c.mu.Unlock()
+	c.flush(out)
+}
+
+// HandleFromBorder processes a message relayed through the MIGP from
+// another border router of the same domain (the "internal BGMP peer" path
+// of §5.2).
+func (c *Component) HandleFromBorder(from wire.RouterID, msg wire.Message) {
+	c.mu.Lock()
+	switch m := msg.(type) {
+	case *wire.GroupJoin:
+		// Paper: A3, receiving the join from its MIGP component, adds the
+		// MIGP component as child target. The relaying border is kept in
+		// the target so its later prune removes only its own interest.
+		c.joinLocked(m.Group, MIGPToward(from))
+	case *wire.GroupPrune:
+		c.pruneLocked(m.Group, MIGPToward(from))
+	case *wire.SourceJoin:
+		c.sourceJoinLocked(m.Source, m.Group, MIGPToward(from))
+	case *wire.SourcePrune:
+		c.sourcePruneLocked(m.Source, m.Group, MIGPToward(from))
+	case *wire.Data:
+		out := c.drain()
+		c.mu.Unlock()
+		c.flush(out)
+		if m.Encap {
+			c.handleEncap(from, m)
+		} else {
+			c.HandleData(MIGPToward(from), m)
+		}
+		return
+	}
+	out := c.drain()
+	c.mu.Unlock()
+	c.flush(out)
+}
+
+// joinLocked adds `child` to the (*,G) entry, creating it (and propagating
+// the join toward the root domain) when absent. A group covered by
+// aggregated (*,G-prefix) state is re-materialized first, keeping control
+// traffic per-group precise.
+func (c *Component) joinLocked(g addr.Addr, child Target) {
+	e, ok := c.groups[g]
+	if !ok {
+		if me := c.materializeLocked(g); me != nil {
+			me.addChild(child)
+			return
+		}
+	}
+	if !ok {
+		parent, root, ok2 := c.parentForGroup(g)
+		if !ok2 {
+			return // no G-RIB route: cannot join
+		}
+		e = newEntry(parent, root)
+		c.groups[g] = e
+		switch {
+		case root:
+			// Root domain: no BGP next hop; become an interior member.
+			c.out = append(c.out, outItem{target: Target{MIGP: true, Router: 0}, msg: migpJoin{group: g}})
+		case parent.MIGP:
+			// Next hop toward the root is another border router of this
+			// domain: relay the join through the MIGP.
+			c.out = append(c.out, outItem{target: parent, msg: &wire.GroupJoin{Group: g}})
+		default:
+			c.out = append(c.out, outItem{target: parent, msg: &wire.GroupJoin{Group: g}})
+		}
+	}
+	e.addChild(child)
+}
+
+// pruneLocked removes `child` from the (*,G) entry, tearing the entry down
+// (and propagating the prune) when the child list empties.
+func (c *Component) pruneLocked(g addr.Addr, child Target) {
+	e, ok := c.groups[g]
+	if !ok {
+		e = c.materializeLocked(g)
+		if e == nil {
+			return
+		}
+	}
+	e.removeChild(child)
+	if len(e.children) > 0 {
+		return
+	}
+	delete(c.groups, g)
+	// Tear down dependent (S,G) state inherited from this entry; branch
+	// state stands on its own.
+	for k, se := range c.srcs {
+		if k.group == g && se.sharedClone {
+			delete(c.srcs, k)
+		}
+	}
+	for k := range c.importedSG {
+		if k.group == g {
+			delete(c.importedSG, k)
+		}
+	}
+	switch {
+	case e.root:
+		c.out = append(c.out, outItem{target: MIGPTarget, msg: migpLeave{group: g}})
+	default:
+		c.out = append(c.out, outItem{target: e.parent, msg: &wire.GroupPrune{Group: g}})
+	}
+}
+
+// parentForGroup resolves the parent target for group g from the G-RIB.
+func (c *Component) parentForGroup(g addr.Addr) (Target, bool, bool) {
+	ent, ok := c.cfg.LookupGroup(g)
+	if !ok {
+		return Target{}, false, false
+	}
+	if wire.DomainID(ent.Route.Origin) == c.cfg.Domain {
+		return MIGPTarget, true, true
+	}
+	if ent.Local || ent.NextHop == c.cfg.Router {
+		return MIGPTarget, true, true
+	}
+	if c.cfg.Internal != nil && c.cfg.Internal(ent.NextHop) {
+		return MIGPToward(ent.NextHop), false, true
+	}
+	return PeerTarget(ent.NextHop), false, true
+}
+
+// parentForSource resolves the next hop toward a source for (S,G) branches.
+func (c *Component) parentForSource(s addr.Addr) (Target, bool /*sourceIsLocal*/, bool) {
+	ent, ok := c.cfg.LookupSource(s)
+	if !ok {
+		return Target{}, false, false
+	}
+	if wire.DomainID(ent.Route.Origin) == c.cfg.Domain || ent.Local {
+		return MIGPTarget, true, true
+	}
+	if c.cfg.Internal != nil && c.cfg.Internal(ent.NextHop) {
+		return MIGPToward(ent.NextHop), false, true
+	}
+	return PeerTarget(ent.NextHop), false, true
+}
+
+// migpJoin/migpLeave are internal out-queue markers for MIGP group
+// membership changes (they never hit the wire).
+type migpJoin struct{ group addr.Addr }
+type migpLeave struct{ group addr.Addr }
+
+func (migpJoin) Type() wire.MsgType             { return wire.TypeInvalid }
+func (migpJoin) AppendPayload(b []byte) []byte  { return b }
+func (migpJoin) DecodePayload([]byte) error     { return nil }
+func (migpLeave) Type() wire.MsgType            { return wire.TypeInvalid }
+func (migpLeave) AppendPayload(b []byte) []byte { return b }
+func (migpLeave) DecodePayload([]byte) error    { return nil }
+
+func (c *Component) drain() []outItem {
+	out := c.out
+	c.out = nil
+	return out
+}
+
+func (c *Component) flush(items []outItem) {
+	for _, it := range items {
+		switch m := it.msg.(type) {
+		case migpJoin:
+			c.cfg.MIGP.JoinGroup(m.group)
+		case migpLeave:
+			c.cfg.MIGP.LeaveGroup(m.group)
+		default:
+			if it.target.MIGP {
+				c.cfg.MIGP.RelayToBorder(it.target.Router, it.msg)
+			} else {
+				c.cfg.SendPeer(it.target.Router, it.msg)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package bgmp
+
+import (
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/wire"
+)
+
+// ------------------------------------------------ source-specific branches
+
+// RequestSourceBranch starts a source-specific branch (§5.3): (S,G) state
+// toward the source, used by a border router that wants data from S to
+// arrive natively instead of encapsulated. The join propagates until it
+// reaches a router on the group's bidirectional tree or the source domain.
+func (c *Component) RequestSourceBranch(s, g addr.Addr) {
+	c.mu.Lock()
+	c.sourceJoinLocked(s, g, MIGPTarget)
+	out := c.drain()
+	c.mu.Unlock()
+	c.flush(out)
+}
+
+// sourceJoinLocked adds `child` to the (S,G) entry, creating it when
+// absent. Creation on a router already on the shared tree copies the (*,G)
+// target list and does not propagate (the branch stops here); otherwise the
+// join continues toward the source.
+func (c *Component) sourceJoinLocked(s, g addr.Addr, child Target) {
+	k := sgKey{s, g}
+	if e, ok := c.srcs[k]; ok {
+		e.addChild(child)
+		return
+	}
+	if ge, ok := c.groups[g]; ok {
+		// On the shared tree: (S,G) inherits the (*,G) targets, plus the
+		// new branch child. The join stops here.
+		e := ge.clone()
+		e.addChild(child)
+		c.srcs[k] = e
+		return
+	}
+	parent, sourceLocal, ok := c.parentForSource(s)
+	if !ok {
+		return
+	}
+	e := newEntry(parent, sourceLocal)
+	e.addChild(child)
+	c.srcs[k] = e
+	if !sourceLocal {
+		c.out = append(c.out, outItem{target: parent, msg: &wire.SourceJoin{Group: g, Source: s}})
+	}
+}
+
+// sourcePruneLocked handles a source-specific prune from `child`: either
+// tearing down branch state or recording that S's packets must no longer
+// flow to `child` along the shared tree, propagating upstream when no other
+// target needs them (§5.3).
+func (c *Component) sourcePruneLocked(s, g addr.Addr, child Target) {
+	k := sgKey{s, g}
+	e, ok := c.srcs[k]
+	if !ok {
+		ge, okG := c.groups[g]
+		if !okG {
+			return
+		}
+		e = ge.clone()
+		c.srcs[k] = e
+	}
+	if child.MIGP {
+		// The interior now receives S elsewhere (e.g. via a decapsulating
+		// border's branch): all interior-side interest in S goes.
+		e.removeMIGPChildren()
+	} else {
+		e.removeChild(child)
+	}
+	if len(e.children) > 0 {
+		return
+	}
+	switch {
+	case e.sharedClone:
+		// Shared-tree prune state: tell the upstream to stop sending S's
+		// packets and keep the entry as a negative cache so S's packets
+		// are no longer forwarded through here at all.
+		if !e.root {
+			c.out = append(c.out, outItem{target: e.parent, msg: &wire.SourcePrune{Group: g, Source: s}})
+		}
+	case !e.root:
+		// A torn-down branch: propagate toward the source and forget.
+		c.out = append(c.out, outItem{target: e.parent, msg: &wire.SourcePrune{Group: g, Source: s}})
+		delete(c.srcs, k)
+	default:
+		delete(c.srcs, k)
+	}
+}
+
+// ----------------------------------------------------------- data plane
+
+// HandleDataFromMIGP is called by the MIGP component when a multicast
+// packet from inside the domain reaches this border router.
+func (c *Component) HandleDataFromMIGP(d *wire.Data) {
+	c.HandleData(MIGPTarget, d)
+}
+
+// HandleData forwards one packet according to the (S,G) entry when present,
+// the (*,G) entry otherwise, and — with no state at all — toward the
+// group's root domain ("any router must be able to forward a data packet
+// towards group members", §3).
+func (c *Component) HandleData(from Target, d *wire.Data) {
+	if d.TTL == 0 {
+		return
+	}
+	k := sgKey{d.Source, d.Group}
+	c.mu.Lock()
+	if from.key() == MIGPTarget && c.importedSG[k] {
+		// Interior copies of a flow this router encapsulates inward are
+		// its own reflux: dropping them here breaks the B2↔F1 loop of
+		// Fig 3(b) while the source-specific branch is being built.
+		c.mu.Unlock()
+		return
+	}
+	e, isSG := c.srcs[k], false
+	if e != nil {
+		isSG = true
+	} else if e = c.groups[d.Group]; e == nil {
+		// Aggregated (*,G-prefix) state (§7) serves covered groups.
+		e = c.prefixEntryFor(d.Group)
+	}
+	var encapFrom wire.RouterID
+	var hadEncap bool
+	if isSG && from.key() == e.parent.key() {
+		// Native data now arrives along the branch: stop the
+		// encapsulated copies (§5.3).
+		if r, ok := c.encapFrom[k]; ok {
+			encapFrom, hadEncap = r, true
+			delete(c.encapFrom, k)
+		}
+	}
+	var targets []Target
+	if e != nil && !(isSG && e.sharedClone && len(e.children) == 0) {
+		// An empty shared-clone (S,G) entry is a negative cache: S's
+		// packets stop here (every downstream pruned; the upstream was
+		// pruned too).
+		targets = e.forwardTargets(from)
+	}
+	c.mu.Unlock()
+
+	if hadEncap {
+		c.cfg.MIGP.RelayToBorder(encapFrom, &wire.SourcePrune{Group: d.Group, Source: d.Source})
+	}
+
+	if e == nil {
+		c.forwardOffTree(from, d)
+		return
+	}
+	for _, t := range targets {
+		c.forwardTo(t, d)
+	}
+
+}
+
+// forwardOffTree implements the no-state rule: keep the packet moving
+// toward the root domain until it hits the shared tree.
+func (c *Component) forwardOffTree(from Target, d *wire.Data) {
+	ent, ok := c.cfg.LookupGroup(d.Group)
+	if !ok {
+		return // no root domain known: drop
+	}
+	inRootDomain := wire.DomainID(ent.Route.Origin) == c.cfg.Domain || ent.Local || ent.NextHop == c.cfg.Router
+	nextInternal := !inRootDomain && c.cfg.Internal != nil && c.cfg.Internal(ent.NextHop)
+	if from.key() == MIGPTarget {
+		// Interior-origin data (or data transiting the domain). Only the
+		// best exit router pushes it onward; others drop, so the domain
+		// emits a single copy.
+		if inRootDomain || nextInternal {
+			return
+		}
+		c.forwardTo(PeerTarget(ent.NextHop), d)
+		return
+	}
+	// Data from an external peer at a stateless router.
+	switch {
+	case inRootDomain:
+		// Let the interior deliver to any local members; on-tree border
+		// routers of the root domain pick it up and forward along the
+		// tree.
+		c.forwardTo(MIGPTarget, d)
+	case nextInternal:
+		// Transit through the domain toward the best exit (the paper's
+		// A1→A3 example: the packet crosses domain A via the MIGP).
+		c.forwardTo(MIGPTarget, d)
+	default:
+		c.forwardTo(PeerTarget(ent.NextHop), d)
+	}
+}
+
+// forwardTo sends a copy of d to one target, decrementing the TTL on
+// inter-domain hops and handling interior RPF failures by encapsulating to
+// the expected entry router (§5.3).
+func (c *Component) forwardTo(t Target, d *wire.Data) {
+	if t.MIGP {
+		cp := *d
+		if c.cfg.MIGP.Inject(&cp) {
+			return
+		}
+		// Interior RPF failure: unicast-encapsulate to the border router
+		// the interior expects packets from this source to enter at.
+		exp := c.cfg.MIGP.ExpectedEntry(d.Source)
+		if exp == c.cfg.Router || exp == 0 {
+			return
+		}
+		c.mu.Lock()
+		c.importedSG[sgKey{d.Source, d.Group}] = true
+		c.mu.Unlock()
+		enc := *d
+		enc.Encap = true
+		c.cfg.MIGP.RelayToBorder(exp, &enc)
+		return
+	}
+	if d.TTL <= 1 {
+		return
+	}
+	cp := *d
+	cp.TTL--
+	c.cfg.SendPeer(t.Router, &cp)
+}
+
+// handleEncap processes an encapsulated packet relayed from another border
+// router of this domain: decapsulate, inject (we are the expected entry, so
+// interior RPF passes), and optionally start a source-specific branch so
+// future packets arrive natively.
+func (c *Component) handleEncap(from wire.RouterID, d *wire.Data) {
+	cp := *d
+	cp.Encap = false
+	c.cfg.MIGP.Inject(&cp)
+	if !c.cfg.BuildSourceBranches {
+		return
+	}
+	k := sgKey{d.Source, d.Group}
+	c.mu.Lock()
+	_, have := c.srcs[k]
+	if !have {
+		c.encapFrom[k] = from
+	}
+	c.mu.Unlock()
+	if !have {
+		c.RequestSourceBranch(d.Source, d.Group)
+	}
+}

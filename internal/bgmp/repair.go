@@ -1,0 +1,120 @@
+package bgmp
+
+import (
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/wire"
+)
+
+// Tree repair. When BGP's best route toward a group's root domain changes
+// (a peering failed, a better path appeared, a group route was withdrawn),
+// the (*,G) parent target recorded at join time goes stale. RouteChanged
+// re-resolves the parent of every affected entry: it prunes the old parent
+// and joins through the new one, keeping the shared tree attached to the
+// root domain. The paper's stability requirement (§3) argues against
+// *frequent* reshaping — repair only runs on actual route changes, never
+// on membership churn.
+
+// RouteChanged re-resolves the parent target of every (*,G) entry covered
+// by prefix (the changed G-RIB route). Entries whose lookup now fails are
+// torn down (children are pruned implicitly when data stops; explicit
+// prunes go upstream where possible).
+func (c *Component) RouteChanged(prefix addr.Prefix) {
+	c.mu.Lock()
+	type change struct {
+		g         addr.Addr
+		oldParent Target
+		oldRoot   bool
+		newParent Target
+		newRoot   bool
+		torn      bool
+	}
+	var changes []change
+	for g, e := range c.groups {
+		if !prefix.Contains(g) {
+			continue
+		}
+		parent, root, ok := c.parentForGroup(g)
+		if !ok {
+			// No route at all anymore: tear the entry down.
+			changes = append(changes, change{g: g, oldParent: e.parent, oldRoot: e.root, torn: true})
+			delete(c.groups, g)
+			continue
+		}
+		if parent.key() == e.parent.key() && root == e.root {
+			continue // path unchanged
+		}
+		changes = append(changes, change{
+			g: g, oldParent: e.parent, oldRoot: e.root,
+			newParent: parent, newRoot: root,
+		})
+		e.parent = parent
+		e.root = root
+		// Dependent shared-clone (S,G) state inherited the old parent;
+		// rebuild it lazily (drop it — prunes re-establish if needed).
+		for k, se := range c.srcs {
+			if k.group == g && se.sharedClone {
+				delete(c.srcs, k)
+			}
+		}
+	}
+	for _, ch := range changes {
+		// Prune away from the old parent.
+		switch {
+		case ch.oldRoot:
+			c.out = append(c.out, outItem{target: MIGPTarget, msg: migpLeave{group: ch.g}})
+		default:
+			c.out = append(c.out, outItem{target: ch.oldParent, msg: &wire.GroupPrune{Group: ch.g}})
+		}
+		if ch.torn {
+			continue
+		}
+		// Join through the new one.
+		switch {
+		case ch.newRoot:
+			c.out = append(c.out, outItem{target: MIGPTarget, msg: migpJoin{group: ch.g}})
+		default:
+			c.out = append(c.out, outItem{target: ch.newParent, msg: &wire.GroupJoin{Group: ch.g}})
+		}
+	}
+	out := c.drain()
+	c.mu.Unlock()
+	c.flush(out)
+}
+
+// PeerDown removes every child target pointing at a failed external peer
+// and tears down entries that lose their last child, propagating prunes —
+// the session-failure half of repair (RouteChanged handles the parent
+// side once BGP withdraws the routes learned from the peer).
+func (c *Component) PeerDown(peer wire.RouterID) {
+	t := PeerTarget(peer)
+	c.mu.Lock()
+	for g, e := range c.groups {
+		if !e.children[t] {
+			continue
+		}
+		e.removeChild(t)
+		if len(e.children) > 0 {
+			continue
+		}
+		delete(c.groups, g)
+		for k, se := range c.srcs {
+			if k.group == g && se.sharedClone {
+				delete(c.srcs, k)
+			}
+		}
+		if e.root {
+			c.out = append(c.out, outItem{target: MIGPTarget, msg: migpLeave{group: g}})
+		} else {
+			c.out = append(c.out, outItem{target: e.parent, msg: &wire.GroupPrune{Group: g}})
+		}
+	}
+	for k, se := range c.srcs {
+		if se.children[t] {
+			se.removeChild(t)
+		}
+		_ = k
+	}
+	out := c.drain()
+	c.mu.Unlock()
+	c.flush(out)
+}

@@ -1,0 +1,153 @@
+package bgmp
+
+import (
+	"testing"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/bgp"
+	"mascbgmp/internal/wire"
+)
+
+func TestRouteChangedSwitchesParent(t *testing.T) {
+	rig := newRig(1, 5, false)
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
+	rig.sent = nil
+
+	// The best route moves to peer 4.
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 4}
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+
+	parent, _, ok := rig.comp.GroupEntry(groupG)
+	if !ok || parent != PeerTarget(4) {
+		t.Fatalf("parent = %v ok=%v, want peer 4", parent, ok)
+	}
+	var pruneTo, joinTo wire.RouterID
+	for _, s := range rig.sent {
+		switch s.msg.(type) {
+		case *wire.GroupPrune:
+			pruneTo = s.to
+		case *wire.GroupJoin:
+			joinTo = s.to
+		}
+	}
+	if pruneTo != 7 || joinTo != 4 {
+		t.Fatalf("prune to %d (want 7), join to %d (want 4)", pruneTo, joinTo)
+	}
+}
+
+func TestRouteChangedNoopWhenPathSame(t *testing.T) {
+	rig := newRig(1, 5, false)
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
+	rig.sent = nil
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	if len(rig.sent) != 0 {
+		t.Fatalf("stable route must not generate traffic: %v", rig.sent)
+	}
+}
+
+func TestRouteChangedIgnoresUncoveredGroups(t *testing.T) {
+	rig := newRig(1, 5, false)
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 4}
+	rig.sent = nil
+	rig.comp.RouteChanged(addr.MustParsePrefix("230.0.0.0/8")) // doesn't cover groupG
+	parent, _, _ := rig.comp.GroupEntry(groupG)
+	if parent != PeerTarget(7) {
+		t.Fatalf("uncovered group was re-parented: %v", parent)
+	}
+}
+
+func TestRouteChangedTearsDownOnTotalLoss(t *testing.T) {
+	rig := newRig(1, 5, false)
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
+	rig.sent = nil
+
+	delete(rig.groups, groupG) // route withdrawn entirely
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	if rig.comp.HasGroupState(groupG) {
+		t.Fatal("state survived route loss")
+	}
+	foundPrune := false
+	for _, s := range rig.sent {
+		if _, ok := s.msg.(*wire.GroupPrune); ok && s.to == 7 {
+			foundPrune = true
+		}
+	}
+	if !foundPrune {
+		t.Fatalf("old parent not pruned: %v", rig.sent)
+	}
+}
+
+func TestRouteChangedToRootDomain(t *testing.T) {
+	// The domain becomes the root (it claimed the covering range): the
+	// parent flips to the MIGP and the interior is joined.
+	rig := newRig(1, 5, false)
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
+	rig.sent = nil
+
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 5}} // own domain
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	parent, _, ok := rig.comp.GroupEntry(groupG)
+	if !ok || !parent.MIGP {
+		t.Fatalf("parent = %v, want MIGP (root)", parent)
+	}
+	if len(rig.migp.joins) != 1 {
+		t.Fatalf("MIGP joins = %v", rig.migp.joins)
+	}
+}
+
+func TestRouteChangedDropsStaleSGClones(t *testing.T) {
+	rig := newRig(1, 5, false)
+	buildTree(rig)
+	rig.comp.HandlePeer(8, &wire.SourcePrune{Group: groupG, Source: sourceS}) // creates shared clone
+	if _, _, ok := rig.comp.SourceEntry(sourceS, groupG); !ok {
+		t.Fatal("setup: clone missing")
+	}
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 4}
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	if _, _, ok := rig.comp.SourceEntry(sourceS, groupG); ok {
+		t.Fatal("stale shared-clone (S,G) survived re-parenting")
+	}
+}
+
+func TestPeerDownRemovesChildrenAndTearsEmpty(t *testing.T) {
+	rig := newRig(1, 5, false)
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
+	g2 := addr.MakeAddr(224, 0, 128, 99)
+	rig.groups[g2] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: g2})
+	rig.comp.HandlePeer(9, &wire.GroupJoin{Group: g2}) // second child on g2
+	rig.sent = nil
+
+	rig.comp.PeerDown(8)
+	if rig.comp.HasGroupState(groupG) {
+		t.Fatal("entry with only the dead child must go")
+	}
+	if !rig.comp.HasGroupState(g2) {
+		t.Fatal("entry with surviving children must stay")
+	}
+	foundPrune := false
+	for _, s := range rig.sent {
+		if m, ok := s.msg.(*wire.GroupPrune); ok && m.Group == groupG && s.to == 7 {
+			foundPrune = true
+		}
+	}
+	if !foundPrune {
+		t.Fatalf("upstream prune missing: %v", rig.sent)
+	}
+}
+
+func TestPeerDownUnknownPeerHarmless(t *testing.T) {
+	rig := newRig(1, 5, false)
+	buildTree(rig)
+	rig.comp.PeerDown(99)
+	if !rig.comp.HasGroupState(groupG) {
+		t.Fatal("unrelated peer-down destroyed state")
+	}
+}

@@ -1,0 +1,120 @@
+package bgp
+
+import (
+	"fmt"
+	"testing"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/wire"
+)
+
+// loadedSpeaker returns a speaker with n G-RIB routes learned from one
+// peer, roughly the paper's steady-state G-RIB scale at n≈175.
+func loadedSpeaker(n int) *Speaker {
+	s := New(Config{Router: 1, Domain: 1, AggregateCovered: true})
+	s.AddNeighbor(Neighbor{Router: 2, Domain: 2})
+	routes := make([]wire.Route, 0, n)
+	for i := 0; i < n; i++ {
+		routes = append(routes, wire.Route{
+			Prefix: addr.Prefix{Base: addr.MakeAddr(224, byte(i/256), byte(i%256), 0), Len: 24}.Canonical(),
+			ASPath: []wire.DomainID{2, 3},
+			Origin: 3,
+		})
+	}
+	s.HandleUpdate(2, &wire.Update{Table: wire.TableGRIB, Routes: routes})
+	return s
+}
+
+func BenchmarkGRIBLookup175(b *testing.B) {
+	s := loadedSpeaker(175) // the paper's steady-state G-RIB size
+	a := addr.MakeAddr(224, 0, 87, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Lookup(wire.TableGRIB, a); !ok {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+func BenchmarkGRIBLookup5000(b *testing.B) {
+	s := loadedSpeaker(5000)
+	a := addr.MakeAddr(224, 7, 87, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Lookup(wire.TableGRIB, a); !ok {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+func BenchmarkHandleUpdateChurn(b *testing.B) {
+	s := loadedSpeaker(500)
+	up := &wire.Update{Table: wire.TableGRIB, Routes: []wire.Route{{
+		Prefix: addr.MustParsePrefix("239.1.0.0/16"),
+		ASPath: []wire.DomainID{2, 4},
+		Origin: 4,
+	}}}
+	wd := &wire.Update{Table: wire.TableGRIB, Withdrawn: []addr.Prefix{addr.MustParsePrefix("239.1.0.0/16")}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.HandleUpdate(2, up)
+		s.HandleUpdate(2, wd)
+	}
+}
+
+func BenchmarkDecisionProcessManyPeers(b *testing.B) {
+	s := New(Config{Router: 1, Domain: 1})
+	const peers = 8
+	for p := 0; p < peers; p++ {
+		s.AddNeighbor(Neighbor{Router: wire.RouterID(10 + p), Domain: wire.DomainID(10 + p)})
+	}
+	prefix := addr.MustParsePrefix("224.5.0.0/16")
+	// Pre-load alternatives from every peer.
+	for p := 0; p < peers; p++ {
+		path := make([]wire.DomainID, 1+p%4)
+		for j := range path {
+			path[j] = wire.DomainID(20 + j)
+		}
+		s.HandleUpdate(wire.RouterID(10+p), &wire.Update{Table: wire.TableGRIB, Routes: []wire.Route{{
+			Prefix: prefix, ASPath: path, Origin: 99,
+		}}})
+	}
+	flip := &wire.Update{Table: wire.TableGRIB, Routes: []wire.Route{{
+		Prefix: prefix, ASPath: []wire.DomainID{20}, Origin: 99,
+	}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.HandleUpdate(10, flip)
+	}
+}
+
+func TestTableSnapshotSorted(t *testing.T) {
+	s := loadedSpeaker(50)
+	entries := s.Table(wire.TableGRIB)
+	if len(entries) != 50 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if addr.Compare(entries[i-1].Route.Prefix, entries[i].Route.Prefix) >= 0 {
+			t.Fatal("snapshot not sorted")
+		}
+	}
+}
+
+func TestSyncUnknownNeighborNoop(t *testing.T) {
+	s := loadedSpeaker(5)
+	s.Sync(99) // must not panic or send
+}
+
+func TestEntryString(t *testing.T) {
+	s := loadedSpeaker(1)
+	e := s.Table(wire.TableGRIB)[0]
+	if e.String() == "" {
+		t.Fatal("empty Entry string")
+	}
+	if fmt.Sprint(e) == "" {
+		t.Fatal("unformattable entry")
+	}
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/migp/dvmrp"
+	"mascbgmp/internal/simclock"
+	"mascbgmp/internal/wire"
+)
+
+// paperNet builds the internetwork of the paper's Figures 1 and 3:
+//
+//	Domain A (1): routers A1=11 A2=12 A3=13 A4=14 — backbone
+//	Domain B (2): B1=21 B2=22 — regional, customer of A, root for the demo group
+//	Domain C (3): C1=31 C2=32 — regional, customer of A
+//	Domain D (4): D1=41 — backbone
+//	Domain E (5): E1=51 — backbone
+//	Domain F (6): F1=61 F2=62 — customer of B
+//	Domain G (7): G1=71 G2=72 — customer of C
+//	Domain H (8): H1=81 — customer of G
+//
+// Links: E1–A1, C1–A2, B1–A3, D1–A4, F1–B2, G1–C2, H1–G2, plus the F2–A4
+// link of Fig 3(b) when withF2A4 is set.
+func paperNet(t *testing.T, withF2A4, sourceBranches bool) (*Network, *simclock.Sim) {
+	t.Helper()
+	clk := simclock.NewSim(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
+	n := NewNetwork(Config{
+		Clock:          clk,
+		Seed:           42,
+		Synchronous:    true,
+		SourceBranches: sourceBranches,
+	})
+	add := func(id wire.DomainID, routers []wire.RouterID, top bool) *Domain {
+		t.Helper()
+		d, err := n.AddDomain(DomainConfig{
+			ID:            id,
+			Routers:       routers,
+			InteriorNodes: len(routers) + 2,
+			Protocol:      dvmrp.New(),
+			TopLevel:      top,
+			HostPrefix:    addr.Prefix{Base: addr.MakeAddr(10, byte(id), 0, 0), Len: 16},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	add(1, []wire.RouterID{11, 12, 13, 14}, true) // A
+	add(2, []wire.RouterID{21, 22}, false)        // B
+	add(3, []wire.RouterID{31, 32}, false)        // C
+	add(4, []wire.RouterID{41}, true)             // D
+	add(5, []wire.RouterID{51}, true)             // E
+	add(6, []wire.RouterID{61, 62}, false)        // F
+	add(7, []wire.RouterID{71, 72}, false)        // G
+	add(8, []wire.RouterID{81}, false)            // H
+
+	links := [][2]wire.RouterID{
+		{51, 11}, {31, 12}, {21, 13}, {41, 14}, // E1–A1, C1–A2, B1–A3, D1–A4
+		{61, 22}, {71, 32}, {81, 72}, // F1–B2, G1–C2, H1–G2
+	}
+	if withF2A4 {
+		links = append(links, [2]wire.RouterID{62, 14})
+	}
+	for _, l := range links {
+		if err := n.Link(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// MASC hierarchy: A, D, E top-level siblings; B, C under A; F under
+	// B; G under C; H under G.
+	for _, s := range [][2]wire.DomainID{{1, 4}, {1, 5}, {4, 5}} {
+		if err := n.MASCPeerSiblings(s[0], s[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pc := range [][2]wire.DomainID{{1, 2}, {1, 3}, {2, 6}, {3, 7}, {7, 8}} {
+		if err := n.MASCPeerParentChild(pc[0], pc[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n, clk
+}
+
+// allocateSpaces walks the MASC hierarchy: A claims a /16, then B and C
+// claim sub-ranges, then F, G, H. Each level needs a waiting period.
+func allocateSpaces(t *testing.T, n *Network, clk *simclock.Sim) {
+	t.Helper()
+	if !n.Domain(1).MASC().RequestSpace(1<<16, 60*24*time.Hour) {
+		t.Fatal("A's claim selection failed")
+	}
+	clk.RunFor(49 * time.Hour)
+	if len(n.Domain(1).MASC().Holdings()) != 1 {
+		t.Fatal("A did not win its top-level range")
+	}
+	for _, d := range []wire.DomainID{2, 3} {
+		if !n.Domain(d).MASC().RequestSpace(256, 30*24*time.Hour) {
+			t.Fatalf("domain %d claim selection failed", d)
+		}
+	}
+	clk.RunFor(49 * time.Hour)
+	for _, d := range []wire.DomainID{2, 3} {
+		if len(n.Domain(d).MASC().Holdings()) != 1 {
+			t.Fatalf("domain %d did not win a range", d)
+		}
+	}
+}
+
+func TestMASCHierarchyAllocatesNestedRanges(t *testing.T) {
+	n, clk := paperNet(t, false, false)
+	allocateSpaces(t, n, clk)
+
+	aRange := n.Domain(1).MASC().Holdings()[0].Prefix
+	if !aRange.IsMulticast() || aRange.Size() < 1<<16 {
+		t.Fatalf("A's range %v unsuitable", aRange)
+	}
+	bRange := n.Domain(2).MASC().Holdings()[0].Prefix
+	cRange := n.Domain(3).MASC().Holdings()[0].Prefix
+	if !aRange.ContainsPrefix(bRange) || !aRange.ContainsPrefix(cRange) {
+		t.Fatalf("children's ranges %v, %v outside parent %v", bRange, cRange, aRange)
+	}
+	if bRange.Overlaps(cRange) {
+		t.Fatalf("sibling ranges overlap: %v / %v", bRange, cRange)
+	}
+}
+
+func TestGRIBDistributionAndAggregation(t *testing.T) {
+	n, clk := paperNet(t, false, false)
+	allocateSpaces(t, n, clk)
+
+	aRange := n.Domain(1).MASC().Holdings()[0].Prefix
+	bRange := n.Domain(2).MASC().Holdings()[0].Prefix
+
+	// D's border sees A's covering range but not B's more-specific one
+	// (paper §4.2: A's routers need not propagate 224.0.128.0/24).
+	d1 := n.Router(41)
+	gribD := d1.BGP().Table(wire.TableGRIB)
+	for _, e := range gribD {
+		if e.Route.Prefix == bRange {
+			t.Fatalf("B's range leaked past A's aggregation: %v", gribD)
+		}
+	}
+	if _, ok := d1.BGP().LookupPrefix(wire.TableGRIB, aRange); !ok {
+		t.Fatal("D must hold A's aggregate")
+	}
+
+	// Inside A, the more specific route directs to B: A3's lookup of an
+	// address in B's range points at B1 (21).
+	a3 := n.Router(13)
+	e, ok := a3.BGP().Lookup(wire.TableGRIB, bRange.First())
+	if !ok || e.NextHop != 21 {
+		t.Fatalf("A3 lookup: %+v ok=%v, want next hop B1(21)", e, ok)
+	}
+	// A2 reaches B's range via A3 (13) over the internal mesh.
+	a2 := n.Router(12)
+	e, ok = a2.BGP().Lookup(wire.TableGRIB, bRange.First())
+	if !ok || e.NextHop != 13 {
+		t.Fatalf("A2 lookup: %+v ok=%v, want next hop A3(13)", e, ok)
+	}
+}
+
+func TestMAASLeaseRootsGroupLocally(t *testing.T) {
+	n, clk := paperNet(t, false, false)
+	allocateSpaces(t, n, clk)
+
+	b := n.Domain(2)
+	lease, err := b.NewGroup(24 * time.Hour)
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	bRange := b.MASC().Holdings()[0].Prefix
+	if !bRange.Contains(lease.Addr) {
+		t.Fatalf("group %v outside B's range %v", lease.Addr, bRange)
+	}
+}
+
+func TestMAASDemandTriggersMASC(t *testing.T) {
+	n, clk := paperNet(t, false, false)
+	// Only A has space so far.
+	if !n.Domain(1).MASC().RequestSpace(1<<16, 60*24*time.Hour) {
+		t.Fatal("A claim failed")
+	}
+	clk.RunFor(49 * time.Hour)
+	b := n.Domain(2)
+	if _, err := b.NewGroup(time.Hour); err == nil {
+		t.Fatal("lease should fail before B has a range")
+	}
+	// The failed lease demanded space from MASC; the claim matures after
+	// the waiting period.
+	clk.RunFor(49 * time.Hour)
+	if _, err := b.NewGroup(time.Hour); err != nil {
+		t.Fatalf("lease after MASC demand: %v", err)
+	}
+}
+
+// establishGroup allocates spaces, leases a group in B, and joins members
+// in the Fig 3(a) domains: B (local), C, D, F, H.
+func establishGroup(t *testing.T, n *Network, clk *simclock.Sim) addr.Addr {
+	t.Helper()
+	allocateSpaces(t, n, clk)
+	lease, err := n.Domain(2).NewGroup(24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lease.Addr
+	for _, d := range []wire.DomainID{2, 3, 4, 6, 8} {
+		n.Domain(d).Join(g, 1)
+	}
+	return g
+}
+
+func TestBidirectionalTreeConstruction(t *testing.T) {
+	n, clk := paperNet(t, false, false)
+	g := establishGroup(t, n, clk)
+
+	// B1 (root-domain border) must have (*,G) state with the MIGP as
+	// parent (no BGP next hop in the root domain).
+	b1 := n.Router(21)
+	parent, _, ok := b1.BGMP().GroupEntry(g)
+	if !ok {
+		t.Fatal("B1 missing (*,G) state")
+	}
+	if !parent.MIGP {
+		t.Fatalf("B1 parent = %v, want MIGP (root domain)", parent)
+	}
+	// A3 is on the tree toward B; its parent is the external peer B1.
+	a3 := n.Router(13)
+	parent, _, ok = a3.BGMP().GroupEntry(g)
+	if !ok {
+		t.Fatal("A3 missing (*,G) state")
+	}
+	if parent.MIGP || parent.Router != 21 {
+		t.Fatalf("A3 parent = %v, want peer B1(21)", parent)
+	}
+	// C1 joined through A2: A2 has C1 as child.
+	a2 := n.Router(12)
+	_, children, ok := a2.BGMP().GroupEntry(g)
+	if !ok {
+		t.Fatal("A2 missing (*,G) state")
+	}
+	foundC1 := false
+	for _, c := range children {
+		if !c.MIGP && c.Router == 31 {
+			foundC1 = true
+		}
+	}
+	if !foundC1 {
+		t.Fatalf("A2 children = %v, want C1(31)", children)
+	}
+	// F1 (under B2) is on the tree; H1 under G under C as well.
+	if !n.Router(61).BGMP().HasGroupState(g) {
+		t.Fatal("F1 missing state")
+	}
+	if !n.Router(81).BGMP().HasGroupState(g) {
+		t.Fatal("H1 missing state")
+	}
+}
+
+func TestDataDeliveryAlongBidirectionalTree(t *testing.T) {
+	n, clk := paperNet(t, false, false)
+	g := establishGroup(t, n, clk)
+
+	// A host in D (a member domain) sends: every member domain receives,
+	// including D itself is not required (sender's own domain has the
+	// member at another node — it does receive via the interior).
+	src := n.Domain(4).HostAddr(1)
+	n.Domain(4).Send(g, src, "hello from D", 1)
+
+	for _, id := range []wire.DomainID{2, 3, 6, 8} {
+		got := n.Domain(id).Received()
+		if len(got) == 0 {
+			t.Fatalf("domain %d received nothing", id)
+		}
+		for _, dv := range got {
+			if dv.Group != g || dv.Source != src || dv.Payload != "hello from D" {
+				t.Fatalf("domain %d bad delivery %+v", id, dv)
+			}
+		}
+	}
+	// Non-member domain E must receive nothing.
+	if got := n.Domain(5).Received(); len(got) != 0 {
+		t.Fatalf("E is not a member but received %v", got)
+	}
+}
+
+func TestNonMemberSenderConformsToIPModel(t *testing.T) {
+	// §3: senders need not be members. A host in E (no members) sends;
+	// data flows toward the root domain and down the tree to all members.
+	n, clk := paperNet(t, false, false)
+	g := establishGroup(t, n, clk)
+
+	src := n.Domain(5).HostAddr(1)
+	n.Domain(5).Send(g, src, "sensor report", 1)
+
+	for _, id := range []wire.DomainID{2, 3, 4, 6, 8} {
+		if len(n.Domain(id).Received()) == 0 {
+			t.Fatalf("member domain %d missed the non-member sender's data", id)
+		}
+	}
+}
+
+func TestNoDuplicateDeliveries(t *testing.T) {
+	n, clk := paperNet(t, false, false)
+	g := establishGroup(t, n, clk)
+	src := n.Domain(5).HostAddr(1)
+	n.Domain(5).Send(g, src, "one", 1)
+	for _, id := range []wire.DomainID{2, 3, 4, 6, 8} {
+		got := n.Domain(id).Received()
+		if len(got) != 1 {
+			t.Fatalf("domain %d got %d copies, want exactly 1: %v", id, len(got), got)
+		}
+	}
+}
+
+func TestLeavePrunesTree(t *testing.T) {
+	n, clk := paperNet(t, false, false)
+	g := establishGroup(t, n, clk)
+
+	// H leaves; the branch through G and C2 should wither where H was the
+	// only downstream interest.
+	n.Domain(8).Leave(g, 1)
+	if n.Router(81).BGMP().HasGroupState(g) {
+		t.Fatal("H1 should have pruned its state")
+	}
+	if n.Router(72).BGMP().HasGroupState(g) {
+		t.Fatal("G2's branch existed only for H")
+	}
+	// C stays: it has its own member.
+	if !n.Router(31).BGMP().HasGroupState(g) {
+		t.Fatal("C1 must keep state for C's member")
+	}
+	// Data still reaches remaining members but not H.
+	n.Domain(8).ClearReceived()
+	src := n.Domain(4).HostAddr(1)
+	n.Domain(4).Send(g, src, "after prune", 1)
+	if len(n.Domain(8).Received()) != 0 {
+		t.Fatal("H received data after leaving")
+	}
+	if len(n.Domain(3).Received()) == 0 {
+		t.Fatal("C lost data after H's prune")
+	}
+}
+
+func TestFig3bEncapsulationAndSourceBranch(t *testing.T) {
+	// Fig 3(b): with the F2–A4 link, F's interior RPF for sources in D
+	// expects entry via F2, but the shared tree delivers via F1. F1 must
+	// encapsulate to F2; with source branches enabled F2 joins toward the
+	// source and eventually prunes the shared-tree copies.
+	n, clk := paperNet(t, true, true)
+	g := establishGroup(t, n, clk)
+
+	src := n.Domain(4).HostAddr(1) // source S in domain D
+	n.Domain(4).Send(g, src, "pkt1", 1)
+
+	// F still received (encapsulated or native).
+	if len(n.Domain(6).Received()) == 0 {
+		t.Fatal("F missed the data entirely")
+	}
+	// F2 built (S,G) state toward the source.
+	f2 := n.Router(62)
+	if _, _, ok := f2.BGMP().SourceEntry(src, g); !ok {
+		t.Fatal("F2 has no source-specific state — branch not built")
+	}
+	// pkt2 is the transition packet: the shared-tree (encapsulated) copy
+	// and the first native branch copy may both arrive, and the native
+	// arrival triggers the source-specific prune toward F1 ("F2 sends a
+	// source-specific prune to F1, and starts dropping the encapsulated
+	// copies", §5.3).
+	n.Domain(6).ClearReceived()
+	n.Domain(4).Send(g, src, "pkt2", 1)
+	if got := n.Domain(6).Received(); len(got) < 1 || len(got) > 2 {
+		t.Fatalf("F got %d copies of pkt2, want 1..2 during the switchover: %v", len(got), got)
+	}
+	// From pkt3 on the branch is in place and the shared-tree copies are
+	// pruned: exactly one native copy.
+	n.Domain(6).ClearReceived()
+	n.Domain(4).Send(g, src, "pkt3", 1)
+	if got := n.Domain(6).Received(); len(got) != 1 {
+		t.Fatalf("F got %d copies of pkt3, want exactly 1: %v", len(got), got)
+	}
+	// And every other member domain still gets exactly one copy.
+	for _, id := range []wire.DomainID{2, 3, 4, 8} {
+		n.Domain(id).ClearReceived()
+	}
+	n.Domain(4).Send(g, src, "pkt4", 1)
+	for _, id := range []wire.DomainID{2, 3, 8} {
+		if got := n.Domain(id).Received(); len(got) != 1 {
+			t.Fatalf("domain %d got %d copies of pkt4: %v", id, len(got), got)
+		}
+	}
+}
+
+func TestAsyncNetworkConverges(t *testing.T) {
+	// The same scenario over real framed pipes with background receive
+	// loops: slower, nondeterministic ordering, same outcome.
+	clk := simclock.NewSim(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
+	n := NewNetwork(Config{Clock: clk, Seed: 42, Synchronous: false})
+	for _, dc := range []struct {
+		id      wire.DomainID
+		routers []wire.RouterID
+		top     bool
+	}{
+		{1, []wire.RouterID{11, 12}, true},
+		{2, []wire.RouterID{21}, false},
+		{3, []wire.RouterID{31}, false},
+	} {
+		if _, err := n.AddDomain(DomainConfig{
+			ID: dc.id, Routers: dc.routers, Protocol: dvmrp.New(), TopLevel: dc.top,
+			HostPrefix: addr.Prefix{Base: addr.MakeAddr(10, byte(dc.id), 0, 0), Len: 16},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Link(21, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Link(31, 12); err != nil {
+		t.Fatal(err)
+	}
+	n.MASCPeerParentChild(1, 2)
+	n.MASCPeerParentChild(1, 3)
+
+	n.Domain(1).MASC().RequestSpace(1<<16, 60*24*time.Hour)
+	clk.RunFor(49 * time.Hour)
+	n.Domain(2).MASC().RequestSpace(256, 30*24*time.Hour)
+	clk.RunFor(49 * time.Hour)
+	n.Settle(200 * time.Millisecond)
+
+	lease, err := n.Domain(2).NewGroup(24 * time.Hour)
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	n.Domain(3).Join(lease.Addr, 0)
+	n.Settle(200 * time.Millisecond)
+
+	src := n.Domain(2).HostAddr(1)
+	n.Domain(2).Send(lease.Addr, src, "async hello", 0)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(n.Domain(3).Received()) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	got := n.Domain(3).Received()
+	if len(got) == 0 {
+		t.Fatal("async delivery never arrived")
+	}
+	if got[0].Payload != "async hello" {
+		t.Fatalf("payload = %q", got[0].Payload)
+	}
+}

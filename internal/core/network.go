@@ -1,0 +1,210 @@
+// Package core assembles the complete MASC/BGMP system: multi-domain
+// networks of border routers running BGP-lite (with G-RIB and M-RIB
+// views), the MASC claim-collide protocol, MAAS address servers, BGMP
+// components, and an interior-protocol fabric per domain.
+//
+// It is the integration layer the examples, the bgmpd daemon, and the
+// end-to-end tests build on: domains are added, linked, and then exercised
+// through the small host-facing API (Join/Leave/Send/NewGroup).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mascbgmp/internal/simclock"
+	"mascbgmp/internal/wire"
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Clock drives MASC waiting periods and lifetimes. Tests use a
+	// simclock.Sim; defaults to the real clock.
+	Clock simclock.Clock
+	// Seed drives all randomized choices (claim selection, MAAS address
+	// picks).
+	Seed int64
+	// MASCWait overrides the 48-hour claim waiting period.
+	MASCWait time.Duration
+	// ClaimLifetime is the lifetime for MASC claims; defaults to 30 days.
+	ClaimLifetime time.Duration
+	// SourceBranches enables §5.3 source-specific branches on every
+	// border router.
+	SourceBranches bool
+	// AutoRenewClaims keeps domains' MASC holdings alive by renewing
+	// them before expiry (§4.3.1). Off, ranges lapse at their lifetime
+	// and the covering routes age out.
+	AutoRenewClaims bool
+	// Synchronous delivers inter-router messages by direct call (with an
+	// encode/decode round trip) instead of background transport
+	// goroutines, making tests deterministic. The bgmpd daemon and the
+	// async integration test use real pipes.
+	Synchronous bool
+	// TCP, when set (and Synchronous is not), carries every peering over
+	// a real loopback TCP connection instead of an in-memory pipe — the
+	// deployment shape of cmd/bgmpd.
+	TCP bool
+}
+
+// Network is an in-process internetwork of MASC/BGMP domains.
+type Network struct {
+	cfg Config
+
+	mu      sync.Mutex
+	domains map[wire.DomainID]*Domain
+	routers map[wire.RouterID]*Router
+	links   []link
+}
+
+type link struct {
+	a, b *Router
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(cfg Config) *Network {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.MASCWait == 0 {
+		cfg.MASCWait = 48 * time.Hour
+	}
+	if cfg.ClaimLifetime == 0 {
+		cfg.ClaimLifetime = 30 * 24 * time.Hour
+	}
+	return &Network{
+		cfg:     cfg,
+		domains: map[wire.DomainID]*Domain{},
+		routers: map[wire.RouterID]*Router{},
+	}
+}
+
+// Clock returns the network's time source.
+func (n *Network) Clock() simclock.Clock { return n.cfg.Clock }
+
+// Domain returns a domain by ID, or nil.
+func (n *Network) Domain(id wire.DomainID) *Domain {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.domains[id]
+}
+
+// Router returns a router by ID, or nil.
+func (n *Network) Router(id wire.RouterID) *Router {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.routers[id]
+}
+
+// Domains returns all domains in insertion-independent map order.
+func (n *Network) Domains() []*Domain {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Domain, 0, len(n.domains))
+	for _, d := range n.domains {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Link connects two border routers of different domains with an external
+// BGP+BGMP peering (TCP in spirit; net.Pipe or direct calls here).
+func (n *Network) Link(a, b wire.RouterID) error {
+	n.mu.Lock()
+	ra, rb := n.routers[a], n.routers[b]
+	n.mu.Unlock()
+	if ra == nil || rb == nil {
+		return fmt.Errorf("core: unknown router in link %d-%d", a, b)
+	}
+	if ra.domain == rb.domain {
+		return fmt.Errorf("core: %d and %d are in the same domain; internal meshes are automatic", a, b)
+	}
+	if err := ra.connect(rb, n.cfg.Synchronous, n.cfg.TCP); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.links = append(n.links, link{ra, rb})
+	n.mu.Unlock()
+	return nil
+}
+
+// Unlink severs the peering between two border routers: both sides drop
+// the session, BGP withdraws the routes learned over it, and BGMP repairs
+// affected shared trees onto surviving paths.
+func (n *Network) Unlink(a, b wire.RouterID) error {
+	n.mu.Lock()
+	ra, rb := n.routers[a], n.routers[b]
+	for i, l := range n.links {
+		if (l.a == ra && l.b == rb) || (l.a == rb && l.b == ra) {
+			n.links = append(n.links[:i], n.links[i+1:]...)
+			break
+		}
+	}
+	n.mu.Unlock()
+	if ra == nil || rb == nil {
+		return fmt.Errorf("core: unknown router in unlink %d-%d", a, b)
+	}
+	ra.dropPeer(b)
+	rb.dropPeer(a)
+	return nil
+}
+
+// MASCPeerParentChild establishes the MASC parent-child peering between two
+// domains (the child claims sub-ranges of the parent's space) and registers
+// the child with the parent's sibling group.
+func (n *Network) MASCPeerParentChild(parent, child wire.DomainID) error {
+	p, c := n.Domain(parent), n.Domain(child)
+	if p == nil || c == nil {
+		return fmt.Errorf("core: unknown domain in MASC peering %d-%d", parent, child)
+	}
+	c.masc.SetParent(parent)
+	// Existing children become the new child's siblings, and vice versa.
+	p.mu.Lock()
+	for _, sib := range p.mascChildren {
+		n.Domain(sib).masc.AddSibling(child)
+		c.masc.AddSibling(sib)
+	}
+	p.mascChildren = append(p.mascChildren, child)
+	p.mu.Unlock()
+	p.masc.AddChild(child)
+	return nil
+}
+
+// MASCPeerSiblings registers two top-level domains as MASC siblings
+// claiming from the shared 224/4 space.
+func (n *Network) MASCPeerSiblings(a, b wire.DomainID) error {
+	da, db := n.Domain(a), n.Domain(b)
+	if da == nil || db == nil {
+		return fmt.Errorf("core: unknown domain in sibling peering %d-%d", a, b)
+	}
+	da.masc.AddSibling(b)
+	db.masc.AddSibling(a)
+	return nil
+}
+
+// mascDeliver carries a MASC message between domains, exercising the wire
+// codec on the way (the bilateral MASC peerings of §4.4).
+func (n *Network) mascDeliver(from, to wire.DomainID, msg wire.Message) {
+	target := n.Domain(to)
+	if target == nil {
+		return
+	}
+	decoded, err := wire.Decode(wire.Encode(msg))
+	if err != nil {
+		return
+	}
+	target.masc.HandleMessage(from, decoded)
+}
+
+// Settle waits for in-flight asynchronous messages to drain. With
+// Synchronous configs it returns immediately; otherwise it sleeps in small
+// increments up to d (the in-process pipes have no queue-depth API).
+func (n *Network) Settle(d time.Duration) {
+	if n.cfg.Synchronous {
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+}

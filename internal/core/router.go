@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/bgmp"
+	"mascbgmp/internal/bgp"
+	"mascbgmp/internal/migp"
+	"mascbgmp/internal/transport"
+	"mascbgmp/internal/wire"
+)
+
+// Router is one border router: a BGP-lite speaker plus a BGMP component,
+// attached to its domain's interior fabric.
+type Router struct {
+	ID     wire.RouterID
+	domain *Domain
+
+	bgp  *bgp.Speaker
+	bgmp *bgmp.Component
+
+	mu    sync.Mutex
+	peers map[wire.RouterID]sender
+	// internalPeers marks same-domain peers.
+	internalPeers map[wire.RouterID]bool
+}
+
+// sender abstracts the delivery path to one peer: a transport.Peer in
+// asynchronous mode, a direct dispatch in synchronous mode.
+type sender interface {
+	Send(msg wire.Message) error
+	Close() error
+}
+
+// directSender delivers by function call after an encode/decode round trip
+// (same bytes as the pipe path, no goroutines).
+type directSender struct {
+	from wire.RouterID
+	to   *Router
+}
+
+func (d directSender) Send(msg wire.Message) error {
+	decoded, err := wire.Decode(wire.Encode(msg))
+	if err != nil {
+		return err
+	}
+	d.to.dispatch(d.from, decoded)
+	return nil
+}
+
+func (directSender) Close() error { return nil }
+
+// newRouter builds a router and registers it with the fabric.
+func newRouter(n *Network, d *Domain, id wire.RouterID, at migp.Node, export bgp.ExportFilter) (*Router, error) {
+	n.mu.Lock()
+	if _, dup := n.routers[id]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("core: duplicate router %d", id)
+	}
+	n.mu.Unlock()
+
+	r := &Router{
+		ID:            id,
+		domain:        d,
+		peers:         map[wire.RouterID]sender{},
+		internalPeers: map[wire.RouterID]bool{},
+	}
+	r.bgp = bgp.New(bgp.Config{
+		Router:           id,
+		Domain:           d.ID,
+		Clock:            n.cfg.Clock,
+		Export:           export,
+		AggregateCovered: true,
+		Send: func(to wire.RouterID, u *wire.Update) {
+			r.sendTo(to, u)
+		},
+		OnBestChange: func(table wire.Table, p addr.Prefix, lost bool) {
+			if table == wire.TableGRIB {
+				// Re-attach shared trees whose path to the root domain
+				// changed (BGMP tree repair).
+				r.bgmp.RouteChanged(p)
+			}
+		},
+	})
+	migpAdapter := d.fabric.AttachBorder(id, at)
+	r.bgmp = bgmp.New(bgmp.Config{
+		Router: id,
+		Domain: d.ID,
+		LookupGroup: func(g addr.Addr) (bgp.Entry, bool) {
+			return r.bgp.Lookup(wire.TableGRIB, g)
+		},
+		LookupSource: func(s addr.Addr) (bgp.Entry, bool) {
+			if e, ok := r.bgp.Lookup(wire.TableMRIB, s); ok {
+				return e, true
+			}
+			return r.bgp.Lookup(wire.TableUnicast, s)
+		},
+		Internal: r.isInternal,
+		SendPeer: func(to wire.RouterID, msg wire.Message) {
+			r.sendTo(to, msg)
+		},
+		MIGP:                migpAdapter,
+		BuildSourceBranches: n.cfg.SourceBranches,
+	})
+	d.fabric.SetComponent(id, r.bgmp)
+	return r, nil
+}
+
+// BGP returns the router's BGP speaker.
+func (r *Router) BGP() *bgp.Speaker { return r.bgp }
+
+// BGMP returns the router's BGMP component.
+func (r *Router) BGMP() *bgmp.Component { return r.bgmp }
+
+// Domain returns the owning domain.
+func (r *Router) Domain() *Domain { return r.domain }
+
+func (r *Router) isInternal(id wire.RouterID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.internalPeers[id]
+}
+
+func (r *Router) sendTo(to wire.RouterID, msg wire.Message) {
+	r.mu.Lock()
+	p := r.peers[to]
+	r.mu.Unlock()
+	if p != nil {
+		_ = p.Send(msg)
+	}
+}
+
+// dispatch demultiplexes an inbound message to the right component.
+func (r *Router) dispatch(from wire.RouterID, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.Update:
+		r.bgp.HandleUpdate(from, m)
+	case *wire.GroupJoin, *wire.GroupPrune, *wire.SourceJoin, *wire.SourcePrune, *wire.Data:
+		r.bgmp.HandlePeer(from, msg)
+	case *wire.Notification:
+		// Session-level; the peer layer already tears down.
+	}
+}
+
+// connect wires r and other with a bidirectional peering: loopback TCP or
+// in-memory framed pipes with background receive loops, or direct dispatch
+// in synchronous networks. Both speakers register the neighbor and run the
+// initial route exchange.
+func (r *Router) connect(other *Router, synchronous, tcp bool) error {
+	internal := r.domain == other.domain
+
+	if synchronous {
+		r.addPeer(other.ID, directSender{from: r.ID, to: other}, internal)
+		other.addPeer(r.ID, directSender{from: other.ID, to: r}, internal)
+	} else {
+		ca, cb, err := dialPair(tcp)
+		if err != nil {
+			return err
+		}
+		done := make(chan error, 1)
+		var pa, pb *transport.Peer
+		go func() {
+			var err2 error
+			pa, err2 = transport.StartPeer(ca, transport.PeerConfig{
+				Local:   wire.Open{Router: r.ID, Domain: r.domain.ID},
+				Handler: func(_ *transport.Peer, m wire.Message) { r.dispatch(other.ID, m) },
+			})
+			done <- err2
+		}()
+		pb, err = transport.StartPeer(cb, transport.PeerConfig{
+			Local:   wire.Open{Router: other.ID, Domain: other.domain.ID},
+			Handler: func(_ *transport.Peer, m wire.Message) { other.dispatch(r.ID, m) },
+		})
+		if err != nil {
+			return err
+		}
+		if err := <-done; err != nil {
+			return err
+		}
+		r.addPeer(other.ID, pa, internal)
+		other.addPeer(r.ID, pb, internal)
+	}
+
+	r.bgp.AddNeighbor(bgp.Neighbor{Router: other.ID, Domain: other.domain.ID, Internal: internal})
+	other.bgp.AddNeighbor(bgp.Neighbor{Router: r.ID, Domain: r.domain.ID, Internal: internal})
+	r.bgp.Sync(other.ID)
+	other.bgp.Sync(r.ID)
+	return nil
+}
+
+// dialPair returns two connected MsgConns: loopback TCP or an in-memory
+// pipe.
+func dialPair(tcp bool) (*transport.MsgConn, *transport.MsgConn, error) {
+	if !tcp {
+		a, b := transport.Pipe()
+		return a, b, nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	dialed, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, nil, err
+	}
+	accepted := <-ch
+	if accepted.err != nil {
+		dialed.Close()
+		return nil, nil, accepted.err
+	}
+	return transport.NewMsgConn(accepted.c), transport.NewMsgConn(dialed), nil
+}
+
+func (r *Router) addPeer(id wire.RouterID, s sender, internal bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peers[id] = s
+	if internal {
+		r.internalPeers[id] = true
+	}
+}
+
+// dropPeer severs the session with a peer: the sender closes, BGP forgets
+// the neighbor (withdrawing its routes, which triggers BGMP tree repair),
+// and BGMP drops child targets pointing at it.
+func (r *Router) dropPeer(id wire.RouterID) {
+	r.mu.Lock()
+	s := r.peers[id]
+	delete(r.peers, id)
+	delete(r.internalPeers, id)
+	r.mu.Unlock()
+	if s != nil {
+		_ = s.Close()
+	}
+	r.bgmp.PeerDown(id)
+	r.bgp.RemoveNeighbor(id)
+}

@@ -1,0 +1,278 @@
+// Package maas implements a Multicast Address Allocation Server (paper
+// §1, §4; draft-handley-malloc-arch): the per-domain service that assigns
+// individual multicast addresses to group initiators out of the address
+// ranges MASC acquired for the domain, and reports demand back to the MASC
+// node so it can keep "ahead of the demand for multicast addresses in its
+// domain".
+//
+// A group initiator (the sdr session directory in the paper) calls Lease;
+// the resulting address determines the group's root domain — normally the
+// initiator's own domain, which is what roots BGMP's shared tree locally.
+package maas
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/simclock"
+)
+
+// Lease is one allocated multicast address.
+type Lease struct {
+	Addr    addr.Addr
+	Expires time.Time
+}
+
+// Errors returned by Server.
+var (
+	// ErrNoSpace means every address in the domain's ranges is leased or
+	// no range is live; the demand callback has been invoked.
+	ErrNoSpace = errors.New("maas: no free multicast addresses in domain ranges")
+	// ErrUnknownLease is returned by Renew/Release for absent leases.
+	ErrUnknownLease = errors.New("maas: unknown lease")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Clock drives lease expiry; defaults to the real clock.
+	Clock simclock.Clock
+	// Rand randomizes address selection (sdr-style); defaults to a fixed
+	// seed, fine for single-server domains.
+	Rand *rand.Rand
+	// OnDemand, if set, is called when a lease request cannot be
+	// satisfied, with the number of additional addresses wanted; the
+	// owner forwards it to the MASC node (RequestSpace). Called without
+	// locks held.
+	OnDemand func(need uint64)
+}
+
+// Server is a MAAS for one domain. Safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	ranges []managedRange
+	leases map[addr.Addr]time.Time
+}
+
+type managedRange struct {
+	prefix  addr.Prefix
+	expires time.Time
+}
+
+// NewServer returns an empty Server; add ranges as MASC wins them.
+func NewServer(cfg Config) *Server {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.New(rand.NewSource(1))
+	}
+	return &Server{cfg: cfg, leases: map[addr.Addr]time.Time{}}
+}
+
+// AddRange makes a MASC-won prefix available for leasing until it expires.
+// Re-adding a prefix updates its expiry (claim renewal).
+func (s *Server) AddRange(p addr.Prefix, expires time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.ranges {
+		if s.ranges[i].prefix == p {
+			s.ranges[i].expires = expires
+			return
+		}
+	}
+	s.ranges = append(s.ranges, managedRange{prefix: p, expires: expires})
+	sort.Slice(s.ranges, func(i, j int) bool {
+		return addr.Compare(s.ranges[i].prefix, s.ranges[j].prefix) < 0
+	})
+}
+
+// RemoveRange withdraws a prefix (MASC lost or released it). Existing
+// leases inside it are revoked.
+func (s *Server) RemoveRange(p addr.Prefix) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.ranges {
+		if s.ranges[i].prefix == p {
+			s.ranges = append(s.ranges[:i], s.ranges[i+1:]...)
+			break
+		}
+	}
+	for a := range s.leases {
+		if p.Contains(a) && !s.coveredLocked(a) {
+			delete(s.leases, a)
+		}
+	}
+}
+
+// Ranges returns the live ranges.
+func (s *Server) Ranges() []addr.Prefix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Clock.Now()
+	out := make([]addr.Prefix, 0, len(s.ranges))
+	for _, r := range s.ranges {
+		if r.expires.After(now) {
+			out = append(out, r.prefix)
+		}
+	}
+	return out
+}
+
+// Lease allocates a currently unused multicast address for the given
+// lifetime. The lease's lifetime is capped by the covering range's
+// remaining lifetime (§4.3.1: a domain "may only claim a range for a
+// lifetime less than or equal to the lifetime of the parent's range");
+// applications must renew or re-acquire when the lease ends early.
+func (s *Server) Lease(lifetime time.Duration) (Lease, error) {
+	s.mu.Lock()
+	now := s.cfg.Clock.Now()
+	s.expireLocked(now)
+	var lease Lease
+	found := false
+	// sdr-style: try random picks first, then linear scan.
+	for _, r := range s.ranges {
+		if !r.expires.After(now) {
+			continue
+		}
+		if a, ok := s.pickLocked(r, now); ok {
+			exp := now.Add(lifetime)
+			if exp.After(r.expires) {
+				exp = r.expires // capped by the range lifetime
+			}
+			s.leases[a] = exp
+			lease = Lease{Addr: a, Expires: exp}
+			found = true
+			break
+		}
+	}
+	var needed uint64
+	if !found {
+		needed = s.demandEstimateLocked()
+	}
+	s.mu.Unlock()
+	if !found {
+		if s.cfg.OnDemand != nil {
+			s.cfg.OnDemand(needed)
+		}
+		return Lease{}, ErrNoSpace
+	}
+	return lease, nil
+}
+
+// pickLocked finds a free address in r.
+func (s *Server) pickLocked(r managedRange, now time.Time) (addr.Addr, bool) {
+	size := r.prefix.Size()
+	for tries := 0; tries < 16; tries++ {
+		a := r.prefix.Base + addr.Addr(uint64(s.cfg.Rand.Int63())%size)
+		if _, used := s.leases[a]; !used {
+			return a, true
+		}
+	}
+	for off := uint64(0); off < size; off++ {
+		a := r.prefix.Base + addr.Addr(off)
+		if _, used := s.leases[a]; !used {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// demandEstimateLocked sizes the next MASC request: double the current
+// capacity, or a minimum block when empty.
+func (s *Server) demandEstimateLocked() uint64 {
+	var cap uint64
+	for _, r := range s.ranges {
+		cap += r.prefix.Size()
+	}
+	if cap == 0 {
+		return 256
+	}
+	return cap
+}
+
+// Renew extends a live lease, again capped by its covering range.
+func (s *Server) Renew(a addr.Addr, lifetime time.Duration) (Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Clock.Now()
+	s.expireLocked(now)
+	if _, ok := s.leases[a]; !ok {
+		return Lease{}, ErrUnknownLease
+	}
+	exp := now.Add(lifetime)
+	for _, r := range s.ranges {
+		if r.prefix.Contains(a) && exp.After(r.expires) {
+			exp = r.expires
+		}
+	}
+	s.leases[a] = exp
+	return Lease{Addr: a, Expires: exp}, nil
+}
+
+// Release ends a lease early.
+func (s *Server) Release(a addr.Addr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.leases[a]; !ok {
+		return ErrUnknownLease
+	}
+	delete(s.leases, a)
+	return nil
+}
+
+// Live returns the number of unexpired leases.
+func (s *Server) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.cfg.Clock.Now())
+	return len(s.leases)
+}
+
+// Utilization returns live leases divided by total range capacity.
+func (s *Server) Utilization() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Clock.Now()
+	s.expireLocked(now)
+	var cap uint64
+	for _, r := range s.ranges {
+		if r.expires.After(now) {
+			cap += r.prefix.Size()
+		}
+	}
+	if cap == 0 {
+		return 0
+	}
+	return float64(len(s.leases)) / float64(cap)
+}
+
+func (s *Server) expireLocked(now time.Time) {
+	for a, exp := range s.leases {
+		if !exp.After(now) {
+			delete(s.leases, a)
+		}
+	}
+}
+
+func (s *Server) coveredLocked(a addr.Addr) bool {
+	for _, r := range s.ranges {
+		if r.prefix.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// String aids debugging.
+func (s *Server) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("maas{ranges=%d leases=%d}", len(s.ranges), len(s.leases))
+}

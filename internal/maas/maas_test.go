@@ -1,0 +1,248 @@
+package maas
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/simclock"
+)
+
+var t0 = time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestServer(onDemand func(uint64)) (*Server, *simclock.Sim) {
+	clk := simclock.NewSim(t0)
+	s := NewServer(Config{Clock: clk, Rand: rand.New(rand.NewSource(7)), OnDemand: onDemand})
+	return s, clk
+}
+
+func TestLeaseFromRange(t *testing.T) {
+	s, _ := newTestServer(nil)
+	p := addr.MustParsePrefix("224.0.1.0/24")
+	s.AddRange(p, t0.Add(30*24*time.Hour))
+	l, err := s.Lease(2 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(l.Addr) {
+		t.Fatalf("leased %v outside range %v", l.Addr, p)
+	}
+	if !l.Expires.Equal(t0.Add(2 * time.Hour)) {
+		t.Fatalf("expiry = %v", l.Expires)
+	}
+	if s.Live() != 1 {
+		t.Fatalf("Live = %d", s.Live())
+	}
+}
+
+func TestLeaseUniqueness(t *testing.T) {
+	s, _ := newTestServer(nil)
+	p := addr.MustParsePrefix("224.0.1.0/26") // 64 addresses
+	s.AddRange(p, t0.Add(time.Hour*1000))
+	seen := map[addr.Addr]bool{}
+	for i := 0; i < 64; i++ {
+		l, err := s.Lease(time.Hour)
+		if err != nil {
+			t.Fatalf("lease %d: %v", i, err)
+		}
+		if seen[l.Addr] {
+			t.Fatalf("duplicate address %v", l.Addr)
+		}
+		seen[l.Addr] = true
+	}
+	if _, err := s.Lease(time.Hour); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("65th lease: %v, want ErrNoSpace", err)
+	}
+}
+
+func TestLeaseCappedByRangeLifetime(t *testing.T) {
+	s, _ := newTestServer(nil)
+	rangeExp := t0.Add(24 * time.Hour)
+	s.AddRange(addr.MustParsePrefix("224.0.1.0/24"), rangeExp)
+	l, err := s.Lease(30 * 24 * time.Hour) // wants more than the range has
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Expires.Equal(rangeExp) {
+		t.Fatalf("lease expiry %v, want capped at range expiry %v", l.Expires, rangeExp)
+	}
+}
+
+func TestLeaseExpiryFreesAddress(t *testing.T) {
+	s, clk := newTestServer(nil)
+	p := addr.MustParsePrefix("224.0.1.0/30") // 4 addrs
+	s.AddRange(p, t0.Add(1000*time.Hour))
+	for i := 0; i < 4; i++ {
+		if _, err := s.Lease(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.RunFor(2 * time.Hour)
+	if s.Live() != 0 {
+		t.Fatalf("Live after expiry = %d", s.Live())
+	}
+	if _, err := s.Lease(time.Hour); err != nil {
+		t.Fatalf("lease after expiry should work: %v", err)
+	}
+}
+
+func TestRenew(t *testing.T) {
+	s, _ := newTestServer(nil)
+	s.AddRange(addr.MustParsePrefix("224.0.1.0/24"), t0.Add(48*time.Hour))
+	l, _ := s.Lease(time.Hour)
+	r, err := s.Renew(l.Addr, 10*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Expires.Equal(t0.Add(10 * time.Hour)) {
+		t.Fatalf("renewed expiry %v", r.Expires)
+	}
+	// Renewal also capped by range lifetime.
+	r, _ = s.Renew(l.Addr, 100*time.Hour)
+	if !r.Expires.Equal(t0.Add(48 * time.Hour)) {
+		t.Fatalf("capped renewal %v", r.Expires)
+	}
+	if _, err := s.Renew(addr.MakeAddr(225, 0, 0, 1), time.Hour); !errors.Is(err, ErrUnknownLease) {
+		t.Fatalf("renew unknown: %v", err)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	s, _ := newTestServer(nil)
+	s.AddRange(addr.MustParsePrefix("224.0.1.0/32"), t0.Add(time.Hour*100))
+	l, _ := s.Lease(time.Hour)
+	if _, err := s.Lease(time.Hour); !errors.Is(err, ErrNoSpace) {
+		t.Fatal("range of one address should be exhausted")
+	}
+	if err := s.Release(l.Addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lease(time.Hour); err != nil {
+		t.Fatalf("lease after release: %v", err)
+	}
+	if err := s.Release(addr.MakeAddr(9, 9, 9, 9)); !errors.Is(err, ErrUnknownLease) {
+		t.Fatalf("release unknown: %v", err)
+	}
+}
+
+func TestOnDemandCalledWhenOutOfSpace(t *testing.T) {
+	var demands []uint64
+	s, _ := newTestServer(func(n uint64) { demands = append(demands, n) })
+	// Empty server: first lease fails, demanding a starter block.
+	if _, err := s.Lease(time.Hour); !errors.Is(err, ErrNoSpace) {
+		t.Fatal("empty server must fail")
+	}
+	if len(demands) != 1 || demands[0] != 256 {
+		t.Fatalf("demands = %v, want [256]", demands)
+	}
+	// With a full /32, demand asks to double capacity.
+	s.AddRange(addr.MustParsePrefix("224.0.1.0/32"), t0.Add(time.Hour*100))
+	s.Lease(time.Hour)
+	s.Lease(time.Hour)
+	if len(demands) != 2 || demands[1] != 1 {
+		t.Fatalf("demands = %v, want [256 1]", demands)
+	}
+}
+
+func TestRemoveRangeRevokesLeases(t *testing.T) {
+	s, _ := newTestServer(nil)
+	p := addr.MustParsePrefix("224.0.1.0/24")
+	s.AddRange(p, t0.Add(time.Hour*100))
+	l, _ := s.Lease(time.Hour)
+	s.RemoveRange(p)
+	if s.Live() != 0 {
+		t.Fatal("leases in removed range must be revoked")
+	}
+	if _, err := s.Renew(l.Addr, time.Hour); !errors.Is(err, ErrUnknownLease) {
+		t.Fatal("revoked lease must not renew")
+	}
+	if len(s.Ranges()) != 0 {
+		t.Fatal("range should be gone")
+	}
+}
+
+func TestExpiredRangeNotUsed(t *testing.T) {
+	s, clk := newTestServer(nil)
+	s.AddRange(addr.MustParsePrefix("224.0.1.0/24"), t0.Add(time.Hour))
+	clk.RunFor(2 * time.Hour)
+	if _, err := s.Lease(time.Hour); !errors.Is(err, ErrNoSpace) {
+		t.Fatal("expired range must not serve leases")
+	}
+	if len(s.Ranges()) != 0 {
+		t.Fatal("expired range must not be listed")
+	}
+}
+
+func TestReAddRangeUpdatesExpiry(t *testing.T) {
+	s, clk := newTestServer(nil)
+	p := addr.MustParsePrefix("224.0.1.0/24")
+	s.AddRange(p, t0.Add(time.Hour))
+	s.AddRange(p, t0.Add(100*time.Hour)) // renewal
+	clk.RunFor(2 * time.Hour)
+	if _, err := s.Lease(time.Hour); err != nil {
+		t.Fatalf("renewed range should serve: %v", err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s, _ := newTestServer(nil)
+	if s.Utilization() != 0 {
+		t.Fatal("empty server utilization should be 0")
+	}
+	s.AddRange(addr.MustParsePrefix("224.0.1.0/30"), t0.Add(time.Hour*100)) // 4
+	s.Lease(time.Hour)
+	s.Lease(time.Hour)
+	if u := s.Utilization(); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestThirdPartyLease(t *testing.T) {
+	// §7 address allocation interface: an initiator that knows its
+	// dominant sources are elsewhere leases from the remote domain's
+	// MAAS, rooting the tree there.
+	local, _ := newTestServer(nil)
+	remote, _ := newTestServer(nil)
+	remoteRange := addr.MustParsePrefix("224.5.0.0/24")
+	remote.AddRange(remoteRange, t0.Add(time.Hour*100))
+	local.AddRange(addr.MustParsePrefix("224.9.0.0/24"), t0.Add(time.Hour*100))
+
+	l, err := remote.Lease(time.Hour) // initiator calls the remote MAAS
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !remoteRange.Contains(l.Addr) {
+		t.Fatal("third-party lease must come from the remote range")
+	}
+}
+
+func TestConcurrentLeases(t *testing.T) {
+	s, _ := newTestServer(nil)
+	s.AddRange(addr.MustParsePrefix("224.0.0.0/16"), t0.Add(time.Hour*100))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[addr.Addr]bool{}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l, err := s.Lease(time.Hour)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if seen[l.Addr] {
+					t.Errorf("duplicate concurrent lease %v", l.Addr)
+				}
+				seen[l.Addr] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

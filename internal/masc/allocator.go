@@ -1,0 +1,346 @@
+package masc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mascbgmp/internal/addr"
+)
+
+// Strategy holds the tunables of the paper's claim algorithm (§4.3.3).
+// The zero value is not useful; use DefaultStrategy.
+type Strategy struct {
+	// TargetOccupancy is the utilization a domain aims to stay at or
+	// above; the paper uses 75 %.
+	TargetOccupancy float64
+	// MaxActivePrefixes is the number of prefixes a domain tries not to
+	// exceed; the paper uses 2.
+	MaxActivePrefixes int
+	// ClaimLifetime is the lifetime requested for new claims; the Fig 2
+	// simulation uses 30 days.
+	ClaimLifetime time.Duration
+	// RelaxedDoubling drops the post-double ≥TargetOccupancy test.
+	// Provider domains sizing space for their children use it: a parent
+	// that has filled 75 % of its single prefix could never pass the
+	// strict test (doubling halves utilization), so strict doubling
+	// would fragment parents into many small prefixes and defeat
+	// aggregation.
+	RelaxedDoubling bool
+}
+
+// DefaultStrategy returns the paper's parameters.
+func DefaultStrategy() Strategy {
+	return Strategy{
+		TargetOccupancy:   0.75,
+		MaxActivePrefixes: 2,
+		ClaimLifetime:     30 * 24 * time.Hour,
+	}
+}
+
+// Holding is one claimed prefix with its allocation state.
+type Holding struct {
+	Prefix addr.Prefix
+	// Active marks a prefix from which new addresses are assigned;
+	// inactive prefixes drain as their allocations expire (§4.3.3).
+	Active  bool
+	Expires time.Time
+	// Used counts addresses currently allocated out of this holding.
+	Used uint64
+}
+
+// Block is an allocated address block, as leased to a MAAS.
+type Block struct {
+	Prefix  addr.Prefix // the covering holding's prefix at allocation time
+	Size    uint64
+	Expires time.Time
+}
+
+// BlockAllocator is the allocation engine of a leaf domain: it satisfies
+// block requests from the domain's MAAS out of claimed prefixes, expanding
+// them with the paper's rules. It is driven by a Ledger shared with (or
+// synchronized to) the sibling domains.
+type BlockAllocator struct {
+	strat    Strategy
+	ledger   *Ledger
+	rng      *rand.Rand
+	holdings []*Holding
+	blocks   []*allocBlock
+
+	// Stats counts expansion events for the ablation benchmarks.
+	Stats AllocStats
+}
+
+// AllocStats counts allocator events.
+type AllocStats struct {
+	Doublings    int
+	ExtraClaims  int
+	Replacements int
+	Failures     int
+	Releases     int
+}
+
+type allocBlock struct {
+	size    uint64
+	expires time.Time
+	holding *Holding
+}
+
+// NewBlockAllocator returns an allocator claiming from ledger with the
+// given strategy. rng drives the random choice among shortest-free blocks.
+func NewBlockAllocator(strat Strategy, ledger *Ledger, rng *rand.Rand) *BlockAllocator {
+	return &BlockAllocator{strat: strat, ledger: ledger, rng: rng}
+}
+
+// Holdings returns copies of the current holdings, sorted by prefix.
+func (a *BlockAllocator) Holdings() []Holding {
+	out := make([]Holding, 0, len(a.holdings))
+	for _, h := range a.holdings {
+		out = append(out, *h)
+	}
+	return out
+}
+
+// Demand returns the number of addresses in live blocks.
+func (a *BlockAllocator) Demand() uint64 {
+	var n uint64
+	for _, b := range a.blocks {
+		n += b.size
+	}
+	return n
+}
+
+// Capacity returns the number of addresses across all holdings.
+func (a *BlockAllocator) Capacity() uint64 {
+	var n uint64
+	for _, h := range a.holdings {
+		n += h.Prefix.Size()
+	}
+	return n
+}
+
+// Utilization returns Demand/Capacity, or 0 with no holdings.
+func (a *BlockAllocator) Utilization() float64 {
+	c := a.Capacity()
+	if c == 0 {
+		return 0
+	}
+	return float64(a.Demand()) / float64(c)
+}
+
+// Tick expires blocks and holdings as of now: expired blocks free their
+// addresses; holdings that are past expiry and empty are released back to
+// the ledger; non-empty holdings at expiry are renewed (active) or extended
+// until their blocks drain (inactive).
+func (a *BlockAllocator) Tick(now time.Time) {
+	live := a.blocks[:0]
+	for _, b := range a.blocks {
+		if b.expires.After(now) {
+			live = append(live, b)
+		} else {
+			b.holding.Used -= b.size
+		}
+	}
+	a.blocks = live
+	kept := a.holdings[:0]
+	for _, h := range a.holdings {
+		if !h.Expires.After(now) {
+			if h.Used == 0 {
+				a.ledger.Release(h.Prefix)
+				a.Stats.Releases++
+				continue
+			}
+			// Renewal: the claim must outlive its allocations.
+			h.Expires = now.Add(a.strat.ClaimLifetime)
+		}
+		kept = append(kept, h)
+	}
+	a.holdings = kept
+}
+
+// Request satisfies a block request of n addresses with the given lifetime,
+// expanding holdings if needed. It returns the allocated block and true, or
+// a zero Block and false when no space could be claimed.
+func (a *BlockAllocator) Request(n uint64, lifetime time.Duration, now time.Time) (Block, bool) {
+	a.Tick(now)
+	if h := a.fit(n); h != nil {
+		return a.place(h, n, lifetime, now), true
+	}
+	if h := a.expand(n, now); h != nil {
+		return a.place(h, n, lifetime, now), true
+	}
+	a.Stats.Failures++
+	return Block{}, false
+}
+
+// fit finds an active holding with room for n more addresses.
+func (a *BlockAllocator) fit(n uint64) *Holding {
+	var best *Holding
+	for _, h := range a.holdings {
+		if !h.Active || h.Used+n > h.Prefix.Size() {
+			continue
+		}
+		// Prefer the fullest holding that still fits, packing tightly.
+		if best == nil || h.Used > best.Used {
+			best = h
+		}
+	}
+	return best
+}
+
+func (a *BlockAllocator) place(h *Holding, n uint64, lifetime time.Duration, now time.Time) Block {
+	h.Used += n
+	exp := now.Add(lifetime)
+	if exp.After(h.Expires) {
+		// Applications may need the address longer than the claim; the
+		// claim is renewed rather than cutting the lease short (§4.3.1).
+		h.Expires = exp
+	}
+	a.blocks = append(a.blocks, &allocBlock{size: n, expires: exp, holding: h})
+	return Block{Prefix: h.Prefix, Size: n, Expires: exp}
+}
+
+// activeCount returns the number of active holdings.
+func (a *BlockAllocator) activeCount() int {
+	c := 0
+	for _, h := range a.holdings {
+		if h.Active {
+			c++
+		}
+	}
+	return c
+}
+
+// expand implements the §4.3.3 expansion rules and returns a holding that
+// can fit n addresses, or nil.
+func (a *BlockAllocator) expand(n uint64, now time.Time) *Holding {
+	demand := a.Demand() + n
+
+	// Option 1: double an active prefix — typically the smallest — while
+	// the post-double utilization stays at or above target (strict mode).
+	if h := a.tryDouble(demand, n); h != nil {
+		return h
+	}
+
+	// Option 2: an additional small prefix just sufficient for the
+	// demand, while we hold fewer than MaxActivePrefixes.
+	if a.activeCount() < a.strat.MaxActivePrefixes {
+		if h := a.claimNew(addr.MaskLenFor(n), now); h != nil {
+			if h.Prefix.Size() >= n {
+				a.Stats.ExtraClaims++
+				return h
+			}
+			a.removeHolding(h) // best-effort block too small for the request
+		}
+	}
+
+	// Option 3: at the prefix limit and nothing doubled — claim a single
+	// replacement prefix large enough for the whole current usage; old
+	// prefixes become inactive and drain away.
+	if h := a.claimNew(addr.MaskLenFor(demand), now); h != nil {
+		if h.Prefix.Size() >= demand {
+			for _, old := range a.holdings {
+				if old != h {
+					old.Active = false
+				}
+			}
+			a.Stats.Replacements++
+			return h
+		}
+		// The claim was a best-effort smaller block; keep it only if the
+		// new block alone fits the request.
+		if h.Prefix.Size() >= n {
+			a.Stats.ExtraClaims++
+			return h
+		}
+		a.removeHolding(h)
+	}
+
+	// Fallback: exceed the prefix-count target rather than fail the
+	// request (the target is a goal, not a hard limit).
+	if h := a.claimNew(addr.MaskLenFor(n), now); h != nil && h.Prefix.Size() >= n {
+		a.Stats.ExtraClaims++
+		return h
+	} else if h != nil {
+		a.removeHolding(h)
+	}
+	return nil
+}
+
+// tryDouble doubles active holdings (smallest first) until the request
+// fits, subject to the occupancy test and ledger availability.
+func (a *BlockAllocator) tryDouble(demand, n uint64) *Holding {
+	for {
+		var smallest *Holding
+		for _, h := range a.holdings {
+			if !h.Active || !a.ledger.CanDouble(h.Prefix) {
+				continue
+			}
+			if smallest == nil || h.Prefix.Size() < smallest.Prefix.Size() {
+				smallest = h
+			}
+		}
+		if smallest == nil {
+			return nil
+		}
+		newSize := a.Capacity() + smallest.Prefix.Size()
+		if !a.strat.RelaxedDoubling &&
+			float64(demand) < a.strat.TargetOccupancy*float64(newSize) {
+			return nil
+		}
+		d, ok := a.ledger.Double(smallest.Prefix)
+		if !ok {
+			return nil
+		}
+		smallest.Prefix = d
+		a.Stats.Doublings++
+		if smallest.Used+n <= smallest.Prefix.Size() {
+			return smallest
+		}
+		// Doubled but still too small (tiny prefix, large block): loop.
+	}
+}
+
+// claimNew claims a fresh prefix of the desired mask length via the ledger
+// and records it as an active holding.
+func (a *BlockAllocator) claimNew(maskLen int, now time.Time) *Holding {
+	if maskLen < 0 {
+		return nil
+	}
+	p, ok := a.ledger.PickClaim(maskLen, a.rng)
+	if !ok {
+		return nil
+	}
+	if !a.ledger.Claim(p) {
+		return nil
+	}
+	h := &Holding{Prefix: p, Active: true, Expires: now.Add(a.strat.ClaimLifetime)}
+	a.holdings = append(a.holdings, h)
+	return h
+}
+
+func (a *BlockAllocator) removeHolding(h *Holding) {
+	a.ledger.Release(h.Prefix)
+	for i, x := range a.holdings {
+		if x == h {
+			a.holdings = append(a.holdings[:i], a.holdings[i+1:]...)
+			return
+		}
+	}
+}
+
+// AdvertisedPrefixes returns the domain's claimed prefixes as they would be
+// injected into BGP after CIDR aggregation — the per-domain contribution to
+// the G-RIB.
+func (a *BlockAllocator) AdvertisedPrefixes() []addr.Prefix {
+	s := addr.NewSet()
+	for _, h := range a.holdings {
+		s.Add(h.Prefix)
+	}
+	return s.Aggregated().Prefixes()
+}
+
+// String aids debugging.
+func (a *BlockAllocator) String() string {
+	return fmt.Sprintf("alloc{demand=%d cap=%d holdings=%d}", a.Demand(), a.Capacity(), len(a.holdings))
+}

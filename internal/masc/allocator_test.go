@@ -1,0 +1,254 @@
+package masc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mascbgmp/internal/addr"
+)
+
+var allocT0 = time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestAllocator(spaces ...addr.Prefix) (*BlockAllocator, *Ledger) {
+	l := NewLedger(spaces...)
+	a := NewBlockAllocator(DefaultStrategy(), l, rand.New(rand.NewSource(3)))
+	return a, l
+}
+
+func TestFirstRequestClaimsJustSufficientPrefix(t *testing.T) {
+	a, l := newTestAllocator(addr.MustParsePrefix("224.0.0.0/16"))
+	b, ok := a.Request(256, 30*24*time.Hour, allocT0)
+	if !ok {
+		t.Fatal("request should succeed")
+	}
+	if b.Prefix.Size() != 256 {
+		t.Fatalf("first claim size = %d, want 256 (just sufficient)", b.Prefix.Size())
+	}
+	if len(l.Claims()) != 1 {
+		t.Fatalf("ledger claims = %v", l.Claims())
+	}
+	if a.Demand() != 256 || a.Capacity() != 256 {
+		t.Fatalf("demand/capacity = %d/%d", a.Demand(), a.Capacity())
+	}
+}
+
+func TestGrowthByDoubling(t *testing.T) {
+	a, _ := newTestAllocator(addr.MustParsePrefix("224.0.0.0/16"))
+	now := allocT0
+	// Repeated 256-blocks: 256 → double to 512 → double to 1024 (768/1024
+	// = 75% exactly at the third block) ...
+	for i := 0; i < 4; i++ {
+		if _, ok := a.Request(256, 30*24*time.Hour, now); !ok {
+			t.Fatalf("request %d failed", i)
+		}
+		now = now.Add(time.Hour)
+	}
+	if a.Stats.Doublings == 0 {
+		t.Fatal("growth should have used doubling")
+	}
+	// Doubling keeps a single prefix while the 75% rule allows it.
+	hs := a.Holdings()
+	if len(hs) != 1 {
+		t.Fatalf("holdings = %v, want a single doubled prefix", hs)
+	}
+	if a.Utilization() < 0.74 {
+		t.Fatalf("utilization = %.2f, want >= 75%%", a.Utilization())
+	}
+}
+
+func TestSecondPrefixWhenDoublingWouldUnderfill(t *testing.T) {
+	a, _ := newTestAllocator(addr.MustParsePrefix("224.0.0.0/16"))
+	now := allocT0
+	// Fill to a /22 (1024 addresses = 4 blocks), then the 5th block:
+	// doubling to /21 gives 1280/2048 = 62.5% < 75%, so the allocator
+	// claims a second small prefix instead.
+	for i := 0; i < 5; i++ {
+		if _, ok := a.Request(256, 30*24*time.Hour, now); !ok {
+			t.Fatalf("request %d failed", i)
+		}
+		now = now.Add(time.Hour)
+	}
+	hs := a.Holdings()
+	if len(hs) != 2 {
+		t.Fatalf("want 2 holdings, got %v", hs)
+	}
+	if a.Stats.ExtraClaims == 0 {
+		t.Fatal("expected an additional just-sufficient claim")
+	}
+	var sizes []uint64
+	for _, h := range hs {
+		sizes = append(sizes, h.Prefix.Size())
+	}
+	if sizes[0]+sizes[1] != 1024+256 {
+		t.Fatalf("holding sizes = %v", sizes)
+	}
+}
+
+func TestReplacementWhenAtPrefixLimitAndBlocked(t *testing.T) {
+	// Block every doubling by pre-claiming the siblings, forcing the
+	// allocator at 2 prefixes to claim a replacement.
+	l := NewLedger(addr.MustParsePrefix("224.0.0.0/16"))
+	a := NewBlockAllocator(DefaultStrategy(), l, rand.New(rand.NewSource(3)))
+	now := allocT0
+	for i := 0; i < 5; i++ {
+		if _, ok := a.Request(256, 30*24*time.Hour, now); !ok {
+			t.Fatalf("request %d failed", i)
+		}
+		now = now.Add(time.Hour)
+	}
+	// Two holdings now. Claim both siblings to block doubling.
+	for _, h := range a.Holdings() {
+		sib := h.Prefix.Sibling()
+		if l.CanClaim(sib) {
+			l.Claim(sib)
+		}
+	}
+	if _, ok := a.Request(256, 30*24*time.Hour, now); !ok {
+		t.Fatal("request should still succeed via replacement")
+	}
+	if a.Stats.Replacements == 0 {
+		t.Fatal("expected a replacement claim")
+	}
+	active := 0
+	for _, h := range a.Holdings() {
+		if h.Active {
+			active++
+		}
+	}
+	if active != 1 {
+		t.Fatalf("after replacement exactly one active holding expected, got %d", active)
+	}
+}
+
+func TestBlocksExpireAndFreeCapacity(t *testing.T) {
+	a, _ := newTestAllocator(addr.MustParsePrefix("224.0.0.0/16"))
+	life := 30 * 24 * time.Hour
+	a.Request(256, life, allocT0)
+	if a.Demand() != 256 {
+		t.Fatal("demand should be 256")
+	}
+	a.Tick(allocT0.Add(life + time.Second))
+	if a.Demand() != 0 {
+		t.Fatalf("demand after expiry = %d", a.Demand())
+	}
+}
+
+func TestEmptyHoldingReleasedAtExpiry(t *testing.T) {
+	a, l := newTestAllocator(addr.MustParsePrefix("224.0.0.0/16"))
+	life := 30 * 24 * time.Hour
+	a.Request(256, life, allocT0)
+	// After the blocks and the claim itself expire, the prefix returns to
+	// the ledger.
+	a.Tick(allocT0.Add(2*life + time.Second))
+	if len(a.Holdings()) != 0 {
+		t.Fatalf("holdings = %v, want none", a.Holdings())
+	}
+	if len(l.Claims()) != 0 {
+		t.Fatalf("ledger claims = %v, want none", l.Claims())
+	}
+	if a.Stats.Releases == 0 {
+		t.Fatal("release should be counted")
+	}
+}
+
+func TestOccupiedHoldingRenewedAtExpiry(t *testing.T) {
+	a, l := newTestAllocator(addr.MustParsePrefix("224.0.0.0/16"))
+	a.Request(256, 90*24*time.Hour, allocT0) // block outlives the 30d claim
+	a.Tick(allocT0.Add(31 * 24 * time.Hour))
+	if len(a.Holdings()) != 1 {
+		t.Fatal("occupied holding must be renewed, not released")
+	}
+	if len(l.Claims()) != 1 {
+		t.Fatal("ledger must still show the claim")
+	}
+}
+
+func TestRequestFailsWhenSpaceExhausted(t *testing.T) {
+	a, _ := newTestAllocator(addr.MustParsePrefix("224.0.0.0/24")) // 256 addrs
+	if _, ok := a.Request(256, time.Hour, allocT0); !ok {
+		t.Fatal("first request should fit exactly")
+	}
+	if _, ok := a.Request(256, time.Hour, allocT0); ok {
+		t.Fatal("second request must fail in exhausted space")
+	}
+	if a.Stats.Failures != 1 {
+		t.Fatalf("failures = %d", a.Stats.Failures)
+	}
+}
+
+func TestUtilizationStaysNearTargetUnderChurn(t *testing.T) {
+	// Long-run churn: random requests with 30-day lifetimes; utilization
+	// (averaged once warm) should sit in a band around the paper's ~50%
+	// two-level result — for a single level we expect >= 50%.
+	a, _ := newTestAllocator(addr.MustParsePrefix("224.0.0.0/12"))
+	rng := rand.New(rand.NewSource(42))
+	now := allocT0
+	life := 30 * 24 * time.Hour
+	var utilSum float64
+	var samples int
+	for day := 0; day < 200; day++ {
+		for r := 0; r < 3; r++ {
+			a.Request(256, life, now)
+			now = now.Add(time.Duration(1+rng.Intn(8)) * time.Hour)
+		}
+		a.Tick(now)
+		if day > 60 {
+			utilSum += a.Utilization()
+			samples++
+		}
+	}
+	avg := utilSum / float64(samples)
+	if avg < 0.5 || avg > 1.0 {
+		t.Fatalf("steady-state utilization = %.2f, want in [0.5, 1.0]", avg)
+	}
+	// The 2-prefix target should roughly hold.
+	if len(a.Holdings()) > 4 {
+		t.Fatalf("holdings grew to %d; aggregation target badly violated", len(a.Holdings()))
+	}
+}
+
+func TestAdvertisedPrefixesAggregated(t *testing.T) {
+	l := NewLedger(addr.MustParsePrefix("224.0.0.0/16"))
+	a := NewBlockAllocator(DefaultStrategy(), l, rand.New(rand.NewSource(3)))
+	// Force two sibling claims by manipulating holdings directly through
+	// requests in a tight space.
+	a.holdings = append(a.holdings,
+		&Holding{Prefix: addr.MustParsePrefix("224.0.0.0/24"), Active: true},
+		&Holding{Prefix: addr.MustParsePrefix("224.0.1.0/24"), Active: true},
+	)
+	adv := a.AdvertisedPrefixes()
+	if len(adv) != 1 || adv[0].String() != "224.0.0.0/23" {
+		t.Fatalf("advertised = %v, want aggregated /23", adv)
+	}
+}
+
+func TestDemandAccountingProperty(t *testing.T) {
+	// Invariant under random request/expiry churn: Demand == Σ holdings.Used
+	// and every holding's Used ≤ its size.
+	a, l := newTestAllocator(addr.MustParsePrefix("224.0.0.0/12"))
+	rng := rand.New(rand.NewSource(77))
+	now := allocT0
+	for i := 0; i < 2000; i++ {
+		n := uint64(64 << rng.Intn(3))
+		life := time.Duration(1+rng.Intn(72)) * time.Hour
+		a.Request(n, life, now)
+		now = now.Add(time.Duration(rng.Intn(7)) * time.Hour)
+		var sum uint64
+		for _, h := range a.Holdings() {
+			if h.Used > h.Prefix.Size() {
+				t.Fatalf("holding %v over-filled: %d", h.Prefix, h.Used)
+			}
+			sum += h.Used
+		}
+		if sum != a.Demand() {
+			t.Fatalf("demand %d != Σ used %d", a.Demand(), sum)
+		}
+		// All holdings must be registered in the ledger.
+		for _, h := range a.Holdings() {
+			if l.CanClaim(h.Prefix) {
+				t.Fatalf("holding %v not recorded in ledger", h.Prefix)
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package masc implements the Multicast Address-Set Claim protocol
+// (paper §4): hierarchical, dynamic allocation of multicast address ranges
+// to domains using a listen-and-claim-with-collision-detection mechanism.
+//
+// The package is layered:
+//
+//   - Ledger records the claims a domain has heard (its own, its siblings',
+//     its children's) within the parent's address space and implements the
+//     claim-selection algorithm of §4.3.3: find the free prefixes of
+//     shortest mask length, pick one uniformly at random, and claim the
+//     first sub-prefix of the desired size inside it.
+//   - BlockAllocator is the per-domain allocation engine a leaf (customer)
+//     domain runs: it satisfies MAAS block requests out of the domain's
+//     claimed prefixes and expands them with the paper's rules (75 %
+//     target occupancy, at most two active prefixes, prefix doubling,
+//     just-sufficient additional claims, replacement claims).
+//   - SpaceProvider is the engine a parent (provider) domain runs: it
+//     claims space (from its own parent or, for a top-level domain, from
+//     all of 224/4) sized to its children's aggregate claims.
+//   - Node is the message-driven claim-collide state machine run between
+//     domains: claims propagate to parent and siblings, a waiting period
+//     spans network partitions, collisions force re-selection, and won
+//     ranges are handed to BGP as group routes.
+package masc
+
+import (
+	"math/rand"
+	"sort"
+
+	"mascbgmp/internal/addr"
+)
+
+// Ledger tracks which prefixes are taken within a set of parent address
+// spaces. In the real protocol every domain keeps its own ledger built from
+// heard claims; simulations without partitions share one ledger per
+// sibling group. Ledger is not safe for concurrent use.
+type Ledger struct {
+	spaces []addr.Prefix
+	taken  *addr.Set
+}
+
+// NewLedger returns a ledger over the given claimable spaces.
+func NewLedger(spaces ...addr.Prefix) *Ledger {
+	return &Ledger{spaces: append([]addr.Prefix(nil), spaces...), taken: addr.NewSet()}
+}
+
+// SetSpaces replaces the claimable spaces (a parent domain's ranges change
+// as it expands). Existing claims are retained even if they fall outside
+// the new spaces; the owner decides when to retract them.
+func (l *Ledger) SetSpaces(spaces []addr.Prefix) {
+	l.spaces = append(l.spaces[:0:0], spaces...)
+}
+
+// Spaces returns the claimable spaces.
+func (l *Ledger) Spaces() []addr.Prefix { return append([]addr.Prefix(nil), l.spaces...) }
+
+// Taken returns the total number of addresses claimed within the spaces.
+func (l *Ledger) Taken() uint64 {
+	var n uint64
+	for _, p := range l.taken.Prefixes() {
+		for _, s := range l.spaces {
+			if s.ContainsPrefix(p) {
+				n += p.Size()
+				break
+			}
+		}
+	}
+	return n
+}
+
+// TakenWithin returns the number of claimed addresses inside p.
+func (l *Ledger) TakenWithin(p addr.Prefix) uint64 {
+	var n uint64
+	for _, q := range l.taken.Prefixes() {
+		if p.ContainsPrefix(q) {
+			n += q.Size()
+		} else if q.ContainsPrefix(p) {
+			n += p.Size()
+		}
+	}
+	return n
+}
+
+// Capacity returns the total number of addresses in the spaces.
+func (l *Ledger) Capacity() uint64 {
+	var n uint64
+	for _, s := range l.spaces {
+		n += s.Size()
+	}
+	return n
+}
+
+// CanClaim reports whether p lies inside a space and overlaps no existing
+// claim.
+func (l *Ledger) CanClaim(p addr.Prefix) bool {
+	inSpace := false
+	for _, s := range l.spaces {
+		if s.ContainsPrefix(p) {
+			inSpace = true
+			break
+		}
+	}
+	return inSpace && !l.taken.OverlapsPrefix(p)
+}
+
+// Claim records p as taken, reporting success. Claims that overlap existing
+// claims or fall outside every space fail.
+func (l *Ledger) Claim(p addr.Prefix) bool {
+	if !l.CanClaim(p) {
+		return false
+	}
+	return l.taken.Add(p)
+}
+
+// Record marks p taken without the space check — used for heard sibling
+// claims that may lie outside the local view of the parent's space.
+func (l *Ledger) Record(p addr.Prefix) { l.taken.Add(p) }
+
+// Release frees an exact previously claimed prefix.
+func (l *Ledger) Release(p addr.Prefix) bool { return l.taken.Remove(p) }
+
+// Claims returns the taken prefixes in sorted order.
+func (l *Ledger) Claims() []addr.Prefix { return l.taken.Prefixes() }
+
+// PickClaim runs the §4.3.3 claim-selection algorithm: among the free
+// prefixes of the shortest mask length across all spaces, choose one
+// uniformly at random and return its first sub-prefix of the desired mask
+// length. When the desired prefix (maskLen) is larger than the largest free
+// block, the largest free block itself is returned (best effort). ok is
+// false when every space is fully taken.
+//
+// The returned prefix is NOT claimed; call Claim to record it.
+func (l *Ledger) PickClaim(maskLen int, rng *rand.Rand) (addr.Prefix, bool) {
+	var candidates []addr.Prefix
+	best := 33
+	for _, s := range l.spaces {
+		free, ok := l.taken.ShortestFree(s)
+		if !ok {
+			continue
+		}
+		if free[0].Len < best {
+			best = free[0].Len
+			candidates = candidates[:0]
+		}
+		if free[0].Len == best {
+			candidates = append(candidates, free...)
+		}
+	}
+	if len(candidates) == 0 {
+		return addr.Prefix{}, false
+	}
+	sort.Slice(candidates, func(i, j int) bool { return addr.Compare(candidates[i], candidates[j]) < 0 })
+	chosen := candidates[rng.Intn(len(candidates))]
+	if maskLen < chosen.Len {
+		// Demand exceeds the largest free block: take the whole block.
+		return chosen, true
+	}
+	sub, err := chosen.FirstSub(maskLen)
+	if err != nil {
+		return addr.Prefix{}, false
+	}
+	return sub, true
+}
+
+// CanDouble reports whether claim p can expand into its covering parent
+// prefix: the sibling half must be entirely free and the doubled prefix
+// must still lie inside a space.
+func (l *Ledger) CanDouble(p addr.Prefix) bool {
+	d, err := p.Double()
+	if err != nil {
+		return false
+	}
+	inSpace := false
+	for _, s := range l.spaces {
+		if s.ContainsPrefix(d) {
+			inSpace = true
+			break
+		}
+	}
+	if !inSpace {
+		return false
+	}
+	sib := p.Sibling()
+	for _, q := range l.taken.Prefixes() {
+		if q != p && q.Overlaps(sib) {
+			return false
+		}
+		if q != p && q.Overlaps(d) && !p.ContainsPrefix(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// Double atomically replaces claim p with its doubled parent prefix,
+// reporting success.
+func (l *Ledger) Double(p addr.Prefix) (addr.Prefix, bool) {
+	if !l.CanDouble(p) {
+		return addr.Prefix{}, false
+	}
+	d, err := p.Double()
+	if err != nil {
+		return addr.Prefix{}, false
+	}
+	l.taken.Remove(p)
+	l.taken.Add(d)
+	return d, true
+}

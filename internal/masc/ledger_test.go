@@ -1,0 +1,211 @@
+package masc
+
+import (
+	"math/rand"
+	"testing"
+
+	"mascbgmp/internal/addr"
+)
+
+func TestLedgerClaimRelease(t *testing.T) {
+	l := NewLedger(addr.MustParsePrefix("224.0.0.0/16"))
+	p := addr.MustParsePrefix("224.0.1.0/24")
+	if !l.CanClaim(p) || !l.Claim(p) {
+		t.Fatal("first claim should succeed")
+	}
+	if l.Claim(p) {
+		t.Fatal("duplicate claim must fail")
+	}
+	if l.Claim(addr.MustParsePrefix("224.0.1.0/25")) {
+		t.Fatal("overlapping claim must fail")
+	}
+	if l.Claim(addr.MustParsePrefix("225.0.0.0/24")) {
+		t.Fatal("claim outside space must fail")
+	}
+	if !l.Release(p) {
+		t.Fatal("release should succeed")
+	}
+	if l.Release(p) {
+		t.Fatal("double release must fail")
+	}
+	if !l.Claim(p) {
+		t.Fatal("re-claim after release should succeed")
+	}
+}
+
+func TestLedgerTakenAccounting(t *testing.T) {
+	l := NewLedger(addr.MustParsePrefix("224.0.0.0/16"))
+	l.Claim(addr.MustParsePrefix("224.0.1.0/24"))
+	l.Claim(addr.MustParsePrefix("224.0.2.0/24"))
+	if l.Taken() != 512 {
+		t.Fatalf("Taken = %d, want 512", l.Taken())
+	}
+	if l.Capacity() != 65536 {
+		t.Fatalf("Capacity = %d", l.Capacity())
+	}
+	if got := l.TakenWithin(addr.MustParsePrefix("224.0.0.0/23")); got != 256 {
+		t.Fatalf("TakenWithin(/23 covering one /24) = %d, want 256", got)
+	}
+	if got := l.TakenWithin(addr.MustParsePrefix("224.0.1.0/25")); got != 128 {
+		t.Fatalf("TakenWithin(/25 inside taken /24) = %d, want 128", got)
+	}
+	// Record outside space counts claims but not Taken (outside spaces).
+	l.Record(addr.MustParsePrefix("239.0.0.0/24"))
+	if l.Taken() != 512 {
+		t.Fatalf("out-of-space record changed Taken: %d", l.Taken())
+	}
+	if len(l.Claims()) != 3 {
+		t.Fatalf("Claims = %v", l.Claims())
+	}
+}
+
+// TestPickClaimPaperExample reproduces the §4.3.3 worked example: with
+// 224.0.1/24 and 239/8 taken out of 224/4, a domain needing 1024 addresses
+// randomly chooses 228.0.0.0/22 or 232.0.0.0/22.
+func TestPickClaimPaperExample(t *testing.T) {
+	l := NewLedger(addr.MulticastSpace)
+	l.Claim(addr.MustParsePrefix("224.0.1.0/24"))
+	l.Claim(addr.MustParsePrefix("239.0.0.0/8"))
+	want := map[string]bool{"228.0.0.0/22": false, "232.0.0.0/22": false}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		p, ok := l.PickClaim(addr.MaskLenFor(1024), rng)
+		if !ok {
+			t.Fatal("pick should succeed")
+		}
+		if _, expected := want[p.String()]; !expected {
+			t.Fatalf("picked %v, want one of 228.0.0.0/22 / 232.0.0.0/22", p)
+		}
+		want[p.String()] = true
+	}
+	if !want["228.0.0.0/22"] || !want["232.0.0.0/22"] {
+		t.Fatalf("random choice never hit both candidates: %v", want)
+	}
+}
+
+func TestPickClaimBestEffortWhenFragmented(t *testing.T) {
+	// Only a /26 is free; a request needing a /22 gets the /26.
+	l := NewLedger(addr.MustParsePrefix("224.0.0.0/24"))
+	l.Claim(addr.MustParsePrefix("224.0.0.0/25"))
+	l.Claim(addr.MustParsePrefix("224.0.0.128/26"))
+	rng := rand.New(rand.NewSource(1))
+	p, ok := l.PickClaim(22, rng)
+	if !ok || p.String() != "224.0.0.192/26" {
+		t.Fatalf("best-effort pick = %v ok=%v", p, ok)
+	}
+}
+
+func TestPickClaimFullSpace(t *testing.T) {
+	l := NewLedger(addr.MustParsePrefix("224.0.0.0/24"))
+	l.Claim(addr.MustParsePrefix("224.0.0.0/24"))
+	if _, ok := l.PickClaim(30, rand.New(rand.NewSource(1))); ok {
+		t.Fatal("full space must not yield a claim")
+	}
+}
+
+func TestPickClaimMultipleSpaces(t *testing.T) {
+	l := NewLedger(addr.MustParsePrefix("224.0.0.0/24"), addr.MustParsePrefix("230.0.0.0/16"))
+	rng := rand.New(rand.NewSource(2))
+	// The /16 space offers the shortest free prefix; claims should come
+	// from it.
+	p, ok := l.PickClaim(24, rng)
+	if !ok || !addr.MustParsePrefix("230.0.0.0/16").ContainsPrefix(p) {
+		t.Fatalf("pick = %v, want inside 230.0.0.0/16", p)
+	}
+}
+
+func TestCanDoubleAndDouble(t *testing.T) {
+	l := NewLedger(addr.MustParsePrefix("224.0.0.0/16"))
+	p := addr.MustParsePrefix("224.0.0.0/24")
+	l.Claim(p)
+	if !l.CanDouble(p) {
+		t.Fatal("sibling free: doubling should be possible")
+	}
+	d, ok := l.Double(p)
+	if !ok || d.String() != "224.0.0.0/23" {
+		t.Fatalf("Double = %v ok=%v", d, ok)
+	}
+	// Now occupy the new sibling and verify doubling is blocked.
+	l.Claim(addr.MustParsePrefix("224.0.2.0/23"))
+	if l.CanDouble(d) {
+		t.Fatal("doubling into occupied sibling must fail")
+	}
+	if _, ok := l.Double(d); ok {
+		t.Fatal("Double should fail")
+	}
+}
+
+func TestCanDoubleOutsideSpace(t *testing.T) {
+	l := NewLedger(addr.MustParsePrefix("224.0.0.0/24"))
+	p := addr.MustParsePrefix("224.0.0.0/24")
+	l.Claim(p)
+	if l.CanDouble(p) {
+		t.Fatal("doubling beyond the space must fail")
+	}
+}
+
+func TestSetSpacesAffectsClaims(t *testing.T) {
+	l := NewLedger()
+	if l.Claim(addr.MustParsePrefix("224.0.0.0/24")) {
+		t.Fatal("claim with no spaces must fail")
+	}
+	l.SetSpaces([]addr.Prefix{addr.MustParsePrefix("224.0.0.0/16")})
+	if !l.Claim(addr.MustParsePrefix("224.0.0.0/24")) {
+		t.Fatal("claim within new space should succeed")
+	}
+	if got := l.Spaces(); len(got) != 1 {
+		t.Fatalf("Spaces = %v", got)
+	}
+}
+
+// Property: repeated PickClaim+Claim never yields overlapping claims and
+// eventually exhausts the space exactly.
+func TestPickClaimExhaustionProperty(t *testing.T) {
+	space := addr.MustParsePrefix("224.0.0.0/20") // 4096 addresses
+	l := NewLedger(space)
+	rng := rand.New(rand.NewSource(9))
+	var total uint64
+	for {
+		p, ok := l.PickClaim(24, rng) // 256-address chunks
+		if !ok {
+			break
+		}
+		if !l.Claim(p) {
+			t.Fatalf("pick returned unclaimable prefix %v", p)
+		}
+		total += p.Size()
+		if total > space.Size() {
+			t.Fatal("claimed more than the space holds")
+		}
+	}
+	if total != space.Size() {
+		t.Fatalf("exhaustion left gaps: claimed %d of %d", total, space.Size())
+	}
+	claims := l.Claims()
+	for i := range claims {
+		for j := i + 1; j < len(claims); j++ {
+			if claims[i].Overlaps(claims[j]) {
+				t.Fatalf("claims overlap: %v %v", claims[i], claims[j])
+			}
+		}
+	}
+}
+
+// Property: the first-sub-prefix rule keeps space aggregatable — a sequence
+// of claims and doublings never produces a claim whose sibling is also free
+// but unclaimable.
+func TestDoublingAfterFirstSubProperty(t *testing.T) {
+	l := NewLedger(addr.MustParsePrefix("224.0.0.0/16"))
+	rng := rand.New(rand.NewSource(10))
+	p, _ := l.PickClaim(24, rng)
+	l.Claim(p)
+	// With an otherwise empty space the first claim must be expandable
+	// many times (first-sub placement leaves the sibling free).
+	cur := p
+	for i := 0; i < 6; i++ {
+		if !l.CanDouble(cur) {
+			t.Fatalf("doubling step %d blocked for %v", i, cur)
+		}
+		cur, _ = l.Double(cur)
+	}
+}

@@ -1,0 +1,117 @@
+package masc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mascbgmp/internal/addr"
+	wirepkg "mascbgmp/internal/wire"
+)
+
+func BenchmarkPickClaimLoadedLedger(b *testing.B) {
+	// A ledger with ~100 sibling claims, the per-parent scale of the
+	// paper's 50-child simulation.
+	l := NewLedger(addr.MustParsePrefix("224.0.0.0/8"))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if p, ok := l.PickClaim(24, rng); ok {
+			l.Claim(p)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := l.PickClaim(24, rng); !ok {
+			b.Fatal("space exhausted")
+		}
+	}
+}
+
+func BenchmarkBlockAllocatorSteadyState(b *testing.B) {
+	l := NewLedger(addr.MustParsePrefix("224.0.0.0/8"))
+	a := NewBlockAllocator(DefaultStrategy(), l, rand.New(rand.NewSource(2)))
+	now := allocT0
+	life := 30 * 24 * time.Hour
+	// Warm to steady state.
+	for i := 0; i < 500; i++ {
+		a.Request(256, life, now)
+		now = now.Add(2 * time.Hour)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Request(256, life, now)
+		now = now.Add(2 * time.Hour)
+	}
+}
+
+func BenchmarkProviderEnsureRoom(b *testing.B) {
+	// Reset the provider periodically: otherwise accumulated child claims
+	// make each iteration quadratically slower and the space exhausts.
+	up := NewLedger(addr.MulticastSpace)
+	sp := NewSpaceProvider(DefaultStrategy(), up, rand.New(rand.NewSource(3)))
+	rng := rand.New(rand.NewSource(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%256 == 0 {
+			b.StopTimer()
+			up = NewLedger(addr.MulticastSpace)
+			sp = NewSpaceProvider(DefaultStrategy(), up, rand.New(rand.NewSource(3)))
+			b.StartTimer()
+		}
+		if !sp.EnsureRoom(256, allocT0) {
+			b.Fatal("no room")
+		}
+		if p, ok := sp.ChildLedger().PickClaim(24, rng); ok {
+			sp.ChildLedger().Claim(p)
+		}
+	}
+}
+
+// TestManySiblingsConcurrentClaimsDisjoint is a property test on the
+// message-driven claim-collide protocol: 12 top-level siblings all claim
+// simultaneously from 224/4; after retries settle, every won range is
+// pairwise disjoint.
+func TestManySiblingsConcurrentClaimsDisjoint(t *testing.T) {
+	nn := newNodeNet(t)
+	const siblings = 12
+	for i := 1; i <= siblings; i++ {
+		nn.add(dom(i), true, int64(i))
+	}
+	for i := 1; i <= siblings; i++ {
+		for j := 1; j <= siblings; j++ {
+			if i != j {
+				nn.nodes[dom(i)].AddSibling(dom(j))
+			}
+		}
+	}
+	// All claim at the same instant (worst-case simultaneous claims; the
+	// paper: "the nth domain might have to make up to n claims").
+	for i := 1; i <= siblings; i++ {
+		nn.nodes[dom(i)].RequestSpace(1<<20, 30*24*time.Hour)
+	}
+	// Enough time for waiting periods plus retry rounds.
+	nn.run(30 * 24 * time.Hour)
+
+	var all []addr.Prefix
+	for i := 1; i <= siblings; i++ {
+		for _, h := range nn.nodes[dom(i)].Holdings() {
+			all = append(all, h.Prefix)
+		}
+	}
+	if len(all) < siblings/2 {
+		t.Fatalf("too few wins: %d (retry starvation?)", len(all))
+	}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if all[i].Overlaps(all[j]) {
+				t.Fatalf("won ranges overlap: %v / %v", all[i], all[j])
+			}
+		}
+	}
+}
+
+// dom converts an int to a DomainID tersely for the sibling test.
+func dom(i int) wirepkg.DomainID { return wirepkg.DomainID(i) }

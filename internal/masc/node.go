@@ -1,0 +1,570 @@
+package masc
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/simclock"
+	"mascbgmp/internal/wire"
+)
+
+// NodeConfig configures a claim-collide Node.
+type NodeConfig struct {
+	// Domain is the MASC domain this node allocates for.
+	Domain wire.DomainID
+	// Clock drives the waiting period and lifetimes.
+	Clock simclock.Clock
+	// Rand drives claim selection; must not be nil.
+	Rand *rand.Rand
+	// Strategy tunes claim sizing; zero value replaced by DefaultStrategy.
+	Strategy Strategy
+	// WaitPeriod is how long a claim listens for collisions before it is
+	// won — 48 hours in the paper, shortened in tests via the sim clock.
+	WaitPeriod time.Duration
+	// RetryDelay spaces successive claim attempts after a collision.
+	// Defaults to one hour.
+	RetryDelay time.Duration
+	// MaxAttempts caps claim retries for one RequestSpace call; defaults
+	// to 16. In the worst case of n simultaneous claimers the paper notes
+	// the nth domain may need up to n attempts.
+	MaxAttempts int
+	// AutoRenew keeps won ranges alive: shortly before a holding's
+	// lifetime expires it is renewed for another lifetime and
+	// re-announced (§4.3.1: "the address range claimed by the domain
+	// becomes invalid once the lifetime expires unless the request is
+	// renewed before expiration"). Disabled, holdings expire and are
+	// given up.
+	AutoRenew bool
+	// OnRenewed runs when a holding's lifetime is extended, so the owner
+	// can refresh the BGP route expiry and the MAAS range.
+	OnRenewed func(p addr.Prefix, expires time.Time)
+	// TopLevel marks a domain with no MASC parent: it claims from the
+	// entire multicast space against its top-level siblings (§4.1).
+	TopLevel bool
+	// MaxClaim, when nonzero, is the largest prefix size (in addresses) a
+	// parent tolerates from this node's children before sending explicit
+	// CollideTooLarge collisions — the §7 fair-use disincentive.
+	MaxClaim uint64
+	// Send transmits a MASC message to another domain's node. Called
+	// without internal locks held.
+	Send func(to wire.DomainID, msg wire.Message)
+	// OnWon runs when a claim survives its waiting period, with the won
+	// prefix and its expiry; the owner injects it into BGP and hands it
+	// to the MAASes. Called without locks held.
+	OnWon func(p addr.Prefix, expires time.Time)
+	// OnLost runs when a previously won prefix is given up (released or
+	// superseded); the owner withdraws the BGP route.
+	OnLost func(p addr.Prefix)
+}
+
+// Node is the message-driven MASC protocol engine for one domain. It
+// implements the claim-collide mechanism of §4.1: claims go to the parent
+// and all (directly connected) siblings; any of them may answer with a
+// collision during the waiting period; surviving claims become allocations.
+//
+// Node is safe for concurrent use.
+type Node struct {
+	cfg NodeConfig
+
+	mu        sync.Mutex
+	parent    wire.DomainID
+	hasParent bool
+	siblings  map[wire.DomainID]bool
+	children  map[wire.DomainID]bool
+	// heard is this node's view of claimed space: parent's advertised
+	// ranges define the spaces; sibling claims and own holdings are
+	// recorded as taken.
+	heard *Ledger
+	// childClaims tracks claims by children inside our space.
+	childClaims *Ledger
+	holdings    []*Holding
+	pending     map[addr.Prefix]*pendingClaim
+	nextClaimID uint64
+	outbox      []outMsg
+}
+
+type pendingClaim struct {
+	prefix   addr.Prefix
+	claimID  uint64
+	life     time.Duration
+	size     uint64 // original request, for retry
+	attempts int
+	timer    simclock.Timer
+	lost     bool
+}
+
+// NewNode returns a Node. For top-level domains the claimable space is
+// 224/4; otherwise it is empty until the parent's RangeAdvert arrives.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.Strategy == (Strategy{}) {
+		cfg.Strategy = DefaultStrategy()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.WaitPeriod == 0 {
+		cfg.WaitPeriod = 48 * time.Hour
+	}
+	if cfg.RetryDelay == 0 {
+		cfg.RetryDelay = time.Hour
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 16
+	}
+	n := &Node{
+		cfg:         cfg,
+		siblings:    map[wire.DomainID]bool{},
+		children:    map[wire.DomainID]bool{},
+		heard:       NewLedger(),
+		childClaims: NewLedger(),
+		pending:     map[addr.Prefix]*pendingClaim{},
+	}
+	if cfg.TopLevel {
+		n.heard.SetSpaces([]addr.Prefix{addr.MulticastSpace})
+	}
+	return n
+}
+
+// SetParent configures the node's MASC parent (chosen among its providers,
+// §4.1). Ignored for top-level nodes.
+func (n *Node) SetParent(d wire.DomainID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.TopLevel {
+		return
+	}
+	n.parent = d
+	n.hasParent = true
+}
+
+// AddSibling registers a sibling domain (same parent, or another top-level
+// domain) to which claims are propagated.
+func (n *Node) AddSibling(d wire.DomainID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d != n.cfg.Domain {
+		n.siblings[d] = true
+	}
+}
+
+// AddChild registers a child domain; the node advertises its ranges to
+// children and arbitrates their claims.
+func (n *Node) AddChild(d wire.DomainID) {
+	n.mu.Lock()
+	ranges := n.rangesLocked()
+	n.children[d] = true
+	n.mu.Unlock()
+	if len(ranges) > 0 {
+		n.send(d, &wire.RangeAdvert{Owner: n.cfg.Domain, Ranges: ranges})
+	}
+}
+
+// Holdings returns copies of the node's won allocations.
+func (n *Node) Holdings() []Holding {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Holding, 0, len(n.holdings))
+	for _, h := range n.holdings {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool { return addr.Compare(out[i].Prefix, out[j].Prefix) < 0 })
+	return out
+}
+
+// RequestSpace starts the claim process for a range of at least `size`
+// addresses. The result arrives asynchronously through OnWon after the
+// waiting period, or the claim silently retries on collision. It reports
+// whether a claim could be selected and sent.
+func (n *Node) RequestSpace(size uint64, lifetime time.Duration) bool {
+	n.mu.Lock()
+	ok := n.claimLocked(size, lifetime, 0)
+	msgs := n.drainOutbox()
+	n.mu.Unlock()
+	n.flush(msgs)
+	return ok
+}
+
+// outbox collects messages to send after the lock is released.
+type outMsg struct {
+	to  wire.DomainID
+	msg wire.Message
+}
+
+// claimLocked selects and announces a claim. Caller holds n.mu.
+func (n *Node) claimLocked(size uint64, lifetime time.Duration, attempts int) bool {
+	if attempts >= n.cfg.MaxAttempts {
+		return false
+	}
+	maskLen := addr.MaskLenFor(size)
+	if maskLen < 0 {
+		return false
+	}
+	p, ok := n.heard.PickClaim(maskLen, n.cfg.Rand)
+	if !ok {
+		return false
+	}
+	if !n.heard.Claim(p) {
+		return false
+	}
+	n.nextClaimID++
+	pc := &pendingClaim{prefix: p, claimID: n.nextClaimID, life: lifetime, size: size, attempts: attempts}
+	n.pending[p] = pc
+	claim := &wire.Claim{
+		Claimer:  n.cfg.Domain,
+		ClaimID:  pc.claimID,
+		Prefix:   p,
+		LifeSecs: uint32(lifetime / time.Second),
+	}
+	for s := range n.siblings {
+		n.outbox = append(n.outbox, outMsg{s, claim})
+	}
+	if n.hasParent {
+		n.outbox = append(n.outbox, outMsg{n.parent, claim})
+	}
+	pc.timer = n.cfg.Clock.AfterFunc(n.cfg.WaitPeriod, func() { n.claimMatured(p) })
+	return true
+}
+
+// claimMatured runs when the waiting period for a claim elapses without a
+// collision: the range is won.
+func (n *Node) claimMatured(p addr.Prefix) {
+	n.mu.Lock()
+	pc, ok := n.pending[p]
+	if !ok || pc.lost {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.pending, p)
+	expires := n.cfg.Clock.Now().Add(pc.life)
+	n.holdings = append(n.holdings, &Holding{Prefix: p, Active: true, Expires: expires})
+	n.scheduleExpiry(p, pc.life)
+	ranges := n.rangesLocked()
+	children := make([]wire.DomainID, 0, len(n.children))
+	for c := range n.children {
+		children = append(children, c)
+	}
+	msgs := n.drainOutbox()
+	n.mu.Unlock()
+	n.flush(msgs)
+	// Advertise the grown space to children.
+	adv := &wire.RangeAdvert{Owner: n.cfg.Domain, Ranges: ranges}
+	for _, c := range children {
+		n.send(c, adv)
+	}
+	if n.cfg.OnWon != nil {
+		n.cfg.OnWon(p, expires)
+	}
+}
+
+// Release gives up a held range before expiry, informing parent, siblings,
+// and children.
+func (n *Node) Release(p addr.Prefix) {
+	n.mu.Lock()
+	found := false
+	for i, h := range n.holdings {
+		if h.Prefix == p {
+			n.holdings = append(n.holdings[:i], n.holdings[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if found {
+		n.heard.Release(p)
+		rel := &wire.Release{Claimer: n.cfg.Domain, Prefix: p}
+		for s := range n.siblings {
+			n.outbox = append(n.outbox, outMsg{s, rel})
+		}
+		if n.hasParent {
+			n.outbox = append(n.outbox, outMsg{n.parent, rel})
+		}
+	}
+	msgs := n.drainOutbox()
+	n.mu.Unlock()
+	n.flush(msgs)
+	if found && n.cfg.OnLost != nil {
+		n.cfg.OnLost(p)
+	}
+}
+
+// HandleMessage processes a MASC message from another domain.
+func (n *Node) HandleMessage(from wire.DomainID, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.RangeAdvert:
+		n.handleRangeAdvert(from, m)
+	case *wire.Claim:
+		n.handleClaim(from, m)
+	case *wire.Collision:
+		n.handleCollision(from, m)
+	case *wire.Release:
+		n.handleRelease(from, m)
+	}
+}
+
+func (n *Node) handleRangeAdvert(from wire.DomainID, m *wire.RangeAdvert) {
+	n.mu.Lock()
+	if !n.cfg.TopLevel && n.hasParent && from == n.parent {
+		spaces := make([]addr.Prefix, 0, len(m.Ranges))
+		for _, rl := range m.Ranges {
+			spaces = append(spaces, rl.Prefix)
+		}
+		n.heard.SetSpaces(spaces)
+	}
+	n.mu.Unlock()
+}
+
+// handleClaim arbitrates a sibling's or child's claim against our state.
+func (n *Node) handleClaim(from wire.DomainID, m *wire.Claim) {
+	n.mu.Lock()
+	fromChild := n.children[from]
+	var collide *wire.Collision
+	switch {
+	case fromChild && n.cfg.MaxClaim > 0 && m.Prefix.Size() > n.cfg.MaxClaim:
+		// §7 disincentive: the parent rejects excessive claims.
+		collide = &wire.Collision{From: n.cfg.Domain, Loser: m.Claimer, Prefix: m.Prefix, Conflict: m.Prefix, Reason: wire.CollideTooLarge}
+	case fromChild && !n.containsLocked(m.Prefix):
+		// Child claimed outside our (current) space (§4.4).
+		collide = &wire.Collision{From: n.cfg.Domain, Loser: m.Claimer, Prefix: m.Prefix, Conflict: m.Prefix, Reason: wire.CollideOutsideParent}
+	case n.overlapsHoldingLocked(m.Prefix):
+		conflict := m.Prefix
+		for _, h := range n.holdings {
+			if h.Prefix.Overlaps(m.Prefix) {
+				conflict = h.Prefix
+				break
+			}
+		}
+		collide = &wire.Collision{From: n.cfg.Domain, Loser: m.Claimer, Prefix: m.Prefix, Conflict: conflict, Reason: wire.CollideInUse}
+	default:
+		if winner := n.pendingConflictLocked(m); winner != nil {
+			collide = winner
+		}
+	}
+	if collide != nil {
+		n.outbox = append(n.outbox, outMsg{m.Claimer, collide})
+	} else if fromChild {
+		n.childClaims.Record(m.Prefix)
+		// Parent relays child claims to its other children (§4.1: "A then
+		// propagates this claim information to its other children").
+		for c := range n.children {
+			if c != from {
+				n.outbox = append(n.outbox, outMsg{c, m})
+			}
+		}
+	} else {
+		// Sibling claim: record it so our future claims avoid it.
+		n.heard.Record(m.Prefix)
+	}
+	msgs := n.drainOutbox()
+	n.mu.Unlock()
+	n.flush(msgs)
+}
+
+// pendingConflictLocked resolves a competing claim against our pending
+// claims: the lower (ClaimID, Domain) pair wins (§4.1 footnote). If we
+// lose, the pending claim is abandoned and retried. If we win, a collision
+// for the competitor is returned.
+func (n *Node) pendingConflictLocked(m *wire.Claim) *wire.Collision {
+	for p, pc := range n.pending {
+		if !p.Overlaps(m.Prefix) {
+			continue
+		}
+		weWin := pc.claimID < m.ClaimID ||
+			(pc.claimID == m.ClaimID && n.cfg.Domain < m.Claimer)
+		if weWin {
+			return &wire.Collision{From: n.cfg.Domain, Loser: m.Claimer, Prefix: m.Prefix, Conflict: p, Reason: wire.CollideInUse}
+		}
+		// We lose: abandon and re-claim elsewhere after a delay.
+		n.abandonLocked(p, pc)
+		n.heard.Record(m.Prefix)
+		n.scheduleRetry(pc)
+		return nil
+	}
+	return nil
+}
+
+func (n *Node) handleCollision(from wire.DomainID, m *wire.Collision) {
+	n.mu.Lock()
+	if m.Loser != n.cfg.Domain {
+		n.mu.Unlock()
+		return
+	}
+	var lostHolding bool
+	if pc, ok := n.pending[m.Prefix]; ok {
+		n.abandonLocked(m.Prefix, pc)
+		if m.Reason == wire.CollideInUse && m.Conflict.Valid() {
+			// Avoid the objector's conflicting range — and only it —
+			// on the retry.
+			n.heard.Record(m.Conflict)
+		}
+		n.scheduleRetry(pc)
+	} else {
+		// A collision can arrive for an already-won range after a
+		// partition heals; the loser must give it up.
+		for i, h := range n.holdings {
+			if h.Prefix == m.Prefix {
+				n.holdings = append(n.holdings[:i], n.holdings[i+1:]...)
+				n.heard.Release(m.Prefix)
+				n.heard.Record(m.Conflict) // still taken — by the winner
+				lostHolding = true
+				break
+			}
+		}
+	}
+	msgs := n.drainOutbox()
+	n.mu.Unlock()
+	n.flush(msgs)
+	if lostHolding && n.cfg.OnLost != nil {
+		n.cfg.OnLost(m.Prefix)
+	}
+}
+
+func (n *Node) handleRelease(from wire.DomainID, m *wire.Release) {
+	n.mu.Lock()
+	n.heard.Release(m.Prefix)
+	n.childClaims.Release(m.Prefix)
+	n.mu.Unlock()
+}
+
+// scheduleRetry re-runs claim selection for a lost claim after RetryDelay,
+// breaking the synchronous collide-reclaim recursion. Caller holds n.mu.
+func (n *Node) scheduleRetry(pc *pendingClaim) {
+	if pc.attempts+1 >= n.cfg.MaxAttempts {
+		return
+	}
+	size, life, attempts := pc.size, pc.life, pc.attempts+1
+	n.cfg.Clock.AfterFunc(n.cfg.RetryDelay, func() {
+		n.mu.Lock()
+		n.claimLocked(size, life, attempts)
+		msgs := n.drainOutbox()
+		n.mu.Unlock()
+		n.flush(msgs)
+	})
+}
+
+func (n *Node) abandonLocked(p addr.Prefix, pc *pendingClaim) {
+	pc.lost = true
+	if pc.timer != nil {
+		pc.timer.Stop()
+	}
+	delete(n.pending, p)
+	n.heard.Release(p)
+}
+
+func (n *Node) containsLocked(p addr.Prefix) bool {
+	for _, h := range n.holdings {
+		if h.Prefix.ContainsPrefix(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) overlapsHoldingLocked(p addr.Prefix) bool {
+	for _, h := range n.holdings {
+		if h.Prefix.Overlaps(p) && !h.Prefix.ContainsPrefix(p) {
+			return true
+		}
+		if h.Prefix == p || p.ContainsPrefix(h.Prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) rangesLocked() []wire.RangeLife {
+	now := n.cfg.Clock.Now()
+	out := make([]wire.RangeLife, 0, len(n.holdings))
+	for _, h := range n.holdings {
+		life := h.Expires.Sub(now)
+		if life < 0 {
+			continue
+		}
+		out = append(out, wire.RangeLife{Prefix: h.Prefix, LifeSecs: uint32(life / time.Second)})
+	}
+	return out
+}
+
+// drainOutbox empties the under-lock message queue for post-unlock delivery.
+// scheduleExpiry arms the lifetime timer for a holding: renewal (when
+// AutoRenew) or expiry-release. Caller holds n.mu.
+func (n *Node) scheduleExpiry(p addr.Prefix, life time.Duration) {
+	n.cfg.Clock.AfterFunc(life, func() { n.lifetimeDue(p, life) })
+}
+
+// lifetimeDue runs when a holding's lifetime elapses.
+func (n *Node) lifetimeDue(p addr.Prefix, life time.Duration) {
+	n.mu.Lock()
+	var h *Holding
+	for _, x := range n.holdings {
+		if x.Prefix == p {
+			h = x
+			break
+		}
+	}
+	if h == nil || h.Expires.After(n.cfg.Clock.Now()) {
+		// Released meanwhile, or already renewed by a longer lease.
+		n.mu.Unlock()
+		return
+	}
+	if n.cfg.AutoRenew && h.Active {
+		h.Expires = n.cfg.Clock.Now().Add(life)
+		expires := h.Expires
+		ranges := n.rangesLocked()
+		children := make([]wire.DomainID, 0, len(n.children))
+		for c := range n.children {
+			children = append(children, c)
+		}
+		n.scheduleExpiry(p, life)
+		n.mu.Unlock()
+		adv := &wire.RangeAdvert{Owner: n.cfg.Domain, Ranges: ranges}
+		for _, c := range children {
+			n.send(c, adv)
+		}
+		if n.cfg.OnRenewed != nil {
+			n.cfg.OnRenewed(p, expires)
+		}
+		return
+	}
+	// Expiry: the range is given up; siblings and parent treat it as
+	// unallocated once their own view of the lifetime lapses.
+	for i, x := range n.holdings {
+		if x == h {
+			n.holdings = append(n.holdings[:i], n.holdings[i+1:]...)
+			break
+		}
+	}
+	n.heard.Release(p)
+	rel := &wire.Release{Claimer: n.cfg.Domain, Prefix: p}
+	for s := range n.siblings {
+		n.outbox = append(n.outbox, outMsg{s, rel})
+	}
+	if n.hasParent {
+		n.outbox = append(n.outbox, outMsg{n.parent, rel})
+	}
+	msgs := n.drainOutbox()
+	n.mu.Unlock()
+	n.flush(msgs)
+	if n.cfg.OnLost != nil {
+		n.cfg.OnLost(p)
+	}
+}
+
+func (n *Node) drainOutbox() []outMsg {
+	msgs := n.outbox
+	n.outbox = nil
+	return msgs
+}
+
+func (n *Node) flush(msgs []outMsg) {
+	for _, m := range msgs {
+		n.send(m.to, m.msg)
+	}
+}
+
+func (n *Node) send(to wire.DomainID, msg wire.Message) {
+	if n.cfg.Send != nil {
+		n.cfg.Send(to, msg)
+	}
+}

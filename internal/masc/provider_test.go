@@ -1,0 +1,199 @@
+package masc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mascbgmp/internal/addr"
+)
+
+func newTestProvider() (*SpaceProvider, *Ledger) {
+	up := NewLedger(addr.MulticastSpace)
+	sp := NewSpaceProvider(DefaultStrategy(), up, rand.New(rand.NewSource(4)))
+	return sp, up
+}
+
+func TestProviderStartsEmpty(t *testing.T) {
+	sp, _ := newTestProvider()
+	if sp.Capacity() != 0 || sp.ChildDemand() != 0 || sp.Utilization() != 0 {
+		t.Fatal("fresh provider should be empty")
+	}
+	if len(sp.ChildLedger().Spaces()) != 0 {
+		t.Fatal("child ledger should have no spaces yet")
+	}
+}
+
+func TestEnsureRoomClaimsInitialSpace(t *testing.T) {
+	sp, up := newTestProvider()
+	if !sp.EnsureRoom(256, allocT0) {
+		t.Fatal("EnsureRoom should claim initial space")
+	}
+	if sp.Capacity() == 0 {
+		t.Fatal("provider should now hold space")
+	}
+	// Initial claim is sized with headroom: ≥ need/target.
+	if sp.Capacity() < 342 {
+		t.Fatalf("capacity = %d, want >= need/0.75", sp.Capacity())
+	}
+	if len(up.Claims()) == 0 {
+		t.Fatal("claim must be recorded upstream")
+	}
+	// A child can now claim from the provider's space.
+	child := sp.ChildLedger()
+	p, ok := child.PickClaim(24, rand.New(rand.NewSource(1)))
+	if !ok || !child.Claim(p) {
+		t.Fatal("child claim should fit")
+	}
+}
+
+func TestProviderGrowsByDoubling(t *testing.T) {
+	sp, _ := newTestProvider()
+	child := sp.ChildLedger()
+	rng := rand.New(rand.NewSource(2))
+	claims := 0
+	for i := 0; i < 40; i++ {
+		if !sp.EnsureRoom(256, allocT0) {
+			t.Fatalf("EnsureRoom failed at child claim %d", i)
+		}
+		p, ok := child.PickClaim(24, rng)
+		if !ok || !child.Claim(p) {
+			t.Fatalf("child claim %d failed", i)
+		}
+		claims++
+	}
+	if sp.Stats.Doublings == 0 {
+		t.Fatal("provider growth should use doubling")
+	}
+	// Provider's advertised prefixes stay few thanks to doubling +
+	// aggregation.
+	if adv := sp.AdvertisedPrefixes(); len(adv) > 3 {
+		t.Fatalf("advertised prefixes = %v, aggregation failed", adv)
+	}
+	if sp.Utilization() > sp.strat.TargetOccupancy+0.01 {
+		t.Fatalf("utilization %.2f exceeds target after EnsureRoom", sp.Utilization())
+	}
+}
+
+func TestProviderDoublingBlockedFallsBackToExtraClaim(t *testing.T) {
+	sp, up := newTestProvider()
+	if !sp.EnsureRoom(4096, allocT0) {
+		t.Fatal("initial claim failed")
+	}
+	// Occupy the sibling of every provider holding upstream to block
+	// doubling.
+	for _, h := range sp.Holdings() {
+		sib := h.Prefix.Sibling()
+		if up.CanClaim(sib) {
+			up.Claim(sib)
+		}
+	}
+	// Fill the current space with child claims until EnsureRoom must
+	// expand again.
+	child := sp.ChildLedger()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 64; i++ {
+		if !sp.EnsureRoom(1024, allocT0) {
+			t.Fatalf("EnsureRoom failed at %d", i)
+		}
+		p, ok := child.PickClaim(22, rng)
+		if !ok || !child.Claim(p) {
+			t.Fatalf("child claim %d failed", i)
+		}
+	}
+	if sp.Stats.ExtraClaims < 2 {
+		t.Fatalf("expected extra claims when doubling is blocked, got stats %+v", sp.Stats)
+	}
+}
+
+func TestProviderTickReleasesEmptyExpiredHoldings(t *testing.T) {
+	sp, up := newTestProvider()
+	sp.EnsureRoom(256, allocT0)
+	before := len(up.Claims())
+	if before == 0 {
+		t.Fatal("setup: provider should hold a claim")
+	}
+	sp.Tick(allocT0.Add(31 * 24 * time.Hour))
+	if len(up.Claims()) != before-1 && len(up.Claims()) != 0 {
+		t.Fatalf("expired empty holding not released: %v", up.Claims())
+	}
+	if len(sp.Holdings()) != 0 {
+		t.Fatal("holdings should be gone")
+	}
+	if len(sp.ChildLedger().Spaces()) != 0 {
+		t.Fatal("child spaces must shrink with the holdings")
+	}
+}
+
+func TestProviderTickRenewsOccupiedHoldings(t *testing.T) {
+	sp, _ := newTestProvider()
+	sp.EnsureRoom(256, allocT0)
+	child := sp.ChildLedger()
+	p, _ := child.PickClaim(24, rand.New(rand.NewSource(1)))
+	child.Claim(p)
+	sp.Tick(allocT0.Add(31 * 24 * time.Hour))
+	if len(sp.Holdings()) == 0 {
+		t.Fatal("occupied holding must be renewed")
+	}
+	if !sp.Holdings()[0].Expires.After(allocT0.Add(31 * 24 * time.Hour)) {
+		t.Fatal("renewal should extend expiry")
+	}
+}
+
+func TestShedIdle(t *testing.T) {
+	sp, _ := newTestProvider()
+	// Give the provider three active holdings by repeated blocked growth.
+	sp.holdings = append(sp.holdings,
+		&Holding{Prefix: addr.MustParsePrefix("225.0.0.0/24"), Active: true, Expires: allocT0.Add(time.Hour)},
+		&Holding{Prefix: addr.MustParsePrefix("226.0.0.0/24"), Active: true, Expires: allocT0.Add(time.Hour)},
+		&Holding{Prefix: addr.MustParsePrefix("227.0.0.0/24"), Active: true, Expires: allocT0.Add(time.Hour)},
+	)
+	sp.syncSpaces()
+	// One holding has a child claim; the others are idle.
+	sp.ChildLedger().Claim(addr.MustParsePrefix("225.0.0.0/26"))
+	sp.ShedIdle()
+	active := 0
+	occupiedStillActive := false
+	for _, h := range sp.Holdings() {
+		if h.Active {
+			active++
+			if h.Prefix.String() == "225.0.0.0/24" {
+				occupiedStillActive = true
+			}
+		}
+	}
+	if active != sp.strat.MaxActivePrefixes {
+		t.Fatalf("active after shed = %d, want %d", active, sp.strat.MaxActivePrefixes)
+	}
+	if !occupiedStillActive {
+		t.Fatal("the occupied holding must stay active")
+	}
+}
+
+func TestTwoProvidersShareGlobalSpaceDisjointly(t *testing.T) {
+	up := NewLedger(addr.MulticastSpace)
+	a := NewSpaceProvider(DefaultStrategy(), up, rand.New(rand.NewSource(1)))
+	b := NewSpaceProvider(DefaultStrategy(), up, rand.New(rand.NewSource(2)))
+	for i := 0; i < 10; i++ {
+		if !a.EnsureRoom(4096, allocT0) || !b.EnsureRoom(4096, allocT0) {
+			t.Fatal("EnsureRoom failed")
+		}
+		a.ChildLedger().Claim(mustPick(a.ChildLedger(), 20))
+		b.ChildLedger().Claim(mustPick(b.ChildLedger(), 20))
+	}
+	for _, ha := range a.Holdings() {
+		for _, hb := range b.Holdings() {
+			if ha.Prefix.Overlaps(hb.Prefix) {
+				t.Fatalf("providers overlap: %v vs %v", ha.Prefix, hb.Prefix)
+			}
+		}
+	}
+}
+
+func mustPick(l *Ledger, maskLen int) addr.Prefix {
+	p, ok := l.PickClaim(maskLen, rand.New(rand.NewSource(9)))
+	if !ok {
+		panic("pick failed")
+	}
+	return p
+}

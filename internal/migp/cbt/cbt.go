@@ -1,0 +1,78 @@
+// Package cbt implements the Core Based Trees delivery model (RFC 2189) as
+// a MIGP for the MASC/BGMP architecture.
+//
+// CBT builds one bidirectional shared tree per group, rooted at a core
+// router chosen by hashing the group over the candidate routers. Data
+// flows in both directions along tree branches — the design BGMP adopts at
+// the inter-domain level (§5.2) — so packets need not detour through the
+// core when sender and receiver share a branch, and any entry border is
+// acceptable (no strict RPF).
+package cbt
+
+import (
+	"sync"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/migp"
+	"mascbgmp/internal/topology"
+)
+
+// Protocol is a CBT instance for one domain. Safe for concurrent use.
+type Protocol struct {
+	mu sync.Mutex
+	// trees caches the BFS tree rooted at each group's core.
+	trees map[addr.Addr]*coreTree
+}
+
+type coreTree struct {
+	core   migp.Node
+	dist   []int
+	parent []migp.Node
+}
+
+// New returns a CBT instance.
+func New() *Protocol {
+	return &Protocol{trees: map[addr.Addr]*coreTree{}}
+}
+
+// Name implements migp.Protocol.
+func (*Protocol) Name() string { return "CBT" }
+
+// StrictRPF implements migp.Protocol: the bidirectional tree accepts data
+// from any direction.
+func (*Protocol) StrictRPF() bool { return false }
+
+// Core returns the core router for a group.
+func (p *Protocol) Core(g *topology.Graph, group addr.Addr) migp.Node {
+	return migp.HashGroup(group, g.NumDomains())
+}
+
+// Deliver implements migp.Protocol: hops are counted along the
+// bidirectional tree path between entry and member — through their lowest
+// common ancestor on the core-rooted tree, not necessarily through the
+// core itself.
+func (p *Protocol) Deliver(g *topology.Graph, entry migp.Node, source, group addr.Addr, members []migp.Node) map[migp.Node]int {
+	t := p.tree(g, group)
+	out := make(map[migp.Node]int, len(members))
+	for _, m := range members {
+		if h := migp.TreePath(t.dist, t.parent, entry, m); h >= 0 {
+			out[m] = h
+		}
+	}
+	return out
+}
+
+func (p *Protocol) tree(g *topology.Graph, group addr.Addr) *coreTree {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t, ok := p.trees[group]; ok {
+		return t
+	}
+	core := migp.HashGroup(group, g.NumDomains())
+	dist, parent := g.BFS(core)
+	t := &coreTree{core: core, dist: dist, parent: parent}
+	p.trees[group] = t
+	return t
+}
+
+var _ migp.Protocol = (*Protocol)(nil)

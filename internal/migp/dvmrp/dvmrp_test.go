@@ -1,0 +1,83 @@
+package dvmrp
+
+import (
+	"testing"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/migp"
+	"mascbgmp/internal/topology"
+)
+
+var (
+	grp = addr.MakeAddr(224, 1, 1, 1)
+	src = addr.MakeAddr(10, 0, 0, 1)
+)
+
+func line(n int) *topology.Graph {
+	g := topology.New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddLink(topology.DomainID(i), topology.DomainID(i+1))
+	}
+	return g
+}
+
+func TestReverseShortestPathDelivery(t *testing.T) {
+	g := line(6)
+	p := New()
+	got := p.Deliver(g, 0, src, grp, []migp.Node{1, 3, 5})
+	want := map[migp.Node]int{1: 1, 3: 3, 5: 5}
+	for m, h := range want {
+		if got[m] != h {
+			t.Errorf("hops[%v] = %d, want %d", m, got[m], h)
+		}
+	}
+}
+
+func TestUnreachableMemberOmitted(t *testing.T) {
+	g := topology.New(3)
+	g.AddLink(0, 1) // node 2 isolated
+	p := New()
+	got := p.Deliver(g, 0, src, grp, []migp.Node{1, 2})
+	if _, ok := got[2]; ok {
+		t.Fatal("unreachable member delivered")
+	}
+	if got[1] != 1 {
+		t.Fatal("reachable member missed")
+	}
+}
+
+func TestFloodAccountingPerSourceGroup(t *testing.T) {
+	g := line(4)
+	p := New()
+	p.Deliver(g, 0, src, grp, nil)
+	p.Deliver(g, 0, src, grp, nil)
+	other := addr.MakeAddr(224, 2, 2, 2)
+	p.Deliver(g, 0, src, other, nil)
+	if p.Floods() != 2 {
+		t.Fatalf("floods = %d, want 2 (one per (S,G))", p.Floods())
+	}
+}
+
+func TestGraftUnknownPairHarmless(t *testing.T) {
+	p := New()
+	p.Graft(src, grp) // nothing flooded yet: no-op
+	if p.Floods() != 0 {
+		t.Fatal("graft must not count as a flood")
+	}
+}
+
+func TestStrictRPFContract(t *testing.T) {
+	if !New().StrictRPF() {
+		t.Fatal("DVMRP must be strict-RPF — BGMP's encapsulation depends on it")
+	}
+}
+
+func BenchmarkDeliver(b *testing.B) {
+	g := topology.ASGraph(100, 20, 1)
+	p := New()
+	members := []migp.Node{3, 17, 42, 77, 99}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Deliver(g, 0, src, grp, members)
+	}
+}

@@ -1,0 +1,285 @@
+package migp
+
+import (
+	"sync"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/bgmp"
+	"mascbgmp/internal/topology"
+	"mascbgmp/internal/wire"
+)
+
+// DeliveryStats aggregates data-plane activity inside one domain.
+type DeliveryStats struct {
+	// Injected counts packets accepted into the interior.
+	Injected int
+	// RPFDrops counts packets rejected at injection because they entered
+	// at the wrong border for their source.
+	RPFDrops int
+	// HostDeliveries counts (packet, member-node) deliveries.
+	HostDeliveries int
+	// InteriorHops sums interior hop counts over all deliveries.
+	InteriorHops int
+}
+
+// FabricConfig configures a domain fabric.
+type FabricConfig struct {
+	Domain wire.DomainID
+	// Graph is the interior router topology.
+	Graph *topology.Graph
+	// Protocol supplies the interior delivery mechanics.
+	Protocol Protocol
+	// BestExit returns the domain's best exit border router for an
+	// address (a G-RIB lookup for groups, M-RIB/unicast for sources);
+	// zero when unknown. Interior joins are reported to the group's best
+	// exit router — the Domain Wide Report role in DVMRP (§5).
+	BestExit func(a addr.Addr) wire.RouterID
+	// OnHostDeliver, if set, observes every member delivery (for tests
+	// and example programs).
+	OnHostDeliver func(member Node, d *wire.Data)
+}
+
+// Fabric is one domain's interior: the glue between its border routers'
+// BGMP components and the interior protocol. Safe for concurrent use.
+type Fabric struct {
+	cfg FabricConfig
+
+	mu sync.Mutex
+	// borders maps border router IDs to their interior attachment node.
+	borders map[wire.RouterID]Node
+	// comps holds the BGMP component of each border router.
+	comps map[wire.RouterID]*bgmp.Component
+	// members tracks interior host membership per group, by node.
+	members map[addr.Addr]map[Node]int
+	// borderJoined tracks which border routers joined a group via BGMP.
+	borderJoined map[addr.Addr]map[wire.RouterID]bool
+
+	// Stats accumulates data-plane counters.
+	Stats DeliveryStats
+}
+
+// NewFabric returns an empty fabric; attach border routers with
+// AttachBorder.
+func NewFabric(cfg FabricConfig) *Fabric {
+	return &Fabric{
+		cfg:          cfg,
+		borders:      map[wire.RouterID]Node{},
+		comps:        map[wire.RouterID]*bgmp.Component{},
+		members:      map[addr.Addr]map[Node]int{},
+		borderJoined: map[addr.Addr]map[wire.RouterID]bool{},
+	}
+}
+
+// AttachBorder registers a border router at an interior node and returns
+// the bgmp.MIGP adapter to hand to its BGMP component. Call SetComponent
+// once the component exists.
+func (f *Fabric) AttachBorder(r wire.RouterID, at Node) bgmp.MIGP {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.borders[r] = at
+	return &borderAdapter{fabric: f, router: r}
+}
+
+// SetComponent binds the BGMP component of a previously attached border.
+func (f *Fabric) SetComponent(r wire.RouterID, c *bgmp.Component) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.comps[r] = c
+}
+
+// HostJoin registers an interior host (attached at node) joining group g.
+// The first member notifies the group's best exit border router, as a
+// DVMRP Domain Wide Report / PIM join toward the exit would (§5).
+func (f *Fabric) HostJoin(g addr.Addr, at Node) {
+	f.mu.Lock()
+	m := f.members[g]
+	if m == nil {
+		m = map[Node]int{}
+		f.members[g] = m
+	}
+	m[at]++
+	first := len(m) == 1 && m[at] == 1
+	var exit *bgmp.Component
+	if first && f.cfg.BestExit != nil {
+		if r := f.cfg.BestExit(g); r != 0 {
+			exit = f.comps[r]
+		}
+	}
+	f.mu.Unlock()
+	if exit != nil {
+		exit.LocalJoin(g)
+	}
+}
+
+// HostLeave removes an interior member; the last member triggers a
+// LocalLeave at the best exit router.
+func (f *Fabric) HostLeave(g addr.Addr, at Node) {
+	f.mu.Lock()
+	m := f.members[g]
+	if m == nil {
+		f.mu.Unlock()
+		return
+	}
+	m[at]--
+	if m[at] <= 0 {
+		delete(m, at)
+	}
+	empty := len(m) == 0
+	if empty {
+		delete(f.members, g)
+	}
+	var exit *bgmp.Component
+	if empty && f.cfg.BestExit != nil {
+		if r := f.cfg.BestExit(g); r != 0 {
+			exit = f.comps[r]
+		}
+	}
+	f.mu.Unlock()
+	if exit != nil {
+		exit.LocalLeave(g)
+	}
+}
+
+// SendFromHost originates a packet from an interior host attached at node:
+// it is delivered to interior members and reaches the border routers per
+// the interior protocol (the best exit forwards it toward the root domain;
+// on-tree borders forward it along the shared tree). In IP multicast the
+// sender need not be a member (§3).
+func (f *Fabric) SendFromHost(at Node, d *wire.Data) {
+	f.deliver(at, 0, d)
+}
+
+// MemberNodes returns the interior nodes with members of g.
+func (f *Fabric) MemberNodes(g addr.Addr) []Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []Node
+	for n := range f.members[g] {
+		out = append(out, n)
+	}
+	return out
+}
+
+// deliver distributes a packet within the domain from an entry node.
+// fromBorder is nonzero when the packet entered through that border router.
+func (f *Fabric) deliver(entry Node, fromBorder wire.RouterID, d *wire.Data) {
+	f.mu.Lock()
+	var memberNodes []Node
+	for n := range f.members[d.Group] {
+		memberNodes = append(memberNodes, n)
+	}
+	hops := f.cfg.Protocol.Deliver(f.cfg.Graph, entry, d.Source, d.Group, memberNodes)
+	f.Stats.Injected++
+	for _, h := range hops {
+		f.Stats.HostDeliveries++
+		f.Stats.InteriorHops += h
+	}
+	// Border routers that joined the group (or that must see interior-
+	// origin traffic to forward it off-domain) receive the packet too.
+	type handoff struct {
+		comp *bgmp.Component
+	}
+	var handoffs []handoff
+	for r, comp := range f.comps {
+		if r == fromBorder || comp == nil {
+			continue
+		}
+		// Interior-origin packets (fromBorder == 0) reach every border —
+		// DVMRP floods them; stateless borders drop or forward toward
+		// the root per BGMP's rules. Border-entered packets reach the
+		// borders with interest: explicit joins or (*,G)/shared-tree
+		// state ("Since the border routers A2, A3, and A4 are on the
+		// shared tree for the group, they each forward the data packets
+		// they receive", §5.2) — the others are pruned.
+		joined := f.borderJoined[d.Group][r] || comp.HasForwardingState(d.Group)
+		if joined || fromBorder == 0 {
+			handoffs = append(handoffs, handoff{comp})
+		}
+	}
+	onDeliver := f.cfg.OnHostDeliver
+	f.mu.Unlock()
+
+	if onDeliver != nil {
+		for n := range hops {
+			onDeliver(n, d)
+		}
+	}
+	for _, h := range handoffs {
+		h.comp.HandleDataFromMIGP(d)
+	}
+}
+
+// borderAdapter implements bgmp.MIGP for one border router.
+type borderAdapter struct {
+	fabric *Fabric
+	router wire.RouterID
+}
+
+// JoinGroup implements bgmp.MIGP.
+func (b *borderAdapter) JoinGroup(g addr.Addr) {
+	f := b.fabric
+	f.mu.Lock()
+	m := f.borderJoined[g]
+	if m == nil {
+		m = map[wire.RouterID]bool{}
+		f.borderJoined[g] = m
+	}
+	m[b.router] = true
+	f.mu.Unlock()
+}
+
+// LeaveGroup implements bgmp.MIGP.
+func (b *borderAdapter) LeaveGroup(g addr.Addr) {
+	f := b.fabric
+	f.mu.Lock()
+	delete(f.borderJoined[g], b.router)
+	if len(f.borderJoined[g]) == 0 {
+		delete(f.borderJoined, g)
+	}
+	f.mu.Unlock()
+}
+
+// RelayToBorder implements bgmp.MIGP: control messages and encapsulated
+// data cross the domain as unicast between border routers.
+func (b *borderAdapter) RelayToBorder(to wire.RouterID, msg wire.Message) {
+	f := b.fabric
+	f.mu.Lock()
+	comp := f.comps[to]
+	f.mu.Unlock()
+	if comp != nil {
+		comp.HandleFromBorder(b.router, msg)
+	}
+}
+
+// Inject implements bgmp.MIGP: deliver a packet entering at this border,
+// enforcing the protocol's RPF discipline.
+func (b *borderAdapter) Inject(d *wire.Data) bool {
+	f := b.fabric
+	f.mu.Lock()
+	entry, ok := f.borders[b.router]
+	strict := f.cfg.Protocol.StrictRPF()
+	f.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if strict {
+		if exp := b.ExpectedEntry(d.Source); exp != 0 && exp != b.router {
+			f.mu.Lock()
+			f.Stats.RPFDrops++
+			f.mu.Unlock()
+			return false
+		}
+	}
+	f.deliver(entry, b.router, d)
+	return true
+}
+
+// ExpectedEntry implements bgmp.MIGP.
+func (b *borderAdapter) ExpectedEntry(src addr.Addr) wire.RouterID {
+	if b.fabric.cfg.BestExit == nil {
+		return 0
+	}
+	return b.fabric.cfg.BestExit(src)
+}
+
+var _ bgmp.MIGP = (*borderAdapter)(nil)

@@ -1,0 +1,83 @@
+// Package migp models the Multicast Interior Gateway Protocols that run
+// inside each domain (paper §5: DVMRP, PIM-SM, PIM-DM, CBT, MOSPF) and the
+// fabric that connects them to the BGMP components of the domain's border
+// routers.
+//
+// The MASC/BGMP architecture is explicitly MIGP-independent: BGMP only
+// needs the interior protocol to (1) notify the group's best exit border
+// router of interior joins, (2) carry joins/prunes/data between border
+// routers across the domain, and (3) deliver injected packets to interior
+// members, enforcing whatever RPF discipline the protocol has. Fabric
+// implements that contract over an interior router graph, delegating the
+// protocol-specific delivery mechanics to a Protocol implementation.
+package migp
+
+import (
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/topology"
+)
+
+// Node is an interior router in a domain's topology.
+type Node = topology.DomainID
+
+// Protocol captures the per-protocol delivery mechanics inside one domain.
+// Implementations are stateless with respect to the fabric (prune and tree
+// state lives inside the implementation).
+type Protocol interface {
+	// Name returns the protocol's name ("DVMRP", "PIM-SM", ...).
+	Name() string
+	// StrictRPF reports whether a packet that enters the domain at a
+	// border router other than the reverse-path one toward its source is
+	// dropped by interior routers — the property that forces BGMP's
+	// encapsulation and source-specific branches (§5.3).
+	StrictRPF() bool
+	// Deliver computes the interior hop count from the entry node to
+	// each member node for one packet, updating any protocol state
+	// (prunes, tree joins). Members unreachable in the interior graph
+	// are omitted.
+	Deliver(g *topology.Graph, entry Node, source addr.Addr, group addr.Addr, members []Node) map[Node]int
+}
+
+// HashGroup maps a group to an interior node, the standard "hash the group
+// address over the set of routers" used to pick PIM-SM RPs and CBT cores
+// (§5.1).
+func HashGroup(g addr.Addr, n int) Node {
+	if n <= 0 {
+		return 0
+	}
+	x := uint32(g)
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	return Node(int(x) & 0x7fffffff % n)
+}
+
+// TreePath returns the hop count between two nodes along the tree defined
+// by BFS parent pointers rooted at root, or -1 when either node is outside
+// the tree. It walks both nodes' root paths and meets at the lowest common
+// ancestor.
+func TreePath(dist []int, parent []Node, a, b Node) int {
+	if dist[a] < 0 || dist[b] < 0 {
+		return -1
+	}
+	// Walk the deeper node up until both are at equal depth, then walk
+	// both up until they meet.
+	da, db := dist[a], dist[b]
+	hops := 0
+	for da > db {
+		a = parent[a]
+		da--
+		hops++
+	}
+	for db > da {
+		b = parent[b]
+		db--
+		hops++
+	}
+	for a != b {
+		a = parent[a]
+		b = parent[b]
+		hops += 2
+	}
+	return hops
+}

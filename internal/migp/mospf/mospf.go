@@ -1,0 +1,77 @@
+// Package mospf implements the Multicast OSPF delivery model (RFC 1584) as
+// a MIGP for the MASC/BGMP architecture.
+//
+// MOSPF floods group-membership information to every router via link-state
+// advertisements, so each router can compute the source-rooted
+// shortest-path tree for any (source, group) on demand: data follows exact
+// shortest paths with no data-driven flooding, but every topology or
+// membership change costs a domain-wide LSA flood.
+package mospf
+
+import (
+	"sort"
+	"sync"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/migp"
+	"mascbgmp/internal/topology"
+)
+
+// Protocol is an MOSPF instance for one domain. Safe for concurrent use.
+type Protocol struct {
+	mu sync.Mutex
+	// memberLSAs counts membership-change floods: one per distinct
+	// member set observed per group.
+	memberLSAs int
+	lastSet    map[addr.Addr]string
+}
+
+// New returns an MOSPF instance.
+func New() *Protocol {
+	return &Protocol{lastSet: map[addr.Addr]string{}}
+}
+
+// Name implements migp.Protocol.
+func (*Protocol) Name() string { return "MOSPF" }
+
+// StrictRPF implements migp.Protocol: forwarding follows the computed
+// source-rooted tree, so entry at the wrong border fails the computation.
+func (*Protocol) StrictRPF() bool { return true }
+
+// Deliver implements migp.Protocol: exact shortest paths from the entry.
+func (p *Protocol) Deliver(g *topology.Graph, entry migp.Node, source, group addr.Addr, members []migp.Node) map[migp.Node]int {
+	p.noteMembership(group, members)
+	dist, _ := g.BFS(entry)
+	out := make(map[migp.Node]int, len(members))
+	for _, m := range members {
+		if dist[m] >= 0 {
+			out[m] = dist[m]
+		}
+	}
+	return out
+}
+
+// MembershipFloods returns how many domain-wide membership LSA floods have
+// happened — the scaling cost the paper cites against MOSPF (§1).
+func (p *Protocol) MembershipFloods() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.memberLSAs
+}
+
+func (p *Protocol) noteMembership(group addr.Addr, members []migp.Node) {
+	sorted := append([]migp.Node(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sig := make([]byte, 0, len(sorted)*4)
+	for _, n := range sorted {
+		sig = append(sig, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lastSet[group] != string(sig) {
+		p.lastSet[group] = string(sig)
+		p.memberLSAs++
+	}
+}
+
+var _ migp.Protocol = (*Protocol)(nil)

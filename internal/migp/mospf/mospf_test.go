@@ -1,0 +1,66 @@
+package mospf
+
+import (
+	"testing"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/migp"
+	"mascbgmp/internal/topology"
+)
+
+var (
+	grp = addr.MakeAddr(224, 1, 1, 1)
+	src = addr.MakeAddr(10, 0, 0, 1)
+)
+
+func line(n int) *topology.Graph {
+	g := topology.New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddLink(topology.DomainID(i), topology.DomainID(i+1))
+	}
+	return g
+}
+
+func TestExactShortestPaths(t *testing.T) {
+	g := line(6)
+	p := New()
+	got := p.Deliver(g, 2, src, grp, []migp.Node{0, 5})
+	if got[0] != 2 || got[5] != 3 {
+		t.Fatalf("hops = %v", got)
+	}
+}
+
+func TestMembershipLSAPerChange(t *testing.T) {
+	g := line(6)
+	p := New()
+	p.Deliver(g, 0, src, grp, []migp.Node{5})
+	p.Deliver(g, 0, src, grp, []migp.Node{5})
+	if p.MembershipFloods() != 1 {
+		t.Fatalf("LSAs = %d, want 1", p.MembershipFloods())
+	}
+	p.Deliver(g, 0, src, grp, []migp.Node{5, 3})
+	p.Deliver(g, 0, src, grp, []migp.Node{3, 5}) // same set, reordered
+	if p.MembershipFloods() != 2 {
+		t.Fatalf("LSAs = %d, want 2", p.MembershipFloods())
+	}
+	p.Deliver(g, 0, src, grp, []migp.Node{3})
+	if p.MembershipFloods() != 3 {
+		t.Fatalf("LSAs = %d, want 3 (shrink is a change)", p.MembershipFloods())
+	}
+}
+
+func TestPerGroupLSATracking(t *testing.T) {
+	g := line(6)
+	p := New()
+	p.Deliver(g, 0, src, grp, []migp.Node{5})
+	p.Deliver(g, 0, src, addr.MakeAddr(224, 2, 2, 2), []migp.Node{5})
+	if p.MembershipFloods() != 2 {
+		t.Fatalf("LSAs = %d, want one per group", p.MembershipFloods())
+	}
+}
+
+func TestStrictRPFContract(t *testing.T) {
+	if !New().StrictRPF() {
+		t.Fatal("MOSPF computes source-rooted trees: strict RPF")
+	}
+}

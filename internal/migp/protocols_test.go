@@ -1,0 +1,248 @@
+package migp_test
+
+import (
+	"testing"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/migp"
+	"mascbgmp/internal/migp/cbt"
+	"mascbgmp/internal/migp/dvmrp"
+	"mascbgmp/internal/migp/mospf"
+	"mascbgmp/internal/migp/pimdm"
+	"mascbgmp/internal/migp/pimsm"
+	"mascbgmp/internal/topology"
+)
+
+var (
+	grp = addr.MakeAddr(224, 1, 2, 3)
+	src = addr.MakeAddr(10, 0, 0, 1)
+)
+
+// line5 returns the path graph 0-1-2-3-4.
+func line5() *topology.Graph {
+	g := topology.New(5)
+	for i := 0; i < 4; i++ {
+		g.AddLink(topology.DomainID(i), topology.DomainID(i+1))
+	}
+	return g
+}
+
+func allProtocols() map[string]migp.Protocol {
+	return map[string]migp.Protocol{
+		"dvmrp": dvmrp.New(),
+		"pimsm": pimsm.New(0),
+		"pimdm": pimdm.New(0),
+		"cbt":   cbt.New(),
+		"mospf": mospf.New(),
+	}
+}
+
+func TestAllProtocolsDeliverToAllMembers(t *testing.T) {
+	g := line5()
+	members := []migp.Node{0, 2, 4}
+	for name, p := range allProtocols() {
+		got := p.Deliver(g, 1, src, grp, members)
+		if len(got) != len(members) {
+			t.Errorf("%s: delivered to %v, want all of %v", name, got, members)
+		}
+		for m, h := range got {
+			if h < 0 {
+				t.Errorf("%s: negative hops to %v", name, m)
+			}
+		}
+	}
+}
+
+func TestShortestPathProtocolsUseExactDistances(t *testing.T) {
+	g := line5()
+	for _, name := range []string{"dvmrp", "pimdm", "mospf"} {
+		p := allProtocols()[name]
+		got := p.Deliver(g, 0, src, grp, []migp.Node{4, 1})
+		if got[4] != 4 || got[1] != 1 {
+			t.Errorf("%s: hops = %v, want map[1:1 4:4]", name, got)
+		}
+	}
+}
+
+func TestStrictRPFFlags(t *testing.T) {
+	want := map[string]bool{"dvmrp": true, "pimdm": true, "mospf": true, "pimsm": false, "cbt": false}
+	for name, p := range allProtocols() {
+		if p.StrictRPF() != want[name] {
+			t.Errorf("%s: StrictRPF = %v, want %v", name, p.StrictRPF(), want[name])
+		}
+	}
+}
+
+func TestProtocolNames(t *testing.T) {
+	want := map[string]string{"dvmrp": "DVMRP", "pimsm": "PIM-SM", "pimdm": "PIM-DM", "cbt": "CBT", "mospf": "MOSPF"}
+	for key, p := range allProtocols() {
+		if p.Name() != want[key] {
+			t.Errorf("%s: Name = %q", key, p.Name())
+		}
+	}
+}
+
+func TestDVMRPFloodsOncePerSourceGroup(t *testing.T) {
+	g := line5()
+	p := dvmrp.New()
+	p.Deliver(g, 0, src, grp, []migp.Node{4})
+	p.Deliver(g, 0, src, grp, []migp.Node{4})
+	if p.Floods() != 1 {
+		t.Fatalf("floods = %d, want 1", p.Floods())
+	}
+	// A different source floods again.
+	p.Deliver(g, 0, addr.MakeAddr(10, 0, 0, 2), grp, []migp.Node{4})
+	if p.Floods() != 2 {
+		t.Fatalf("floods = %d, want 2", p.Floods())
+	}
+	// A graft clears prune state: next packet floods.
+	p.Graft(src, grp)
+	p.Deliver(g, 0, src, grp, []migp.Node{4})
+	if p.Floods() != 3 {
+		t.Fatalf("floods after graft = %d, want 3", p.Floods())
+	}
+}
+
+func TestPIMDMPruneExpiry(t *testing.T) {
+	g := line5()
+	p := pimdm.New(2) // prunes live for 2 packets
+	for i := 0; i < 6; i++ {
+		p.Deliver(g, 0, src, grp, []migp.Node{4})
+	}
+	// Packets: flood, pruned, pruned(expires), flood, pruned, pruned.
+	if p.Floods() != 2 {
+		t.Fatalf("floods = %d, want 2", p.Floods())
+	}
+}
+
+func TestPIMSMTrianglePathViaRP(t *testing.T) {
+	g := line5()
+	p := pimsm.New(0)
+	rp := p.RP(g, grp)
+	got := p.Deliver(g, 0, src, grp, []migp.Node{4})
+	distEntryToRP := int(rp) // on a line from node 0, dist = node index
+	want := distEntryToRP + (4 - int(rp))
+	if rp > 4 {
+		t.Fatalf("rp = %v out of range", rp)
+	}
+	if got[4] != want {
+		t.Fatalf("hops via RP %v = %d, want %d", rp, got[4], want)
+	}
+}
+
+func TestPIMSMSPTSwitchover(t *testing.T) {
+	g := line5()
+	p := pimsm.New(1) // switch after 1 packet
+	first := p.Deliver(g, 0, src, grp, []migp.Node{4})
+	second := p.Deliver(g, 0, src, grp, []migp.Node{4})
+	if second[4] > first[4] {
+		t.Fatalf("SPT switchover made the path longer: %d → %d", first[4], second[4])
+	}
+	if second[4] != 4 { // shortest path on the line
+		t.Fatalf("post-switch hops = %d, want 4", second[4])
+	}
+}
+
+func TestCBTBidirectionalShortcut(t *testing.T) {
+	// Star: center 0, leaves 1..4. Core anywhere; path between two leaves
+	// along the tree is 2 (leaf-center-leaf) unless one endpoint is the
+	// core side. With bidirectional forwarding, entry at leaf 1 reaching
+	// member leaf 2 must never exceed dist via core.
+	g := topology.New(5)
+	for i := 1; i < 5; i++ {
+		g.AddLink(0, topology.DomainID(i))
+	}
+	p := cbt.New()
+	core := p.Core(g, grp)
+	got := p.Deliver(g, 1, src, grp, []migp.Node{2})
+	wantMax := 2 // leaf→hub→leaf
+	if core == 1 || core == 2 {
+		wantMax = 2
+	}
+	if got[2] > wantMax {
+		t.Fatalf("CBT path = %d (core %v), want <= %d (bidirectional shortcut)", got[2], core, wantMax)
+	}
+	// Compare with PIM-SM from the same entry: unidirectional must be
+	// >= bidirectional.
+	sm := pimsm.New(0).Deliver(g, 1, src, grp, []migp.Node{2})
+	if sm[2] < got[2] {
+		t.Fatalf("unidirectional (%d) beat bidirectional (%d)", sm[2], got[2])
+	}
+}
+
+func TestMOSPFMembershipFloods(t *testing.T) {
+	g := line5()
+	p := mospf.New()
+	p.Deliver(g, 0, src, grp, []migp.Node{4})
+	p.Deliver(g, 0, src, grp, []migp.Node{4})
+	if p.MembershipFloods() != 1 {
+		t.Fatalf("floods = %d, want 1 (unchanged membership)", p.MembershipFloods())
+	}
+	p.Deliver(g, 0, src, grp, []migp.Node{4, 2})
+	if p.MembershipFloods() != 2 {
+		t.Fatalf("floods = %d, want 2 (membership changed)", p.MembershipFloods())
+	}
+	// Order must not matter.
+	p.Deliver(g, 0, src, grp, []migp.Node{2, 4})
+	if p.MembershipFloods() != 2 {
+		t.Fatalf("floods = %d, want 2 (same membership, different order)", p.MembershipFloods())
+	}
+}
+
+func TestHashGroupStableAndInRange(t *testing.T) {
+	for n := 1; n < 50; n++ {
+		a := migp.HashGroup(grp, n)
+		b := migp.HashGroup(grp, n)
+		if a != b {
+			t.Fatal("hash must be deterministic")
+		}
+		if int(a) < 0 || int(a) >= n {
+			t.Fatalf("hash %d out of range [0,%d)", a, n)
+		}
+	}
+	if migp.HashGroup(grp, 0) != 0 {
+		t.Fatal("n=0 should map to 0")
+	}
+	// Different groups should spread (not all identical) over 16 nodes.
+	seen := map[migp.Node]bool{}
+	for i := 0; i < 64; i++ {
+		seen[migp.HashGroup(addr.Addr(0xe0000000+i*9973), 16)] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("hash spread too poor: %d distinct of 16", len(seen))
+	}
+}
+
+func TestTreePath(t *testing.T) {
+	// Tree rooted at 0 over the line 0-1-2-3-4.
+	g := line5()
+	dist, parent := g.BFS(0)
+	cases := []struct{ a, b, want migp.Node }{
+		{0, 4, 4}, {4, 0, 4}, {2, 2, 0}, {1, 3, 2},
+	}
+	for _, c := range cases {
+		if got := migp.TreePath(dist, parent, c.a, c.b); got != int(c.want) {
+			t.Errorf("TreePath(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	// Unreachable node.
+	g2 := topology.New(3)
+	g2.AddLink(0, 1)
+	d2, p2 := g2.BFS(0)
+	if migp.TreePath(d2, p2, 0, 2) != -1 {
+		t.Error("unreachable TreePath should be -1")
+	}
+}
+
+func TestTreePathLCAOffCorePath(t *testing.T) {
+	// Y-shape: 0-1, 1-2, 1-3. Root at 0. Path 2→3 via LCA 1 = 2 hops,
+	// NOT via the root (which would be 4).
+	g := topology.New(4)
+	g.AddLink(0, 1)
+	g.AddLink(1, 2)
+	g.AddLink(1, 3)
+	dist, parent := g.BFS(0)
+	if got := migp.TreePath(dist, parent, 2, 3); got != 2 {
+		t.Fatalf("LCA path = %d, want 2", got)
+	}
+}

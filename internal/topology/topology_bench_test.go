@@ -1,0 +1,29 @@
+package topology
+
+import "testing"
+
+func BenchmarkASGraph3326(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ASGraph(3326, 350, int64(i))
+	}
+}
+
+func BenchmarkBFS3326(b *testing.B) {
+	g := ASGraph(3326, 350, 1998)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFS(DomainID(i % 3326))
+	}
+}
+
+func BenchmarkPath(b *testing.B) {
+	g := ASGraph(1000, 100, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if g.Path(0, DomainID(1+i%999)) == nil {
+			b.Fatal("unreachable")
+		}
+	}
+}

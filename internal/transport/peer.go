@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"mascbgmp/internal/wire"
+)
+
+// Peer is an established peering session: a handshaken MsgConn with a
+// background receive loop that dispatches inbound messages to a handler,
+// optional keepalives, and hold-timer supervision.
+//
+// Peer is the shared session substrate for the BGP-lite, MASC, and BGMP
+// speakers: all three run over persistent peerings between border routers.
+type Peer struct {
+	mc     *MsgConn
+	local  wire.Open
+	remote wire.Open
+
+	handler func(*Peer, wire.Message)
+	onClose func(*Peer, error)
+
+	mu     sync.Mutex
+	closed bool
+
+	done chan struct{}
+}
+
+// PeerConfig configures StartPeer.
+type PeerConfig struct {
+	// Local identifies this speaker in the handshake.
+	Local wire.Open
+	// Handler receives every inbound message except Keepalive, called
+	// sequentially from the receive goroutine.
+	Handler func(*Peer, wire.Message)
+	// OnClose, if set, runs once when the session ends, with nil on
+	// clean shutdown or the fatal error otherwise.
+	OnClose func(*Peer, error)
+	// KeepaliveEvery, if positive, sends Keepalive messages on that
+	// period and requires inbound traffic at least every Local.HoldSecs
+	// seconds (enforced via read deadlines). Zero disables both, which
+	// suits in-process pipes.
+	KeepaliveEvery time.Duration
+}
+
+// StartPeer performs the Open handshake on mc and starts the receive loop.
+// On handshake failure the connection is closed.
+func StartPeer(mc *MsgConn, cfg PeerConfig) (*Peer, error) {
+	remote, err := Handshake(mc, cfg.Local)
+	if err != nil {
+		mc.Close()
+		return nil, err
+	}
+	p := &Peer{
+		mc:      mc,
+		local:   cfg.Local,
+		remote:  remote,
+		handler: cfg.Handler,
+		onClose: cfg.OnClose,
+		done:    make(chan struct{}),
+	}
+	if cfg.KeepaliveEvery > 0 {
+		go p.keepaliveLoop(cfg.KeepaliveEvery)
+	}
+	go p.readLoop(cfg.KeepaliveEvery > 0)
+	return p, nil
+}
+
+// Remote returns the peer's Open message from the handshake.
+func (p *Peer) Remote() wire.Open { return p.remote }
+
+// Local returns this side's Open message.
+func (p *Peer) Local() wire.Open { return p.local }
+
+// Send transmits msg to the peer.
+func (p *Peer) Send(msg wire.Message) error { return p.mc.Write(msg) }
+
+// Close terminates the session. The OnClose callback observes a nil error.
+func (p *Peer) Close() error {
+	p.finish(nil)
+	return nil
+}
+
+// Done is closed when the session has fully terminated.
+func (p *Peer) Done() <-chan struct{} { return p.done }
+
+func (p *Peer) finish(err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.mc.Close()
+	if p.onClose != nil {
+		p.onClose(p, err)
+	}
+	close(p.done)
+}
+
+func (p *Peer) readLoop(useHold bool) {
+	for {
+		if useHold && p.local.HoldSecs > 0 {
+			_ = p.mc.SetReadDeadline(time.Now().Add(time.Duration(p.local.HoldSecs) * time.Second))
+		}
+		msg, err := p.mc.Read()
+		if err != nil {
+			if err == io.EOF {
+				err = nil // clean remote close
+			}
+			p.finish(err)
+			return
+		}
+		switch msg.(type) {
+		case *wire.Keepalive:
+			// refreshes the read deadline implicitly
+		case *wire.Notification:
+			if p.handler != nil {
+				p.handler(p, msg)
+			}
+			p.finish(nil)
+			return
+		default:
+			if p.handler != nil {
+				p.handler(p, msg)
+			}
+		}
+	}
+}
+
+func (p *Peer) keepaliveLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-t.C:
+			if err := p.Send(&wire.Keepalive{}); err != nil {
+				p.finish(err)
+				return
+			}
+		}
+	}
+}

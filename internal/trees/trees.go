@@ -1,0 +1,203 @@
+// Package trees models the inter-domain multicast distribution trees whose
+// quality the paper compares in §5.4 / Figure 4:
+//
+//   - source-rooted shortest-path trees (DVMRP, PIM-DM, MOSPF) — the
+//     baseline, ratio 1.0;
+//   - unidirectional shared trees (PIM-SM): data climbs from the sender to
+//     the root/RP and descends the tree to each receiver;
+//   - bidirectional shared trees (BGMP, CBT): data enters the tree at the
+//     nearest on-tree router on the sender's path toward the root and
+//     flows along tree branches in both directions;
+//   - hybrid trees (BGMP with §5.3 source-specific branches): receivers
+//     join toward the source; the branch stops at the first on-tree router
+//     or the source domain.
+//
+// Path lengths are counted in inter-domain hops on a topology.Graph, as in
+// the paper's simulation.
+package trees
+
+import (
+	"mascbgmp/internal/topology"
+)
+
+// SharedTree is a group's shared tree over the inter-domain graph: the
+// union of every member's shortest path toward the root domain (the path
+// BGMP group joins take, following the G-RIB).
+type SharedTree struct {
+	g          *topology.Graph
+	root       topology.DomainID
+	distRoot   []int
+	parentRoot []topology.DomainID
+	onTree     []bool
+	size       int
+}
+
+// NewShared builds the shared tree for the given root and member domains.
+// Members unreachable from the root are ignored.
+func NewShared(g *topology.Graph, root topology.DomainID, members []topology.DomainID) *SharedTree {
+	dist, parent := g.BFS(root)
+	t := &SharedTree{
+		g:          g,
+		root:       root,
+		distRoot:   dist,
+		parentRoot: parent,
+		onTree:     make([]bool, g.NumDomains()),
+	}
+	t.mark(root)
+	for _, m := range members {
+		if dist[m] < 0 {
+			continue
+		}
+		for cur := m; cur != root && !t.onTree[cur]; cur = parent[cur] {
+			t.mark(cur)
+		}
+	}
+	return t
+}
+
+func (t *SharedTree) mark(d topology.DomainID) {
+	if !t.onTree[d] {
+		t.onTree[d] = true
+		t.size++
+	}
+}
+
+// Root returns the tree's root domain.
+func (t *SharedTree) Root() topology.DomainID { return t.root }
+
+// OnTree reports whether domain d lies on the shared tree.
+func (t *SharedTree) OnTree(d topology.DomainID) bool { return t.onTree[d] }
+
+// Size returns the number of domains on the tree — the forwarding-state
+// footprint of the group.
+func (t *SharedTree) Size() int { return t.size }
+
+// Attach returns the first on-tree domain on src's shortest path toward
+// the root (src itself when on the tree) and the number of hops to it —
+// where a non-member sender's packets reach the tree ("the border router
+// simply forwards the data packets towards the root domain", §5.2). hops
+// is -1 when the root is unreachable from src.
+func (t *SharedTree) Attach(src topology.DomainID) (at topology.DomainID, hops int) {
+	if t.distRoot[src] < 0 {
+		return topology.NoDomain, -1
+	}
+	h := 0
+	cur := src
+	for !t.onTree[cur] {
+		cur = t.parentRoot[cur]
+		h++
+	}
+	return cur, h
+}
+
+// treeDist returns the hop count between two on-tree domains along tree
+// branches (through their lowest common ancestor toward the root).
+func (t *SharedTree) treeDist(a, b topology.DomainID) int {
+	da, db := t.distRoot[a], t.distRoot[b]
+	if da < 0 || db < 0 {
+		return -1
+	}
+	hops := 0
+	for da > db {
+		a = t.parentRoot[a]
+		da--
+		hops++
+	}
+	for db > da {
+		b = t.parentRoot[b]
+		db--
+		hops++
+	}
+	for a != b {
+		a = t.parentRoot[a]
+		b = t.parentRoot[b]
+		hops += 2
+	}
+	return hops
+}
+
+// BidirLen returns the bidirectional-tree path length from a sender in
+// domain src to a member domain m: hops to the sender's attach point, then
+// along tree branches to m. It returns -1 when unreachable.
+func (t *SharedTree) BidirLen(src, m topology.DomainID) int {
+	if !t.onTree[m] {
+		return -1
+	}
+	at, h := t.Attach(src)
+	if h < 0 {
+		return -1
+	}
+	return h + t.treeDist(at, m)
+}
+
+// UniLen returns the unidirectional shared-tree path length (PIM-SM
+// model): shortest path from the sender up to the root, then down the tree
+// to m. distSrc must be the BFS distances from src.
+func (t *SharedTree) UniLen(distSrc []int, m topology.DomainID) int {
+	if !t.onTree[m] || distSrc[t.root] < 0 || t.distRoot[m] < 0 {
+		return -1
+	}
+	return distSrc[t.root] + t.distRoot[m]
+}
+
+// HybridLen returns the path length with a §5.3 source-specific branch
+// from member m toward src: the branch follows m's shortest path toward
+// src and stops at the first on-tree domain past m (data then flows
+// src→tree→branch→m) or reaches the source domain (data flows directly).
+// distSrc/parentSrc must come from g.BFS(src).
+func (t *SharedTree) HybridLen(src topology.DomainID, distSrc []int, parentSrc []topology.DomainID, m topology.DomainID) int {
+	if !t.onTree[m] || distSrc[m] < 0 {
+		return -1
+	}
+	// Walk from m toward src (parentSrc points one hop closer to src).
+	branchHops := 0
+	cur := m
+	for cur != src {
+		cur = parentSrc[cur]
+		branchHops++
+		if cur == src {
+			// Branch reached the source domain: direct shortest path.
+			return distSrc[m]
+		}
+		if t.onTree[cur] {
+			// Branch attaches to the tree at cur.
+			return t.BidirLen(src, cur) + branchHops
+		}
+	}
+	return distSrc[m]
+}
+
+// PathLengths computes, for one sender and a member set, the per-member
+// path lengths under all four models. The SPT column is the shortest-path
+// distance (the paper's ratio denominator).
+type PathLengths struct {
+	Member topology.DomainID
+	SPT    int
+	Uni    int
+	Bidir  int
+	Hybrid int
+}
+
+// Measure computes path lengths from src to every member over the tree.
+// Members equal to src or unreachable are skipped.
+func Measure(g *topology.Graph, t *SharedTree, src topology.DomainID, members []topology.DomainID) []PathLengths {
+	distSrc, parentSrc := g.BFS(src)
+	var out []PathLengths
+	for _, m := range members {
+		if m == src || distSrc[m] <= 0 {
+			continue
+		}
+		pl := PathLengths{
+			Member: m,
+			SPT:    distSrc[m],
+			Uni:    t.UniLen(distSrc, m),
+			Bidir:  t.BidirLen(src, m),
+			Hybrid: t.HybridLen(src, distSrc, parentSrc, m),
+		}
+		if pl.Uni < 0 || pl.Bidir < 0 || pl.Hybrid < 0 {
+			continue
+		}
+		out = append(out, pl)
+	}
+	return out
+}

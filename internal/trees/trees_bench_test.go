@@ -1,0 +1,53 @@
+package trees
+
+import (
+	"math/rand"
+	"testing"
+
+	"mascbgmp/internal/topology"
+)
+
+func benchSetup(nDomains, nMembers int) (*topology.Graph, *SharedTree, topology.DomainID, []topology.DomainID) {
+	g := topology.ASGraph(nDomains, nDomains/10, 1998)
+	r := rand.New(rand.NewSource(5))
+	members := make([]topology.DomainID, nMembers)
+	for i := range members {
+		members[i] = topology.DomainID(r.Intn(nDomains))
+	}
+	t := NewShared(g, members[0], members)
+	src := topology.DomainID(r.Intn(nDomains))
+	return g, t, src, members
+}
+
+func BenchmarkNewShared1000Members(b *testing.B) {
+	g := topology.ASGraph(3326, 350, 1998)
+	r := rand.New(rand.NewSource(5))
+	members := make([]topology.DomainID, 1000)
+	for i := range members {
+		members[i] = topology.DomainID(r.Intn(3326))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewShared(g, members[0], members)
+	}
+}
+
+func BenchmarkMeasure1000Members(b *testing.B) {
+	g, t, src, members := benchSetup(3326, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Measure(g, t, src, members)
+	}
+}
+
+func BenchmarkBidirLen(b *testing.B) {
+	g, t, src, members := benchSetup(3326, 200)
+	_ = g
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.BidirLen(src, members[i%len(members)])
+	}
+}

@@ -1,0 +1,496 @@
+package wire
+
+import (
+	"fmt"
+
+	"mascbgmp/internal/addr"
+)
+
+// RouterID identifies a border router across the internetwork. IDs are
+// assigned by configuration, like BGP router IDs.
+type RouterID uint32
+
+// DomainID identifies a domain (autonomous system) on the wire. It mirrors
+// topology.DomainID but is pinned to 32 bits for encoding.
+type DomainID uint32
+
+// ---------------------------------------------------------------- BGP-lite
+
+// Open starts a peering session, announcing the speaker's identity. It
+// plays the role of BGP's OPEN message.
+type Open struct {
+	Router RouterID
+	Domain DomainID
+	// HoldSecs is the proposed hold time in seconds; keepalives must
+	// arrive faster than this or the session drops.
+	HoldSecs uint32
+}
+
+// Type implements Message.
+func (*Open) Type() MsgType { return TypeOpen }
+
+// AppendPayload implements Message.
+func (m *Open) AppendPayload(b []byte) []byte {
+	b = appendU32(b, uint32(m.Router))
+	b = appendU32(b, uint32(m.Domain))
+	return appendU32(b, m.HoldSecs)
+}
+
+// DecodePayload implements Message.
+func (m *Open) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.Router = RouterID(r.u32())
+	m.Domain = DomainID(r.u32())
+	m.HoldSecs = r.u32()
+	return r.done()
+}
+
+// Keepalive refreshes a session's hold timer.
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() MsgType { return TypeKeepalive }
+
+// AppendPayload implements Message.
+func (*Keepalive) AppendPayload(b []byte) []byte { return b }
+
+// DecodePayload implements Message.
+func (*Keepalive) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	return r.done()
+}
+
+// Notification reports a fatal session error before closing, like BGP's
+// NOTIFICATION.
+type Notification struct {
+	Code   uint8
+	Reason string
+}
+
+// Notification codes.
+const (
+	NoteCeaseAdmin    = 1 // administrative shutdown
+	NoteHoldExpired   = 2 // hold timer expired
+	NoteBadMessage    = 3 // malformed or unexpected message
+	NoteDupConnection = 4 // duplicate peering
+)
+
+// Type implements Message.
+func (*Notification) Type() MsgType { return TypeNotification }
+
+// AppendPayload implements Message.
+func (m *Notification) AppendPayload(b []byte) []byte {
+	b = append(b, m.Code)
+	return appendStr(b, m.Reason)
+}
+
+// DecodePayload implements Message.
+func (m *Notification) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.Code = r.u8()
+	m.Reason = r.str()
+	return r.done()
+}
+
+// Table selects which logical routing table an Update affects — BGP-lite
+// carries multiple route types per the multiprotocol extensions the paper
+// builds on (§2).
+type Table uint8
+
+const (
+	// TableUnicast is the ordinary unicast RIB.
+	TableUnicast Table = iota
+	// TableMRIB is the Multicast RIB used for RPF checks when multicast
+	// and unicast topologies are incongruent.
+	TableMRIB
+	// TableGRIB is the Group RIB holding MASC-injected group routes that
+	// map group prefixes to their root domains.
+	TableGRIB
+)
+
+// String implements fmt.Stringer.
+func (t Table) String() string {
+	switch t {
+	case TableUnicast:
+		return "unicast"
+	case TableMRIB:
+		return "M-RIB"
+	case TableGRIB:
+		return "G-RIB"
+	}
+	return fmt.Sprintf("Table(%d)", uint8(t))
+}
+
+// Route is a single advertised route: a destination prefix plus the path
+// attributes BGP-lite propagates.
+type Route struct {
+	// Prefix is the destination (for the G-RIB: a multicast group range).
+	Prefix addr.Prefix
+	// ASPath lists the domains the advertisement traversed, nearest
+	// first. Loop detection rejects routes containing the local domain.
+	ASPath []DomainID
+	// Origin is the domain that injected the route: for group routes,
+	// the root domain of the covered groups.
+	Origin DomainID
+	// ExpireUnix is the route's expiry as a Unix second, mirroring the
+	// MASC lifetime of the underlying claim; zero means no expiry.
+	ExpireUnix uint64
+}
+
+// Clone returns a deep copy of the route.
+func (rt Route) Clone() Route {
+	cp := rt
+	cp.ASPath = append([]DomainID(nil), rt.ASPath...)
+	return cp
+}
+
+// HasLoop reports whether d already appears in the AS path.
+func (rt Route) HasLoop(d DomainID) bool {
+	for _, h := range rt.ASPath {
+		if h == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Update advertises and withdraws routes in one logical table, like BGP's
+// UPDATE with multiprotocol NLRI.
+type Update struct {
+	Table     Table
+	Withdrawn []addr.Prefix
+	Routes    []Route
+}
+
+// Type implements Message.
+func (*Update) Type() MsgType { return TypeUpdate }
+
+// AppendPayload implements Message.
+func (m *Update) AppendPayload(b []byte) []byte {
+	b = append(b, byte(m.Table))
+	b = appendU16(b, uint16(len(m.Withdrawn)))
+	for _, p := range m.Withdrawn {
+		b = appendPrefix(b, p)
+	}
+	b = appendU16(b, uint16(len(m.Routes)))
+	for _, rt := range m.Routes {
+		b = appendPrefix(b, rt.Prefix)
+		b = appendU16(b, uint16(len(rt.ASPath)))
+		for _, h := range rt.ASPath {
+			b = appendU32(b, uint32(h))
+		}
+		b = appendU32(b, uint32(rt.Origin))
+		b = appendU64(b, rt.ExpireUnix)
+	}
+	return b
+}
+
+// DecodePayload implements Message.
+func (m *Update) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.Table = Table(r.u8())
+	nw := int(r.u16())
+	m.Withdrawn = nil
+	for i := 0; i < nw && r.err == nil; i++ {
+		m.Withdrawn = append(m.Withdrawn, r.prefix())
+	}
+	nr := int(r.u16())
+	m.Routes = nil
+	for i := 0; i < nr && r.err == nil; i++ {
+		var rt Route
+		rt.Prefix = r.prefix()
+		np := int(r.u16())
+		for j := 0; j < np && r.err == nil; j++ {
+			rt.ASPath = append(rt.ASPath, DomainID(r.u32()))
+		}
+		rt.Origin = DomainID(r.u32())
+		rt.ExpireUnix = r.u64()
+		m.Routes = append(m.Routes, rt)
+	}
+	return r.done()
+}
+
+// -------------------------------------------------------------------- MASC
+
+// Claim announces that a domain claims an address range from its parent's
+// space (or from 224/4 for top-level domains). Claims propagate to the
+// parent and all siblings, who have the collision-listening period to
+// object (paper §4.1).
+type Claim struct {
+	Claimer DomainID
+	// ClaimID orders competing claims: lower wins, with Claimer as the
+	// tiebreak. Implementations use a timestamp-derived value, per the
+	// paper's footnote on winner selection.
+	ClaimID  uint64
+	Prefix   addr.Prefix
+	LifeSecs uint32
+}
+
+// Type implements Message.
+func (*Claim) Type() MsgType { return TypeClaim }
+
+// AppendPayload implements Message.
+func (m *Claim) AppendPayload(b []byte) []byte {
+	b = appendU32(b, uint32(m.Claimer))
+	b = appendU64(b, m.ClaimID)
+	b = appendPrefix(b, m.Prefix)
+	return appendU32(b, m.LifeSecs)
+}
+
+// DecodePayload implements Message.
+func (m *Claim) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.Claimer = DomainID(r.u32())
+	m.ClaimID = r.u64()
+	m.Prefix = r.prefix()
+	m.LifeSecs = r.u32()
+	return r.done()
+}
+
+// Collision reasons.
+const (
+	// CollideInUse: the announced range overlaps a range the sender holds
+	// or has a better claim on.
+	CollideInUse uint8 = 1
+	// CollideTooLarge: the parent rejects an excessive claim — the
+	// enforcement mechanism sketched in the paper's §7 incentives
+	// discussion.
+	CollideTooLarge uint8 = 2
+	// CollideOutsideParent: the claim falls outside the parent's
+	// (possibly re-acquired) space (§4.4 start-up behavior).
+	CollideOutsideParent uint8 = 3
+)
+
+// Collision announces that a claim conflicts with an existing allocation or
+// a better claim; the losing claimer must select a different range.
+type Collision struct {
+	From   DomainID // the objecting domain
+	Loser  DomainID // whose claim is rejected
+	Prefix addr.Prefix
+	// Conflict is the objector's range that the claim collided with, so
+	// the loser can avoid it (and only it) when re-selecting. For
+	// rejections that are not about occupancy (too-large, outside the
+	// parent space) it equals Prefix.
+	Conflict addr.Prefix
+	Reason   uint8
+}
+
+// Type implements Message.
+func (*Collision) Type() MsgType { return TypeCollision }
+
+// AppendPayload implements Message.
+func (m *Collision) AppendPayload(b []byte) []byte {
+	b = appendU32(b, uint32(m.From))
+	b = appendU32(b, uint32(m.Loser))
+	b = appendPrefix(b, m.Prefix)
+	b = appendPrefix(b, m.Conflict)
+	return append(b, m.Reason)
+}
+
+// DecodePayload implements Message.
+func (m *Collision) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.From = DomainID(r.u32())
+	m.Loser = DomainID(r.u32())
+	m.Prefix = r.prefix()
+	m.Conflict = r.prefix()
+	m.Reason = r.u8()
+	return r.done()
+}
+
+// Release relinquishes a previously won range before its lifetime expires.
+type Release struct {
+	Claimer DomainID
+	Prefix  addr.Prefix
+}
+
+// Type implements Message.
+func (*Release) Type() MsgType { return TypeRelease }
+
+// AppendPayload implements Message.
+func (m *Release) AppendPayload(b []byte) []byte {
+	b = appendU32(b, uint32(m.Claimer))
+	return appendPrefix(b, m.Prefix)
+}
+
+// DecodePayload implements Message.
+func (m *Release) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.Claimer = DomainID(r.u32())
+	m.Prefix = r.prefix()
+	return r.done()
+}
+
+// RangeLife pairs a prefix with its remaining lifetime.
+type RangeLife struct {
+	Prefix   addr.Prefix
+	LifeSecs uint32
+}
+
+// RangeAdvert is a parent domain advertising its currently held address
+// ranges to its children, who claim sub-ranges from them.
+type RangeAdvert struct {
+	Owner  DomainID
+	Ranges []RangeLife
+}
+
+// Type implements Message.
+func (*RangeAdvert) Type() MsgType { return TypeRangeAdvert }
+
+// AppendPayload implements Message.
+func (m *RangeAdvert) AppendPayload(b []byte) []byte {
+	b = appendU32(b, uint32(m.Owner))
+	b = appendU16(b, uint16(len(m.Ranges)))
+	for _, rl := range m.Ranges {
+		b = appendPrefix(b, rl.Prefix)
+		b = appendU32(b, rl.LifeSecs)
+	}
+	return b
+}
+
+// DecodePayload implements Message.
+func (m *RangeAdvert) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.Owner = DomainID(r.u32())
+	n := int(r.u16())
+	m.Ranges = nil
+	for i := 0; i < n && r.err == nil; i++ {
+		var rl RangeLife
+		rl.Prefix = r.prefix()
+		rl.LifeSecs = r.u32()
+		m.Ranges = append(m.Ranges, rl)
+	}
+	return r.done()
+}
+
+// -------------------------------------------------------------------- BGMP
+
+// GroupJoin asks the receiving BGMP peer to add the sender as a child
+// target in its (*,G) entry, creating the entry (and propagating the join
+// toward the root domain) if needed.
+type GroupJoin struct {
+	Group addr.Addr
+}
+
+// Type implements Message.
+func (*GroupJoin) Type() MsgType { return TypeGroupJoin }
+
+// AppendPayload implements Message.
+func (m *GroupJoin) AppendPayload(b []byte) []byte { return appendAddr(b, m.Group) }
+
+// DecodePayload implements Message.
+func (m *GroupJoin) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.Group = r.addr()
+	return r.done()
+}
+
+// GroupPrune removes the sender from the receiver's (*,G) child targets.
+type GroupPrune struct {
+	Group addr.Addr
+}
+
+// Type implements Message.
+func (*GroupPrune) Type() MsgType { return TypeGroupPrune }
+
+// AppendPayload implements Message.
+func (m *GroupPrune) AppendPayload(b []byte) []byte { return appendAddr(b, m.Group) }
+
+// DecodePayload implements Message.
+func (m *GroupPrune) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.Group = r.addr()
+	return r.done()
+}
+
+// SourceJoin establishes a source-specific branch: (S,G) state toward the
+// source, terminating at the first router on the group's bidirectional
+// tree or at the source domain (paper §5.3).
+type SourceJoin struct {
+	Group  addr.Addr
+	Source addr.Addr
+}
+
+// Type implements Message.
+func (*SourceJoin) Type() MsgType { return TypeSourceJoin }
+
+// AppendPayload implements Message.
+func (m *SourceJoin) AppendPayload(b []byte) []byte {
+	b = appendAddr(b, m.Group)
+	return appendAddr(b, m.Source)
+}
+
+// DecodePayload implements Message.
+func (m *SourceJoin) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.Group = r.addr()
+	m.Source = r.addr()
+	return r.done()
+}
+
+// SourcePrune removes source-specific state, or — sent up the shared tree —
+// stops duplicate copies of S's packets arriving along the shared tree once
+// a source-specific branch delivers them.
+type SourcePrune struct {
+	Group  addr.Addr
+	Source addr.Addr
+}
+
+// Type implements Message.
+func (*SourcePrune) Type() MsgType { return TypeSourcePrune }
+
+// AppendPayload implements Message.
+func (m *SourcePrune) AppendPayload(b []byte) []byte {
+	b = appendAddr(b, m.Group)
+	return appendAddr(b, m.Source)
+}
+
+// DecodePayload implements Message.
+func (m *SourcePrune) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.Group = r.addr()
+	m.Source = r.addr()
+	return r.done()
+}
+
+// Data carries one multicast datagram between BGMP peers.
+type Data struct {
+	Group  addr.Addr
+	Source addr.Addr
+	TTL    uint8
+	// Encap marks a unicast-encapsulated copy sent between border routers
+	// of one domain to dodge intra-domain RPF failures (paper §5.3).
+	Encap   bool
+	Payload []byte
+}
+
+// Type implements Message.
+func (*Data) Type() MsgType { return TypeData }
+
+// AppendPayload implements Message.
+func (m *Data) AppendPayload(b []byte) []byte {
+	b = appendAddr(b, m.Group)
+	b = appendAddr(b, m.Source)
+	b = append(b, m.TTL)
+	var flags uint8
+	if m.Encap {
+		flags |= 1
+	}
+	b = append(b, flags)
+	return appendBytes(b, m.Payload)
+}
+
+// DecodePayload implements Message.
+func (m *Data) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.Group = r.addr()
+	m.Source = r.addr()
+	m.TTL = r.u8()
+	flags := r.u8()
+	if r.err == nil && flags&^uint8(1) != 0 {
+		return fmt.Errorf("wire: data frame with undefined flag bits 0x%02x", flags)
+	}
+	m.Encap = flags&1 != 0
+	m.Payload = r.bytes()
+	return r.done()
+}

@@ -1,0 +1,311 @@
+// Package wire defines the binary message formats spoken between border
+// routers in the MASC/BGMP architecture: BGP-lite session and update
+// messages (carrying group routes for the G-RIB and multicast routes for
+// the M-RIB), MASC claim/collision messages, and BGMP join/prune/data
+// messages.
+//
+// Every message is framed as
+//
+//	magic   uint16  0x4D42 ("MB")
+//	version uint8   1
+//	type    uint8   MsgType
+//	length  uint32  payload length in bytes (excludes this 8-byte header)
+//	payload length bytes
+//
+// in big-endian byte order. Messages implement the Message interface with
+// gopacket-style AppendPayload/DecodePayload codecs; Encode and Decode
+// handle the frame.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mascbgmp/internal/addr"
+)
+
+// Protocol framing constants.
+const (
+	Magic      = 0x4D42 // "MB"
+	Version    = 1
+	HeaderSize = 8
+	// MaxPayload bounds a frame's payload so a corrupt length field cannot
+	// force an unbounded allocation.
+	MaxPayload = 1 << 20
+)
+
+// MsgType discriminates the message carried in a frame.
+type MsgType uint8
+
+// Message type codes. The numeric ranges group the sub-protocols: 0x1x
+// BGP-lite, 0x2x MASC, 0x3x BGMP.
+const (
+	TypeInvalid      MsgType = 0x00
+	TypeOpen         MsgType = 0x10
+	TypeKeepalive    MsgType = 0x11
+	TypeUpdate       MsgType = 0x12
+	TypeNotification MsgType = 0x13
+	TypeClaim        MsgType = 0x20
+	TypeCollision    MsgType = 0x21
+	TypeRelease      MsgType = 0x22
+	TypeRangeAdvert  MsgType = 0x23
+	TypeGroupJoin    MsgType = 0x30
+	TypeGroupPrune   MsgType = 0x31
+	TypeSourceJoin   MsgType = 0x32
+	TypeSourcePrune  MsgType = 0x33
+	TypeData         MsgType = 0x34
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case TypeOpen:
+		return "OPEN"
+	case TypeKeepalive:
+		return "KEEPALIVE"
+	case TypeUpdate:
+		return "UPDATE"
+	case TypeNotification:
+		return "NOTIFICATION"
+	case TypeClaim:
+		return "CLAIM"
+	case TypeCollision:
+		return "COLLISION"
+	case TypeRelease:
+		return "RELEASE"
+	case TypeRangeAdvert:
+		return "RANGE-ADVERT"
+	case TypeGroupJoin:
+		return "GROUP-JOIN"
+	case TypeGroupPrune:
+		return "GROUP-PRUNE"
+	case TypeSourceJoin:
+		return "SOURCE-JOIN"
+	case TypeSourcePrune:
+		return "SOURCE-PRUNE"
+	case TypeData:
+		return "DATA"
+	}
+	return fmt.Sprintf("MsgType(0x%02x)", uint8(t))
+}
+
+// Message is a protocol message that can be framed by Encode and recovered
+// by Decode.
+type Message interface {
+	// Type returns the frame type code.
+	Type() MsgType
+	// AppendPayload appends the encoded payload to b and returns the
+	// extended slice.
+	AppendPayload(b []byte) []byte
+	// DecodePayload parses the payload, which must be consumed entirely.
+	DecodePayload(b []byte) error
+}
+
+// Errors returned by Decode and the payload codecs.
+var (
+	ErrShortFrame  = errors.New("wire: frame shorter than header")
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadLength   = errors.New("wire: length field exceeds limits or frame")
+	ErrUnknownType = errors.New("wire: unknown message type")
+	ErrTruncated   = errors.New("wire: truncated payload")
+	ErrTrailing    = errors.New("wire: trailing bytes after payload")
+)
+
+// Encode frames msg into a fresh byte slice.
+func Encode(msg Message) []byte {
+	return AppendFrame(nil, msg)
+}
+
+// AppendFrame appends the framed encoding of msg to b.
+func AppendFrame(b []byte, msg Message) []byte {
+	start := len(b)
+	b = append(b, 0, 0, Version, byte(msg.Type()), 0, 0, 0, 0)
+	binary.BigEndian.PutUint16(b[start:], Magic)
+	b = msg.AppendPayload(b)
+	binary.BigEndian.PutUint32(b[start+4:], uint32(len(b)-start-HeaderSize))
+	return b
+}
+
+// Decode parses one frame from b, which must contain exactly one frame.
+func Decode(b []byte) (Message, error) {
+	msg, rest, err := DecodeNext(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, ErrTrailing
+	}
+	return msg, nil
+}
+
+// DecodeNext parses the first frame in b and returns the remainder, so a
+// byte stream of concatenated frames can be consumed incrementally.
+func DecodeNext(b []byte) (Message, []byte, error) {
+	if len(b) < HeaderSize {
+		return nil, b, ErrShortFrame
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return nil, b, ErrBadMagic
+	}
+	if b[2] != Version {
+		return nil, b, ErrBadVersion
+	}
+	t := MsgType(b[3])
+	n := binary.BigEndian.Uint32(b[4:])
+	if n > MaxPayload || uint64(HeaderSize)+uint64(n) > uint64(len(b)) {
+		return nil, b, ErrBadLength
+	}
+	msg := newMessage(t)
+	if msg == nil {
+		return nil, b, fmt.Errorf("%w: 0x%02x", ErrUnknownType, uint8(t))
+	}
+	payload := b[HeaderSize : HeaderSize+int(n)]
+	if err := msg.DecodePayload(payload); err != nil {
+		return nil, b, err
+	}
+	return msg, b[HeaderSize+int(n):], nil
+}
+
+// newMessage returns a zero message of the given type, or nil when the type
+// is unknown.
+func newMessage(t MsgType) Message {
+	switch t {
+	case TypeOpen:
+		return &Open{}
+	case TypeKeepalive:
+		return &Keepalive{}
+	case TypeUpdate:
+		return &Update{}
+	case TypeNotification:
+		return &Notification{}
+	case TypeClaim:
+		return &Claim{}
+	case TypeCollision:
+		return &Collision{}
+	case TypeRelease:
+		return &Release{}
+	case TypeRangeAdvert:
+		return &RangeAdvert{}
+	case TypeGroupJoin:
+		return &GroupJoin{}
+	case TypeGroupPrune:
+		return &GroupPrune{}
+	case TypeSourceJoin:
+		return &SourceJoin{}
+	case TypeSourcePrune:
+		return &SourcePrune{}
+	case TypeData:
+		return &Data{}
+	}
+	return nil
+}
+
+// reader is a bounds-checked big-endian payload cursor.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || len(r.b) < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) addr() addr.Addr { return addr.Addr(r.u32()) }
+
+func (r *reader) prefix() addr.Prefix {
+	p := addr.Prefix{Base: r.addr(), Len: int(r.u8())}
+	if r.err == nil && !p.Valid() {
+		r.err = fmt.Errorf("wire: invalid prefix %v", p)
+	}
+	return p
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, r.b)
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+// done returns the decode error, requiring full consumption of the payload.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// Append helpers.
+func appendU16(b []byte, v uint16) []byte     { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte     { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte     { return binary.BigEndian.AppendUint64(b, v) }
+func appendAddr(b []byte, a addr.Addr) []byte { return appendU32(b, uint32(a)) }
+
+func appendPrefix(b []byte, p addr.Prefix) []byte {
+	b = appendAddr(b, p.Base)
+	return append(b, byte(p.Len))
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = appendU32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+func appendStr(b []byte, s string) []byte { return appendBytes(b, []byte(s)) }

@@ -1,0 +1,292 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mascbgmp/internal/addr"
+)
+
+// allMessages returns one populated instance of every message type.
+func allMessages() []Message {
+	return []Message{
+		&Open{Router: 7, Domain: 3, HoldSecs: 90},
+		&Keepalive{},
+		&Notification{Code: NoteHoldExpired, Reason: "hold timer expired"},
+		&Update{
+			Table:     TableGRIB,
+			Withdrawn: []addr.Prefix{addr.MustParsePrefix("224.0.1.0/24")},
+			Routes: []Route{
+				{
+					Prefix:     addr.MustParsePrefix("224.0.0.0/16"),
+					ASPath:     []DomainID{1, 2, 3},
+					Origin:     3,
+					ExpireUnix: 1234567890,
+				},
+				{
+					Prefix: addr.MustParsePrefix("239.0.0.0/8"),
+					Origin: 9,
+				},
+			},
+		},
+		&Claim{Claimer: 12, ClaimID: 42, Prefix: addr.MustParsePrefix("228.0.0.0/22"), LifeSecs: 86400},
+		&Collision{From: 4, Loser: 12, Prefix: addr.MustParsePrefix("228.0.0.0/22"),
+			Conflict: addr.MustParsePrefix("228.0.0.0/16"), Reason: CollideInUse},
+		&Release{Claimer: 12, Prefix: addr.MustParsePrefix("228.0.0.0/22")},
+		&RangeAdvert{Owner: 1, Ranges: []RangeLife{
+			{Prefix: addr.MustParsePrefix("224.0.0.0/16"), LifeSecs: 3600},
+			{Prefix: addr.MustParsePrefix("230.0.0.0/8"), LifeSecs: 60},
+		}},
+		&GroupJoin{Group: addr.MakeAddr(224, 0, 128, 1)},
+		&GroupPrune{Group: addr.MakeAddr(224, 0, 128, 1)},
+		&SourceJoin{Group: addr.MakeAddr(224, 0, 128, 1), Source: addr.MakeAddr(10, 1, 2, 3)},
+		&SourcePrune{Group: addr.MakeAddr(224, 0, 128, 1), Source: addr.MakeAddr(10, 1, 2, 3)},
+		&Data{Group: addr.MakeAddr(224, 0, 128, 1), Source: addr.MakeAddr(10, 1, 2, 3),
+			TTL: 32, Encap: true, Payload: []byte("hello multicast")},
+	}
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	for _, msg := range allMessages() {
+		frame := Encode(msg)
+		got, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", msg.Type(), err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%v round trip:\n got %#v\nwant %#v", msg.Type(), got, msg)
+		}
+	}
+}
+
+func TestEmptyCollectionsRoundTrip(t *testing.T) {
+	for _, msg := range []Message{
+		&Update{Table: TableMRIB},
+		&RangeAdvert{Owner: 5},
+		&Data{Group: addr.MakeAddr(224, 1, 1, 1)},
+	} {
+		got, err := Decode(Encode(msg))
+		if err != nil {
+			t.Fatalf("%v: %v", msg.Type(), err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%v:\n got %#v\nwant %#v", msg.Type(), got, msg)
+		}
+	}
+}
+
+func TestDecodeNextStream(t *testing.T) {
+	msgs := allMessages()
+	var stream []byte
+	for _, m := range msgs {
+		stream = AppendFrame(stream, m)
+	}
+	var got []Message
+	rest := stream
+	for len(rest) > 0 {
+		m, r, err := DecodeNext(rest)
+		if err != nil {
+			t.Fatalf("DecodeNext: %v", err)
+		}
+		got = append(got, m)
+		rest = r
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if !reflect.DeepEqual(got[i], msgs[i]) {
+			t.Errorf("message %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := Encode(&Keepalive{})
+
+	short := good[:4]
+	if _, err := Decode(short); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("short frame: %v", err)
+	}
+
+	badMagic := bytes.Clone(good)
+	badMagic[0] = 0xFF
+	if _, err := Decode(badMagic); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+
+	badVer := bytes.Clone(good)
+	badVer[2] = 9
+	if _, err := Decode(badVer); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+
+	badType := bytes.Clone(good)
+	badType[3] = 0xEE
+	if _, err := Decode(badType); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("bad type: %v", err)
+	}
+
+	badLen := bytes.Clone(good)
+	badLen[7] = 200 // claims 200-byte payload that is not there
+	if _, err := Decode(badLen); !errors.Is(err, ErrBadLength) {
+		t.Errorf("bad length: %v", err)
+	}
+
+	trailing := append(bytes.Clone(good), 0xAB)
+	if _, err := Decode(trailing); !errors.Is(err, ErrTrailing) {
+		t.Errorf("trailing: %v", err)
+	}
+}
+
+func TestDecodeHugeLengthRejected(t *testing.T) {
+	frame := Encode(&Keepalive{})
+	frame[4], frame[5], frame[6], frame[7] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := Decode(frame); !errors.Is(err, ErrBadLength) {
+		t.Errorf("huge length: %v", err)
+	}
+}
+
+func TestTruncatedPayloads(t *testing.T) {
+	for _, msg := range allMessages() {
+		frame := Encode(msg)
+		payloadLen := len(frame) - HeaderSize
+		if payloadLen == 0 {
+			continue
+		}
+		// Chop one byte off the payload and fix up the length field so the
+		// frame parses but the payload decode must fail.
+		trunc := bytes.Clone(frame[:len(frame)-1])
+		trunc[4], trunc[5], trunc[6], trunc[7] = 0, 0, 0, 0
+		trunc[7] = byte(payloadLen - 1)
+		trunc[6] = byte((payloadLen - 1) >> 8)
+		if _, err := Decode(trunc); err == nil {
+			t.Errorf("%v: truncated payload decoded without error", msg.Type())
+		}
+	}
+}
+
+func TestTrailingPayloadBytesRejected(t *testing.T) {
+	// A GroupJoin payload with an extra byte must be rejected by done().
+	inner := (&GroupJoin{Group: addr.MakeAddr(224, 1, 2, 3)}).AppendPayload(nil)
+	inner = append(inner, 0x00)
+	var frame []byte
+	frame = append(frame, 0x4D, 0x42, Version, byte(TypeGroupJoin), 0, 0, 0, byte(len(inner)))
+	frame = append(frame, inner...)
+	if _, err := Decode(frame); !errors.Is(err, ErrTrailing) {
+		t.Errorf("trailing payload bytes: %v", err)
+	}
+}
+
+func TestInvalidPrefixRejected(t *testing.T) {
+	// Hand-craft a Claim whose prefix has host bits set.
+	var payload []byte
+	payload = appendU32(payload, 12)         // claimer
+	payload = appendU64(payload, 1)          // claim id
+	payload = appendU32(payload, 0xE0000001) // 224.0.0.1
+	payload = append(payload, 24)            // /24 → host bits set
+	payload = appendU32(payload, 60)
+	var frame []byte
+	frame = append(frame, 0x4D, 0x42, Version, byte(TypeClaim), 0, 0, 0, byte(len(payload)))
+	frame = append(frame, payload...)
+	if _, err := Decode(frame); err == nil {
+		t.Error("invalid prefix must fail decode")
+	}
+}
+
+func TestRouteHelpers(t *testing.T) {
+	rt := Route{Prefix: addr.MustParsePrefix("224.0.0.0/16"), ASPath: []DomainID{1, 2}}
+	if !rt.HasLoop(2) || rt.HasLoop(3) {
+		t.Error("HasLoop wrong")
+	}
+	cp := rt.Clone()
+	cp.ASPath[0] = 99
+	if rt.ASPath[0] != 1 {
+		t.Error("Clone must deep-copy ASPath")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range allMessages() {
+		s := m.Type().String()
+		if s == "" || seen[s] {
+			t.Errorf("bad or duplicate MsgType string %q", s)
+		}
+		seen[s] = true
+	}
+	if MsgType(0xEE).String() != "MsgType(0xee)" {
+		t.Errorf("unknown type formatting: %s", MsgType(0xEE))
+	}
+	if TableUnicast.String() != "unicast" || TableGRIB.String() != "G-RIB" || TableMRIB.String() != "M-RIB" {
+		t.Error("Table strings")
+	}
+	if Table(99).String() == "" {
+		t.Error("unknown table should format")
+	}
+}
+
+// Fuzz-style property: random byte garbage never panics and never returns a
+// message together with a nil error for frames with corrupted internals.
+func TestDecodeRandomGarbageNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(64)
+		b := make([]byte, n)
+		r.Read(b)
+		_, _, _ = DecodeNext(b) // must not panic
+	}
+}
+
+// Property: flipping any single byte of an encoded frame either fails to
+// decode or decodes to a message that still re-encodes within bounds
+// (no panics, no corruption-induced crashes).
+func TestBitFlipRobustness(t *testing.T) {
+	for _, msg := range allMessages() {
+		frame := Encode(msg)
+		for i := range frame {
+			mut := bytes.Clone(frame)
+			mut[i] ^= 0xFF
+			m, err := Decode(mut)
+			if err == nil && m != nil {
+				_ = Encode(m) // must not panic
+			}
+		}
+	}
+}
+
+func BenchmarkEncodeUpdate(b *testing.B) {
+	msg := &Update{
+		Table: TableGRIB,
+		Routes: []Route{{
+			Prefix: addr.MustParsePrefix("224.0.0.0/16"),
+			ASPath: []DomainID{1, 2, 3, 4, 5},
+			Origin: 5,
+		}},
+	}
+	b.ReportAllocs()
+	buf := make([]byte, 0, 256)
+	for i := 0; i < b.N; i++ {
+		buf = AppendFrame(buf[:0], msg)
+	}
+}
+
+func BenchmarkDecodeUpdate(b *testing.B) {
+	frame := Encode(&Update{
+		Table: TableGRIB,
+		Routes: []Route{{
+			Prefix: addr.MustParsePrefix("224.0.0.0/16"),
+			ASPath: []DomainID{1, 2, 3, 4, 5},
+			Origin: 5,
+		}},
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

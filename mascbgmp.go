@@ -1,0 +1,223 @@
+// Package mascbgmp is a Go implementation of the MASC/BGMP architecture
+// for inter-domain multicast routing (Kumar et al., SIGCOMM 1998).
+//
+// The architecture has two complementary protocols plus the substrates
+// they rely on:
+//
+//   - MASC (Multicast Address-Set Claim) dynamically allocates multicast
+//     address ranges to domains through a hierarchical listen-and-claim
+//     mechanism with collision detection.
+//   - BGMP (Border Gateway Multicast Protocol) builds inter-domain
+//     bidirectional shared trees rooted at each group's root domain — the
+//     domain whose MASC allocation covers the group address — with
+//     optional source-specific branches.
+//   - BGP-lite distributes the MASC allocations as group routes (the
+//     G-RIB) and provides the M-RIB for incongruent multicast topologies.
+//   - MAAS servers lease individual group addresses to applications.
+//   - MIGPs (DVMRP, PIM-SM, PIM-DM, CBT, MOSPF) run inside each domain.
+//
+// This package is the public facade: it re-exports the network-assembly
+// API (build domains, link border routers, run the protocols in process —
+// over real framed connections or deterministic synchronous dispatch), the
+// address types, and the experiment harnesses that regenerate the paper's
+// evaluation figures. The implementation lives in internal/ packages, one
+// per subsystem; see DESIGN.md for the system inventory.
+//
+// # Quick start
+//
+//	net := mascbgmp.NewNetwork(mascbgmp.Config{Seed: 1, Synchronous: true,
+//		Clock: mascbgmp.NewSimClock(time.Now())})
+//	net.AddDomain(mascbgmp.DomainConfig{ID: 1, Routers: []mascbgmp.RouterID{11},
+//		Protocol: mascbgmp.NewDVMRP(), TopLevel: true})
+//	net.AddDomain(mascbgmp.DomainConfig{ID: 2, Routers: []mascbgmp.RouterID{21},
+//		Protocol: mascbgmp.NewDVMRP()})
+//	net.Link(11, 21)
+//	net.MASCPeerParentChild(1, 2)
+//	// claim space, lease a group, join, send — see examples/quickstart.
+package mascbgmp
+
+import (
+	"time"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/bgp"
+	"mascbgmp/internal/core"
+	"mascbgmp/internal/experiments"
+	"mascbgmp/internal/masc"
+	"mascbgmp/internal/migp"
+	"mascbgmp/internal/migp/cbt"
+	"mascbgmp/internal/migp/dvmrp"
+	"mascbgmp/internal/migp/mospf"
+	"mascbgmp/internal/migp/pimdm"
+	"mascbgmp/internal/migp/pimsm"
+	"mascbgmp/internal/simclock"
+	"mascbgmp/internal/topology"
+	"mascbgmp/internal/wire"
+)
+
+// Core network-assembly types.
+type (
+	// Network is an in-process internetwork of MASC/BGMP domains.
+	Network = core.Network
+	// Config parameterizes a Network.
+	Config = core.Config
+	// Domain is one autonomous system.
+	Domain = core.Domain
+	// DomainConfig describes a domain to add.
+	DomainConfig = core.DomainConfig
+	// Router is a border router (BGP-lite speaker + BGMP component).
+	Router = core.Router
+	// Delivery records one packet reaching one interior member.
+	Delivery = core.Delivery
+)
+
+// Identifier and address types.
+type (
+	// DomainID identifies a domain.
+	DomainID = wire.DomainID
+	// RouterID identifies a border router.
+	RouterID = wire.RouterID
+	// Addr is an IPv4 address.
+	Addr = addr.Addr
+	// Prefix is a CIDR address range.
+	Prefix = addr.Prefix
+)
+
+// Interior-protocol plumbing.
+type (
+	// MIGP is the interior-protocol delivery model interface.
+	MIGP = migp.Protocol
+	// InteriorNode indexes a router in a domain's interior topology.
+	InteriorNode = migp.Node
+)
+
+// Routing-policy plumbing (§4.2: multicast policies through selective
+// propagation of group routes).
+type (
+	// ExportFilter decides whether a route may be advertised to a
+	// neighbor.
+	ExportFilter = bgp.ExportFilter
+	// Neighbor describes a configured BGP peer as seen by a filter.
+	Neighbor = bgp.Neighbor
+	// Table selects a logical routing table (unicast, M-RIB, G-RIB).
+	Table = wire.Table
+)
+
+// Routing table selectors.
+const (
+	TableUnicast = wire.TableUnicast
+	TableMRIB    = wire.TableMRIB
+	TableGRIB    = wire.TableGRIB
+)
+
+// CustomerExportFilter implements the canonical provider-customer policy:
+// toward providers and peers, advertise only routes originated by the
+// domain itself or its customers; toward customers, advertise everything.
+func CustomerExportFilter(self DomainID, customers map[DomainID]bool) ExportFilter {
+	return bgp.CustomerExportFilter(self, customers)
+}
+
+// TableExportFilter restricts a filter to one table.
+func TableExportFilter(table Table, f ExportFilter) ExportFilter {
+	return bgp.TableExportFilter(table, f)
+}
+
+// DenyPrefixFilter blocks routes covered by any of the given prefixes.
+func DenyPrefixFilter(deny ...Prefix) ExportFilter { return bgp.DenyPrefixFilter(deny...) }
+
+// Strategy holds the MASC claim-algorithm tunables (§4.3.3): target
+// occupancy, prefix-count target, claim lifetime.
+type Strategy = masc.Strategy
+
+// DefaultStrategy returns the paper's parameters (75 % occupancy target,
+// at most two active prefixes, 30-day claims).
+func DefaultStrategy() Strategy { return masc.DefaultStrategy() }
+
+// Clock is the time source abstraction (real or simulated).
+type Clock = simclock.Clock
+
+// SimClock is a deterministic simulated clock.
+type SimClock = simclock.Sim
+
+// Experiment harness types (regenerate the paper's figures).
+type (
+	// Fig2Config parameterizes the §4.3.3 allocation simulation.
+	Fig2Config = experiments.Fig2Config
+	// Fig2Result is its outcome.
+	Fig2Result = experiments.Fig2Result
+	// Fig2Sample is one time-series point of Figure 2.
+	Fig2Sample = experiments.Fig2Sample
+	// Fig4Config parameterizes the §5.4 tree-quality comparison.
+	Fig4Config = experiments.Fig4Config
+	// Fig4Point is one x-axis point of Figure 4.
+	Fig4Point = experiments.Fig4Point
+)
+
+// Topology types for custom inter-domain graphs.
+type (
+	// Graph is an inter-domain topology.
+	Graph = topology.Graph
+	// GraphDomainID indexes a node in a Graph.
+	GraphDomainID = topology.DomainID
+)
+
+// NewNetwork returns an empty network.
+func NewNetwork(cfg Config) *Network { return core.NewNetwork(cfg) }
+
+// NewSimClock returns a simulated clock starting at the given instant.
+func NewSimClock(start time.Time) *SimClock { return simclock.NewSim(start) }
+
+// MulticastSpace is the IPv4 multicast address space 224.0.0.0/4.
+var MulticastSpace = addr.MulticastSpace
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) { return addr.ParseAddr(s) }
+
+// ParsePrefix parses CIDR notation such as "224.0.1.0/24".
+func ParsePrefix(s string) (Prefix, error) { return addr.ParsePrefix(s) }
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix { return addr.MustParsePrefix(s) }
+
+// Interior protocol constructors — the architecture is MIGP-independent;
+// each domain picks one (§3).
+
+// NewDVMRP returns a DVMRP interior protocol (flood-and-prune, strict RPF).
+func NewDVMRP() MIGP { return dvmrp.New() }
+
+// NewPIMSM returns a PIM Sparse-Mode interior protocol with the given SPT
+// switchover threshold (0 keeps receivers on the RP tree).
+func NewPIMSM(sptThreshold int) MIGP { return pimsm.New(sptThreshold) }
+
+// NewPIMDM returns a PIM Dense-Mode interior protocol whose prune state
+// expires after pruneLife packets (0: never).
+func NewPIMDM(pruneLife int) MIGP { return pimdm.New(pruneLife) }
+
+// NewCBT returns a Core Based Trees interior protocol.
+func NewCBT() MIGP { return cbt.New() }
+
+// NewMOSPF returns a Multicast OSPF interior protocol.
+func NewMOSPF() MIGP { return mospf.New() }
+
+// Experiment entry points.
+
+// DefaultFig2Config returns the paper's §4.3.3 simulation parameters
+// (50 top-level domains × 50 children, 800 days).
+func DefaultFig2Config() Fig2Config { return experiments.DefaultFig2Config() }
+
+// RunFig2 runs the address-allocation simulation behind Figures 2(a) and
+// 2(b). Deterministic for a given config.
+func RunFig2(cfg Fig2Config) Fig2Result { return experiments.RunFig2(cfg) }
+
+// DefaultFig4Config returns the paper's §5.4 comparison parameters
+// (3326-domain topology, group sizes 1..1000).
+func DefaultFig4Config() Fig4Config { return experiments.DefaultFig4Config() }
+
+// RunFig4 runs the tree-quality comparison behind Figure 4.
+func RunFig4(cfg Fig4Config) []Fig4Point { return experiments.RunFig4(cfg) }
+
+// ASGraph synthesizes an AS-like inter-domain topology (the stand-in for
+// the paper's BGP-dump topology; see DESIGN.md §2).
+func ASGraph(n, extraPeering int, seed int64) *Graph {
+	return topology.ASGraph(n, extraPeering, seed)
+}
