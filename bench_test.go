@@ -197,7 +197,10 @@ func BenchmarkAblationOccupancyTarget(b *testing.B) {
 // domains through the full protocol stack (synchronous dispatch).
 func BenchmarkEndToEndDelivery(b *testing.B) {
 	clk := mascbgmp.NewSimClock(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
-	net := mascbgmp.NewNetwork(mascbgmp.Config{Clock: clk, Seed: 7, Synchronous: true})
+	net, err := mascbgmp.NewNetwork(mascbgmp.Config{Clock: clk, Seed: 7, Synchronous: true})
+	if err != nil {
+		b.Fatal(err)
+	}
 	mustDomain := func(dc mascbgmp.DomainConfig) {
 		if _, err := net.AddDomain(dc); err != nil {
 			b.Fatal(err)

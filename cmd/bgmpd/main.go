@@ -17,7 +17,7 @@
 //
 // Usage:
 //
-//	bgmpd [-wait 2s] [-branches] [-verbose]
+//	bgmpd [-wait 2s] [-branches] [-verbose] [-metrics] [-trace]
 package main
 
 import (
@@ -34,22 +34,35 @@ func main() {
 		wait     = flag.Duration("wait", 2*time.Second, "MASC collision waiting period (paper: 48h)")
 		branches = flag.Bool("branches", true, "enable source-specific branches (§5.3)")
 		verbose  = flag.Bool("verbose", false, "dump per-router G-RIB tables")
+		metrics  = flag.Bool("metrics", false, "dump per-router protocol counters at exit")
+		trace    = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
 	)
 	flag.Parse()
 
-	if err := run(*wait, *branches, *verbose); err != nil {
+	if err := run(*wait, *branches, *verbose, *metrics, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "bgmpd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wait time.Duration, branches, verbose bool) error {
-	net := mascbgmp.NewNetwork(mascbgmp.Config{
+func run(wait time.Duration, branches, verbose, metrics, trace bool) error {
+	var ob *mascbgmp.Observer
+	if metrics || trace {
+		ob = mascbgmp.NewObserver()
+		if trace {
+			ob.Subscribe(func(e mascbgmp.Event) { fmt.Fprintln(os.Stderr, e) })
+		}
+	}
+	net, err := mascbgmp.NewNetwork(mascbgmp.Config{
 		Seed:           1998,
 		MASCWait:       wait,
 		SourceBranches: branches,
 		TCP:            true, // real loopback TCP between all routers
+		Observer:       ob,
 	})
+	if err != nil {
+		return err
+	}
 
 	type dom struct {
 		id      mascbgmp.DomainID
@@ -127,7 +140,9 @@ func run(wait time.Duration, branches, verbose bool) error {
 		}
 		fmt.Printf("MASC: %s won %v (inside A's range)\n", names[id], hs[0].Prefix)
 	}
-	net.Settle(300 * time.Millisecond)
+	if err := net.Quiesce(3 * time.Second); err != nil {
+		return err
+	}
 
 	// Lease a group in B: B becomes the root domain.
 	lease, err := net.Domain(2).NewGroup(12 * time.Hour)
@@ -140,7 +155,9 @@ func run(wait time.Duration, branches, verbose bool) error {
 	for _, id := range []mascbgmp.DomainID{2, 3, 4, 6, 8} {
 		net.Domain(id).Join(lease.Addr, 1)
 	}
-	net.Settle(300 * time.Millisecond)
+	if err := net.Quiesce(3 * time.Second); err != nil {
+		return err
+	}
 	fmt.Println("BGMP: members joined in B, C, D, F, H — bidirectional tree built")
 
 	if verbose {
@@ -160,7 +177,7 @@ func run(wait time.Duration, branches, verbose bool) error {
 		}
 		src := net.Domain(from).HostAddr(1)
 		net.Domain(from).Send(lease.Addr, src, what, 1)
-		net.Settle(300 * time.Millisecond)
+		_ = net.Quiesce(3 * time.Second)
 		fmt.Printf("data: host in %s sent %q → received in:", names[from], what)
 		for _, d := range doms {
 			if got := net.Domain(d.id).Received(); len(got) > 0 {
@@ -173,6 +190,9 @@ func run(wait time.Duration, branches, verbose bool) error {
 	send(5, "hello from non-member sender E") // §3: senders need not be members
 	send(4, "second packet from D")           // source-specific branch in steady state
 
+	if metrics {
+		fmt.Printf("\n# per-router protocol counters\n%s", ob.Snapshot())
+	}
 	fmt.Println("done")
 	return nil
 }

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	mascsim [-top 50] [-children 50] [-days 800] [-seed 1998]
-//	        [-fig 2a|2b|csv] [-summary]
+//	        [-fig 2a|2b|csv] [-summary] [-metrics] [-trace]
 package main
 
 import (
@@ -30,6 +30,8 @@ func main() {
 		fig      = flag.String("fig", "csv", `output: "2a" (utilization series), "2b" (G-RIB series), "csv" (both)`)
 		summary  = flag.Bool("summary", false, "print only the steady-state summary")
 		hetero   = flag.Bool("hetero", false, "heterogeneous topology: variable children per provider and block sizes")
+		metrics  = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
+		trace    = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
 	)
 	flag.Parse()
 
@@ -39,6 +41,15 @@ func main() {
 	cfg.Days = *days
 	cfg.Seed = *seed
 	cfg.Heterogeneous = *hetero
+
+	var ob *mascbgmp.Observer
+	if *metrics || *trace {
+		ob = mascbgmp.NewObserver()
+		cfg.Obs = ob
+		if *trace {
+			ob.Subscribe(func(e mascbgmp.Event) { fmt.Fprintln(os.Stderr, e) })
+		}
+	}
 
 	res := mascbgmp.RunFig2(cfg)
 
@@ -95,4 +106,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "requests satisfied:   %d (failed: %d)\n", res.Satisfied, res.Failed)
 	fmt.Fprintf(os.Stderr, "expansion events:     %d doublings, %d extra claims, %d replacements, %d releases\n",
 		res.ChildStats.Doublings, res.ChildStats.ExtraClaims, res.ChildStats.Replacements, res.ChildStats.Releases)
+
+	if *metrics {
+		fmt.Fprintf(os.Stderr, "\n# protocol event counters\n%s", ob.Snapshot().Totals())
+	}
 }

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	treesim [-domains 3326] [-peering 350] [-seed 1998] [-trials 5]
-//	        [-sizes 1,2,5,...] [-random-root] [-summary]
+//	        [-sizes 1,2,5,...] [-random-root] [-summary] [-metrics] [-trace]
 package main
 
 import (
@@ -32,6 +32,8 @@ func main() {
 		sizes      = flag.String("sizes", "", "comma-separated receiver counts (default: the paper's 1..1000 sweep)")
 		randomRoot = flag.Bool("random-root", false, "ablation: root the bidirectional tree at a random domain instead of the initiator's")
 		summary    = flag.Bool("summary", false, "print only the overall summary")
+		metrics    = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
+		trace      = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
 	)
 	flag.Parse()
 
@@ -50,6 +52,15 @@ func main() {
 				os.Exit(2)
 			}
 			cfg.GroupSizes = append(cfg.GroupSizes, n)
+		}
+	}
+
+	var ob *mascbgmp.Observer
+	if *metrics || *trace {
+		ob = mascbgmp.NewObserver()
+		cfg.Obs = ob
+		if *trace {
+			ob.Subscribe(func(e mascbgmp.Event) { fmt.Fprintln(os.Stderr, e) })
 		}
 	}
 
@@ -95,4 +106,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "unidirectional (PIM-SM model):  %.2fx / %.1fx   (paper: ~2x / <=6x)\n", uni, uniMax)
 	fmt.Fprintf(os.Stderr, "bidirectional  (BGMP):          %.2fx / %.1fx   (paper: <1.3x / <=4.5x)\n", bidir, bidirMax)
 	fmt.Fprintf(os.Stderr, "hybrid (BGMP + src branches):   %.2fx / %.1fx   (paper: <1.2x / <=4x)\n", hybrid, hybridMax)
+
+	if *metrics {
+		fmt.Fprintf(os.Stderr, "\n# protocol event counters\n%s", ob.Snapshot().Totals())
+	}
 }

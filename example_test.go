@@ -13,7 +13,10 @@ import (
 // construction, and data delivery.
 func Example() {
 	clk := mascbgmp.NewSimClock(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
-	net := mascbgmp.NewNetwork(mascbgmp.Config{Clock: clk, Seed: 1, Synchronous: true})
+	net, err := mascbgmp.NewNetwork(mascbgmp.Config{Clock: clk, Seed: 1, Synchronous: true})
+	if err != nil {
+		panic(err)
+	}
 
 	for _, dc := range []mascbgmp.DomainConfig{
 		{ID: 1, Routers: []mascbgmp.RouterID{11, 12}, Protocol: mascbgmp.NewDVMRP(),

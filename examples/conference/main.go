@@ -26,12 +26,15 @@ import (
 
 func main() {
 	clk := mascbgmp.NewSimClock(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
-	net := mascbgmp.NewNetwork(mascbgmp.Config{
+	net, err := mascbgmp.NewNetwork(mascbgmp.Config{
 		Clock:          clk,
 		Seed:           42,
 		Synchronous:    true,
 		SourceBranches: true, // §5.3 on
 	})
+	if err != nil {
+		panic(err)
+	}
 
 	// The paper's Fig 1/3 topology (domains A..H, F multihomed to B and A).
 	type dom struct {

@@ -25,7 +25,10 @@ import (
 
 func main() {
 	clk := mascbgmp.NewSimClock(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
-	net := mascbgmp.NewNetwork(mascbgmp.Config{Clock: clk, Seed: 5, Synchronous: true})
+	net, err := mascbgmp.NewNetwork(mascbgmp.Config{Clock: clk, Seed: 5, Synchronous: true})
+	if err != nil {
+		panic(err)
+	}
 
 	const (
 		transit  = mascbgmp.DomainID(1)

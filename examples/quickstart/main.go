@@ -21,11 +21,14 @@ import (
 
 func main() {
 	clk := mascbgmp.NewSimClock(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
-	net := mascbgmp.NewNetwork(mascbgmp.Config{
+	net, err := mascbgmp.NewNetwork(mascbgmp.Config{
 		Clock:       clk,
 		Seed:        1,
 		Synchronous: true, // deterministic in-process dispatch
 	})
+	if err != nil {
+		panic(err)
+	}
 
 	// Backbone (domain 1) with two border routers; customers 2 and 3.
 	for _, dc := range []mascbgmp.DomainConfig{

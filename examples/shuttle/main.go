@@ -26,7 +26,10 @@ import (
 
 func main() {
 	clk := mascbgmp.NewSimClock(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
-	net := mascbgmp.NewNetwork(mascbgmp.Config{Clock: clk, Seed: 11, Synchronous: true})
+	net, err := mascbgmp.NewNetwork(mascbgmp.Config{Clock: clk, Seed: 11, Synchronous: true})
+	if err != nil {
+		panic(err)
+	}
 
 	// Topology: two backbones, NASA's domain under backbone 1, receiver
 	// ISPs under both backbones.

@@ -5,6 +5,7 @@ import (
 
 	"mascbgmp/internal/addr"
 	"mascbgmp/internal/bgp"
+	"mascbgmp/internal/obs"
 	"mascbgmp/internal/wire"
 )
 
@@ -60,6 +61,9 @@ type Config struct {
 	// stop the encapsulation. Disabled, BGMP uses pure bidirectional
 	// trees (the ablation baseline).
 	BuildSourceBranches bool
+	// Obs observes joins, prunes, tree repairs, and data-plane hops,
+	// scoped by Domain/Router. Nil disables observation.
+	Obs *obs.Observer
 }
 
 // Component is the BGMP speaker of one border router. Safe for concurrent
@@ -84,6 +88,9 @@ type Component struct {
 	importedSG map[sgKey]bool
 	// out buffers messages generated under the lock.
 	out []outItem
+	// evbuf collects events under the lock; they are emitted with the
+	// out-queue after release so observers may call back into the router.
+	evbuf []obs.Event
 }
 
 type outItem struct {
@@ -170,18 +177,18 @@ func (c *Component) HasForwardingState(g addr.Addr) bool {
 func (c *Component) LocalJoin(g addr.Addr) {
 	c.mu.Lock()
 	c.joinLocked(g, MIGPTarget)
-	out := c.drain()
+	out, evs := c.drain()
 	c.mu.Unlock()
-	c.flush(out)
+	c.flush(out, evs)
 }
 
 // LocalLeave undoes LocalJoin when no interior members remain.
 func (c *Component) LocalLeave(g addr.Addr) {
 	c.mu.Lock()
 	c.pruneLocked(g, MIGPTarget)
-	out := c.drain()
+	out, evs := c.drain()
 	c.mu.Unlock()
-	c.flush(out)
+	c.flush(out, evs)
 }
 
 // HandlePeer processes a BGMP message from an external peer.
@@ -197,15 +204,15 @@ func (c *Component) HandlePeer(from wire.RouterID, msg wire.Message) {
 	case *wire.SourcePrune:
 		c.sourcePruneLocked(m.Source, m.Group, PeerTarget(from))
 	case *wire.Data:
-		out := c.drain()
+		out, evs := c.drain()
 		c.mu.Unlock()
-		c.flush(out)
+		c.flush(out, evs)
 		c.HandleData(PeerTarget(from), m)
 		return
 	}
-	out := c.drain()
+	out, evs := c.drain()
 	c.mu.Unlock()
-	c.flush(out)
+	c.flush(out, evs)
 }
 
 // HandleFromBorder processes a message relayed through the MIGP from
@@ -226,9 +233,9 @@ func (c *Component) HandleFromBorder(from wire.RouterID, msg wire.Message) {
 	case *wire.SourcePrune:
 		c.sourcePruneLocked(m.Source, m.Group, MIGPToward(from))
 	case *wire.Data:
-		out := c.drain()
+		out, evs := c.drain()
 		c.mu.Unlock()
-		c.flush(out)
+		c.flush(out, evs)
 		if m.Encap {
 			c.handleEncap(from, m)
 		} else {
@@ -236,9 +243,9 @@ func (c *Component) HandleFromBorder(from wire.RouterID, msg wire.Message) {
 		}
 		return
 	}
-	out := c.drain()
+	out, evs := c.drain()
 	c.mu.Unlock()
-	c.flush(out)
+	c.flush(out, evs)
 }
 
 // joinLocked adds `child` to the (*,G) entry, creating it (and propagating
@@ -246,6 +253,7 @@ func (c *Component) HandleFromBorder(from wire.RouterID, msg wire.Message) {
 // aggregated (*,G-prefix) state is re-materialized first, keeping control
 // traffic per-group precise.
 func (c *Component) joinLocked(g addr.Addr, child Target) {
+	c.event(obs.Event{Kind: obs.BGMPJoin, Group: g})
 	e, ok := c.groups[g]
 	if !ok {
 		if me := c.materializeLocked(g); me != nil {
@@ -278,6 +286,7 @@ func (c *Component) joinLocked(g addr.Addr, child Target) {
 // pruneLocked removes `child` from the (*,G) entry, tearing the entry down
 // (and propagating the prune) when the child list empties.
 func (c *Component) pruneLocked(g addr.Addr, child Target) {
+	c.event(obs.Event{Kind: obs.BGMPPrune, Group: g})
 	e, ok := c.groups[g]
 	if !ok {
 		e = c.materializeLocked(g)
@@ -355,13 +364,26 @@ func (migpLeave) Type() wire.MsgType            { return wire.TypeInvalid }
 func (migpLeave) AppendPayload(b []byte) []byte { return b }
 func (migpLeave) DecodePayload([]byte) error    { return nil }
 
-func (c *Component) drain() []outItem {
-	out := c.out
-	c.out = nil
-	return out
+// event queues an observability event for post-unlock emission, filling in
+// the router's scope. Caller holds c.mu.
+func (c *Component) event(e obs.Event) {
+	if c.cfg.Obs == nil {
+		return
+	}
+	e.Domain, e.Router = c.cfg.Domain, c.cfg.Router
+	c.evbuf = append(c.evbuf, e)
 }
 
-func (c *Component) flush(items []outItem) {
+func (c *Component) drain() ([]outItem, []obs.Event) {
+	out, evs := c.out, c.evbuf
+	c.out, c.evbuf = nil, nil
+	return out, evs
+}
+
+func (c *Component) flush(items []outItem, evs []obs.Event) {
+	for _, e := range evs {
+		c.cfg.Obs.Emit(e)
+	}
 	for _, it := range items {
 		switch m := it.msg.(type) {
 		case migpJoin:

@@ -2,6 +2,7 @@ package bgmp
 
 import (
 	"mascbgmp/internal/addr"
+	"mascbgmp/internal/obs"
 	"mascbgmp/internal/wire"
 )
 
@@ -14,9 +15,9 @@ import (
 func (c *Component) RequestSourceBranch(s, g addr.Addr) {
 	c.mu.Lock()
 	c.sourceJoinLocked(s, g, MIGPTarget)
-	out := c.drain()
+	out, evs := c.drain()
 	c.mu.Unlock()
-	c.flush(out)
+	c.flush(out, evs)
 }
 
 // sourceJoinLocked adds `child` to the (S,G) entry, creating it when
@@ -24,6 +25,7 @@ func (c *Component) RequestSourceBranch(s, g addr.Addr) {
 // target list and does not propagate (the branch stops here); otherwise the
 // join continues toward the source.
 func (c *Component) sourceJoinLocked(s, g addr.Addr, child Target) {
+	c.event(obs.Event{Kind: obs.BGMPJoin, Group: g, Source: s})
 	k := sgKey{s, g}
 	if e, ok := c.srcs[k]; ok {
 		e.addChild(child)
@@ -54,6 +56,7 @@ func (c *Component) sourceJoinLocked(s, g addr.Addr, child Target) {
 // flow to `child` along the shared tree, propagating upstream when no other
 // target needs them (§5.3).
 func (c *Component) sourcePruneLocked(s, g addr.Addr, child Target) {
+	c.event(obs.Event{Kind: obs.BGMPPrune, Group: g, Source: s})
 	k := sgKey{s, g}
 	e, ok := c.srcs[k]
 	if !ok {
@@ -211,6 +214,10 @@ func (c *Component) forwardTo(t Target, d *wire.Data) {
 		c.mu.Unlock()
 		enc := *d
 		enc.Encap = true
+		if c.cfg.Obs != nil {
+			c.cfg.Obs.Emit(obs.Event{Kind: obs.DataEncap, Domain: c.cfg.Domain,
+				Router: c.cfg.Router, Peer: exp, Group: d.Group, Source: d.Source})
+		}
 		c.cfg.MIGP.RelayToBorder(exp, &enc)
 		return
 	}
@@ -219,6 +226,10 @@ func (c *Component) forwardTo(t Target, d *wire.Data) {
 	}
 	cp := *d
 	cp.TTL--
+	if c.cfg.Obs != nil {
+		c.cfg.Obs.Emit(obs.Event{Kind: obs.DataForwarded, Domain: c.cfg.Domain,
+			Router: c.cfg.Router, Peer: t.Router, Group: d.Group, Source: d.Source})
+	}
 	c.cfg.SendPeer(t.Router, &cp)
 }
 

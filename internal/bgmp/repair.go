@@ -2,6 +2,7 @@ package bgmp
 
 import (
 	"mascbgmp/internal/addr"
+	"mascbgmp/internal/obs"
 	"mascbgmp/internal/wire"
 )
 
@@ -58,6 +59,7 @@ func (c *Component) RouteChanged(prefix addr.Prefix) {
 		}
 	}
 	for _, ch := range changes {
+		c.event(obs.Event{Kind: obs.BGMPRepair, Group: ch.g, Prefix: prefix})
 		// Prune away from the old parent.
 		switch {
 		case ch.oldRoot:
@@ -76,9 +78,9 @@ func (c *Component) RouteChanged(prefix addr.Prefix) {
 			c.out = append(c.out, outItem{target: ch.newParent, msg: &wire.GroupJoin{Group: ch.g}})
 		}
 	}
-	out := c.drain()
+	out, evs := c.drain()
 	c.mu.Unlock()
-	c.flush(out)
+	c.flush(out, evs)
 }
 
 // PeerDown removes every child target pointing at a failed external peer
@@ -97,6 +99,7 @@ func (c *Component) PeerDown(peer wire.RouterID) {
 			continue
 		}
 		delete(c.groups, g)
+		c.event(obs.Event{Kind: obs.BGMPRepair, Group: g})
 		for k, se := range c.srcs {
 			if k.group == g && se.sharedClone {
 				delete(c.srcs, k)
@@ -114,7 +117,7 @@ func (c *Component) PeerDown(peer wire.RouterID) {
 		}
 		_ = k
 	}
-	out := c.drain()
+	out, evs := c.drain()
 	c.mu.Unlock()
-	c.flush(out)
+	c.flush(out, evs)
 }

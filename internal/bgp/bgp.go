@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"mascbgmp/internal/addr"
+	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
 	"mascbgmp/internal/wire"
 )
@@ -65,6 +66,9 @@ type Config struct {
 	// changes, with lost=true when the prefix became unreachable. Called
 	// without locks held.
 	OnBestChange func(table wire.Table, prefix addr.Prefix, lost bool)
+	// Obs observes route advertisements, withdrawals, and best-route
+	// changes, scoped by Domain/Router. Nil disables observation.
+	Obs *obs.Observer
 }
 
 // Entry is a selected best route as exposed to lookups.
@@ -350,10 +354,27 @@ func (s *Speaker) deliver(out []outUpdate) {
 	}
 	for _, o := range out {
 		s.cfg.Send(o.to, o.u)
+		if s.cfg.Obs == nil {
+			continue
+		}
+		for _, rt := range o.u.Routes {
+			s.cfg.Obs.Emit(obs.Event{Kind: obs.BGPAnnounce, Domain: s.cfg.Domain,
+				Router: s.cfg.Router, Peer: o.to, Table: o.u.Table, Prefix: rt.Prefix})
+		}
+		for _, p := range o.u.Withdrawn {
+			s.cfg.Obs.Emit(obs.Event{Kind: obs.BGPWithdraw, Domain: s.cfg.Domain,
+				Router: s.cfg.Router, Peer: o.to, Table: o.u.Table, Prefix: p})
+		}
 	}
 }
 
 func (s *Speaker) notify(notes []note) {
+	if s.cfg.Obs != nil {
+		for _, n := range notes {
+			s.cfg.Obs.Emit(obs.Event{Kind: obs.BGPBestChange, Domain: s.cfg.Domain,
+				Router: s.cfg.Router, Table: n.table, Prefix: n.prefix})
+		}
+	}
 	if s.cfg.OnBestChange == nil {
 		return
 	}

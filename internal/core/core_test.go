@@ -26,12 +26,15 @@ import (
 func paperNet(t *testing.T, withF2A4, sourceBranches bool) (*Network, *simclock.Sim) {
 	t.Helper()
 	clk := simclock.NewSim(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
-	n := NewNetwork(Config{
+	n, err := NewNetwork(Config{
 		Clock:          clk,
 		Seed:           42,
 		Synchronous:    true,
 		SourceBranches: sourceBranches,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	add := func(id wire.DomainID, routers []wire.RouterID, top bool) *Domain {
 		t.Helper()
 		d, err := n.AddDomain(DomainConfig{
@@ -396,7 +399,10 @@ func TestAsyncNetworkConverges(t *testing.T) {
 	// The same scenario over real framed pipes with background receive
 	// loops: slower, nondeterministic ordering, same outcome.
 	clk := simclock.NewSim(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
-	n := NewNetwork(Config{Clock: clk, Seed: 42, Synchronous: false})
+	n, err := NewNetwork(Config{Clock: clk, Seed: 42, Synchronous: false})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, dc := range []struct {
 		id      wire.DomainID
 		routers []wire.RouterID

@@ -11,6 +11,7 @@ import (
 	"mascbgmp/internal/maas"
 	"mascbgmp/internal/masc"
 	"mascbgmp/internal/migp"
+	"mascbgmp/internal/obs"
 	"mascbgmp/internal/topology"
 	"mascbgmp/internal/wire"
 )
@@ -101,6 +102,10 @@ func (n *Network) AddDomain(cfg DomainConfig) (*Domain, error) {
 				Group: data.Group, Source: data.Source, Node: node, Payload: string(data.Payload),
 			})
 			d.mu.Unlock()
+			if n.cfg.Observer != nil {
+				n.cfg.Observer.Emit(obs.Event{Kind: obs.DataDelivered,
+					Domain: cfg.ID, Group: data.Group, Source: data.Source})
+			}
 		},
 	})
 
@@ -135,6 +140,7 @@ func (n *Network) AddDomain(cfg DomainConfig) (*Domain, error) {
 		WaitPeriod: n.cfg.MASCWait,
 		TopLevel:   cfg.TopLevel,
 		AutoRenew:  n.cfg.AutoRenewClaims,
+		Obs:        n.cfg.Observer,
 		Send: func(to wire.DomainID, msg wire.Message) {
 			n.mascDeliver(cfg.ID, to, msg)
 		},
@@ -228,7 +234,11 @@ func (d *Domain) bestExit(a addr.Addr) wire.RouterID {
 // domain the group's root domain. When the MAAS has no space it asks MASC
 // and the caller should retry after the waiting period elapses.
 func (d *Domain) NewGroup(lifetime time.Duration) (maas.Lease, error) {
-	return d.maas.Lease(lifetime)
+	l, err := d.maas.Lease(lifetime)
+	if err == nil && d.net.cfg.Observer != nil {
+		d.net.cfg.Observer.Emit(obs.Event{Kind: obs.MAASLease, Domain: d.ID, Group: l.Addr})
+	}
+	return l, err
 }
 
 // Join subscribes an interior host (at interior node `at`) to group g.

@@ -22,7 +22,10 @@ import (
 func failoverNet(t *testing.T) (*Network, *simclock.Sim) {
 	t.Helper()
 	clk := simclock.NewSim(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
-	n := NewNetwork(Config{Clock: clk, Seed: 3, Synchronous: true})
+	n, err := NewNetwork(Config{Clock: clk, Seed: 3, Synchronous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, dc := range []DomainConfig{
 		{ID: 1, Routers: []wire.RouterID{11, 12}, Protocol: dvmrp.New(), TopLevel: true,
 			HostPrefix: addr.Prefix{Base: addr.MakeAddr(10, 1, 0, 0), Len: 16}},

@@ -61,7 +61,10 @@ func TestMixedMIGPsAcrossDomains(t *testing.T) {
 	// The architecture's MIGP independence (§3): C runs PIM-SM, F runs
 	// CBT, everyone else DVMRP — deliveries are unchanged.
 	clk := simclock.NewSim(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
-	n := NewNetwork(Config{Clock: clk, Seed: 42, Synchronous: true})
+	n, err := NewNetwork(Config{Clock: clk, Seed: 42, Synchronous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	add := func(id wire.DomainID, routers []wire.RouterID, top bool, proto migp.Protocol) {
 		t.Helper()
 		if _, err := n.AddDomain(DomainConfig{
@@ -194,7 +197,10 @@ func TestExportPolicyInsideNetwork(t *testing.T) {
 	// and 4 — the §4.2 policy through the assembled stack: 4's join for a
 	// group rooted in 3 finds no route, so no tree and no data.
 	clk := simclock.NewSim(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
-	n := NewNetwork(Config{Clock: clk, Seed: 9, Synchronous: true})
+	n, err := NewNetwork(Config{Clock: clk, Seed: 9, Synchronous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	policy := bgp.TableExportFilter(wire.TableGRIB, bgp.CustomerExportFilter(1, nil))
 	mustAdd := func(dc DomainConfig) {
 		t.Helper()

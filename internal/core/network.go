@@ -9,11 +9,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
+	"mascbgmp/internal/transport"
 	"mascbgmp/internal/wire"
 )
 
@@ -45,11 +48,47 @@ type Config struct {
 	// a real loopback TCP connection instead of an in-memory pipe — the
 	// deployment shape of cmd/bgmpd.
 	TCP bool
+	// Observer receives protocol events and feeds the metrics registry:
+	// MASC claims and collisions, BGP route churn, BGMP joins/prunes and
+	// repairs, data-plane hops and deliveries, transport traffic. Nil
+	// disables observation at zero cost.
+	Observer *obs.Observer
 }
+
+// ConfigError reports an invalid Config field combination.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: invalid config: %s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the configuration for contradictions before any state is
+// built. NewNetwork calls it; exported so callers can validate early.
+func (c Config) Validate() error {
+	if c.MASCWait < 0 {
+		return &ConfigError{Field: "MASCWait", Reason: "must not be negative"}
+	}
+	if c.ClaimLifetime < 0 {
+		return &ConfigError{Field: "ClaimLifetime", Reason: "must not be negative"}
+	}
+	if c.TCP && c.Synchronous {
+		return &ConfigError{Field: "TCP", Reason: "TCP peerings need background transport; unset Synchronous"}
+	}
+	return nil
+}
+
+// ErrNotLinked is returned (wrapped) by Unlink when the named routers have
+// no peering to sever.
+var ErrNotLinked = errors.New("core: routers not linked")
 
 // Network is an in-process internetwork of MASC/BGMP domains.
 type Network struct {
 	cfg Config
+	// tracker counts in-flight asynchronous messages for Quiesce.
+	tracker *transport.Tracker
 
 	mu      sync.Mutex
 	domains map[wire.DomainID]*Domain
@@ -61,8 +100,12 @@ type link struct {
 	a, b *Router
 }
 
-// NewNetwork returns an empty network.
-func NewNetwork(cfg Config) *Network {
+// NewNetwork returns an empty network, or a *ConfigError when cfg is
+// contradictory.
+func NewNetwork(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Real{}
 	}
@@ -74,13 +117,17 @@ func NewNetwork(cfg Config) *Network {
 	}
 	return &Network{
 		cfg:     cfg,
+		tracker: &transport.Tracker{},
 		domains: map[wire.DomainID]*Domain{},
 		routers: map[wire.RouterID]*Router{},
-	}
+	}, nil
 }
 
 // Clock returns the network's time source.
 func (n *Network) Clock() simclock.Clock { return n.cfg.Clock }
+
+// Observer returns the network's observer, nil when observation is off.
+func (n *Network) Observer() *obs.Observer { return n.cfg.Observer }
 
 // Domain returns a domain by ID, or nil.
 func (n *Network) Domain(id wire.DomainID) *Domain {
@@ -134,15 +181,20 @@ func (n *Network) Link(a, b wire.RouterID) error {
 func (n *Network) Unlink(a, b wire.RouterID) error {
 	n.mu.Lock()
 	ra, rb := n.routers[a], n.routers[b]
+	linked := false
 	for i, l := range n.links {
 		if (l.a == ra && l.b == rb) || (l.a == rb && l.b == ra) {
 			n.links = append(n.links[:i], n.links[i+1:]...)
+			linked = true
 			break
 		}
 	}
 	n.mu.Unlock()
 	if ra == nil || rb == nil {
 		return fmt.Errorf("core: unknown router in unlink %d-%d", a, b)
+	}
+	if !linked {
+		return fmt.Errorf("%w: %d-%d", ErrNotLinked, a, b)
 	}
 	ra.dropPeer(b)
 	rb.dropPeer(a)
@@ -196,15 +248,21 @@ func (n *Network) mascDeliver(from, to wire.DomainID, msg wire.Message) {
 	target.masc.HandleMessage(from, decoded)
 }
 
-// Settle waits for in-flight asynchronous messages to drain. With
-// Synchronous configs it returns immediately; otherwise it sleeps in small
-// increments up to d (the in-process pipes have no queue-depth API).
-func (n *Network) Settle(d time.Duration) {
+// Quiesce blocks until every in-flight asynchronous message — including
+// cascades a handler triggers — has been fully processed, or until timeout
+// elapses, returning an error wrapping transport.ErrQuiesceTimeout.
+// Synchronous networks are always quiescent.
+func (n *Network) Quiesce(timeout time.Duration) error {
 	if n.cfg.Synchronous {
-		return
+		return nil
 	}
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
+	return n.tracker.Quiesce(timeout)
+}
+
+// Settle waits up to d for in-flight asynchronous messages to drain.
+//
+// Deprecated: use Quiesce, which reports whether the network actually went
+// quiet instead of discarding the timeout outcome.
+func (n *Network) Settle(d time.Duration) {
+	_ = n.Quiesce(d)
 }

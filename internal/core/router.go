@@ -74,6 +74,7 @@ func newRouter(n *Network, d *Domain, id wire.RouterID, at migp.Node, export bgp
 		Clock:            n.cfg.Clock,
 		Export:           export,
 		AggregateCovered: true,
+		Obs:              n.cfg.Observer,
 		Send: func(to wire.RouterID, u *wire.Update) {
 			r.sendTo(to, u)
 		},
@@ -104,6 +105,7 @@ func newRouter(n *Network, d *Domain, id wire.RouterID, at migp.Node, export bgp
 		},
 		MIGP:                migpAdapter,
 		BuildSourceBranches: n.cfg.SourceBranches,
+		Obs:                 n.cfg.Observer,
 	})
 	d.fabric.SetComponent(id, r.bgmp)
 	return r, nil
@@ -160,6 +162,11 @@ func (r *Router) connect(other *Router, synchronous, tcp bool) error {
 		if err != nil {
 			return err
 		}
+		nw := r.domain.net
+		// Two directed streams shared by the session's two ends, so the
+		// network tracker sees each message from send commit to handler
+		// completion (Quiesce support).
+		ab, ba := nw.tracker.NewFlight(), nw.tracker.NewFlight()
 		done := make(chan error, 1)
 		var pa, pb *transport.Peer
 		go func() {
@@ -167,12 +174,18 @@ func (r *Router) connect(other *Router, synchronous, tcp bool) error {
 			pa, err2 = transport.StartPeer(ca, transport.PeerConfig{
 				Local:   wire.Open{Router: r.ID, Domain: r.domain.ID},
 				Handler: func(_ *transport.Peer, m wire.Message) { r.dispatch(other.ID, m) },
+				Out:     ab,
+				In:      ba,
+				Obs:     nw.cfg.Observer,
 			})
 			done <- err2
 		}()
 		pb, err = transport.StartPeer(cb, transport.PeerConfig{
 			Local:   wire.Open{Router: other.ID, Domain: other.domain.ID},
 			Handler: func(_ *transport.Peer, m wire.Message) { other.dispatch(r.ID, m) },
+			Out:     ba,
+			In:      ab,
+			Obs:     nw.cfg.Observer,
 		})
 		if err != nil {
 			return err

@@ -12,6 +12,8 @@ import (
 
 	"mascbgmp/internal/addr"
 	"mascbgmp/internal/masc"
+	"mascbgmp/internal/obs"
+	"mascbgmp/internal/wire"
 )
 
 // Fig2Config parameterizes the MASC claim-algorithm simulation of §4.3.3:
@@ -40,6 +42,11 @@ type Fig2Config struct {
 	// 180 % of ChildrenPer children, and children request blocks of 64,
 	// 128, 256, or 512 addresses.
 	Heterogeneous bool
+	// Obs observes the allocation engines' protocol events (claims,
+	// collisions, wins, renewals, releases, leases, and the mirrored BGP
+	// route injections), scoped per provider domain. Nil disables
+	// observation.
+	Obs *obs.Observer
 }
 
 // DefaultFig2Config returns the paper's parameters.
@@ -119,15 +126,20 @@ func RunFig2(cfg Fig2Config) Fig2Result {
 	blockSize := make([]uint64, 0, cfg.TopLevel*cfg.ChildrenPer)
 	for i := range providers {
 		providers[i] = masc.NewSpaceProvider(cfg.Strategy, global, rand.New(rand.NewSource(cfg.Seed+int64(i)+1)))
+		// Scope events to the provider's domain; children share their
+		// provider's scope so snapshots stay one row per top-level domain.
+		providers[i].SetObserver(cfg.Obs, wire.DomainID(i+1))
 		nc := cfg.ChildrenPer
 		if cfg.Heterogeneous {
 			// 20 %..180 % of the nominal child count, at least 1.
 			nc = cfg.ChildrenPer*(20+rng.Intn(161))/100 + 1
 		}
 		for c := 0; c < nc; c++ {
-			children = append(children, masc.NewBlockAllocator(
+			ba := masc.NewBlockAllocator(
 				cfg.Strategy, providers[i].ChildLedger(),
-				rand.New(rand.NewSource(cfg.Seed+int64(len(children))+1000))))
+				rand.New(rand.NewSource(cfg.Seed+int64(len(children))+1000)))
+			ba.SetObserver(cfg.Obs, wire.DomainID(i+1))
+			children = append(children, ba)
 			parentOf = append(parentOf, i)
 			bs := cfg.BlockSize
 			if cfg.Heterogeneous {

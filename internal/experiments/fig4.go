@@ -5,6 +5,7 @@ import (
 
 	"mascbgmp/internal/addr"
 	"mascbgmp/internal/migp"
+	"mascbgmp/internal/obs"
 	"mascbgmp/internal/topology"
 	"mascbgmp/internal/trees"
 )
@@ -31,6 +32,11 @@ type Fig4Config struct {
 	// ablation (§5.1 argues initiator rooting; this measures the cost of
 	// getting it wrong).
 	RandomRoot bool
+	// Obs observes the tree construction and sampling: one bgmp.join per
+	// receiver attached, one bgmp.prune per receiver at trial teardown,
+	// and data.forwarded/data.delivered for the sampled paths. Nil
+	// disables observation.
+	Obs *obs.Observer
 }
 
 // DefaultFig4Config returns parameters matching the paper's setup.
@@ -88,8 +94,13 @@ func RunFig4(cfg Fig4Config) []Fig4Point {
 			rp := migp.HashGroup(addrOf(group), g.NumDomains())
 			uniTree := trees.NewShared(g, rp, receivers)
 
+			if cfg.Obs != nil {
+				cfg.Obs.Emit(obs.Event{Kind: obs.BGMPJoin,
+					Group: addrOf(group), Count: uint64(len(receivers))})
+			}
 			distSrc, parentSrc := g.BFS(src)
 			treeSum += float64(bidirTree.Size())
+			var delivered, hops uint64
 			for _, m := range receivers {
 				if m == src || distSrc[m] <= 0 {
 					continue
@@ -102,6 +113,8 @@ func RunFig4(cfg Fig4Config) []Fig4Point {
 					continue
 				}
 				samples++
+				delivered++
+				hops += uint64(bidir)
 				ru, rb, rh := float64(uni)/spt, float64(bidir)/spt, float64(hybrid)/spt
 				uniSum += ru
 				bidirSum += rb
@@ -115,6 +128,19 @@ func RunFig4(cfg Fig4Config) []Fig4Point {
 				if rh > pt.HybridMax {
 					pt.HybridMax = rh
 				}
+			}
+			if cfg.Obs != nil {
+				if hops > 0 {
+					cfg.Obs.Emit(obs.Event{Kind: obs.DataForwarded,
+						Group: addrOf(group), Count: hops})
+				}
+				if delivered > 0 {
+					cfg.Obs.Emit(obs.Event{Kind: obs.DataDelivered,
+						Group: addrOf(group), Count: delivered})
+				}
+				// Trial teardown: every receiver leaves the tree.
+				cfg.Obs.Emit(obs.Event{Kind: obs.BGMPPrune,
+					Group: addrOf(group), Count: uint64(len(receivers))})
 			}
 		}
 		if samples > 0 {

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"mascbgmp/internal/addr"
+	"mascbgmp/internal/obs"
+	"mascbgmp/internal/wire"
 )
 
 // Strategy holds the tunables of the paper's claim algorithm (§4.3.3).
@@ -67,8 +69,24 @@ type BlockAllocator struct {
 	holdings []*Holding
 	blocks   []*allocBlock
 
+	obs       *obs.Observer
+	obsDomain wire.DomainID
+
 	// Stats counts expansion events for the ablation benchmarks.
 	Stats AllocStats
+}
+
+// SetObserver routes the allocator's events (claims, collisions, wins,
+// renewals, releases, MAAS leases, and the mirrored BGP route injections)
+// to o, scoped to domain. Nil disables observation.
+func (a *BlockAllocator) SetObserver(o *obs.Observer, domain wire.DomainID) {
+	a.obs, a.obsDomain = o, domain
+}
+
+func (a *BlockAllocator) emit(kind obs.Kind, p addr.Prefix) {
+	if a.obs != nil {
+		a.obs.Emit(obs.Event{Kind: kind, Domain: a.obsDomain, Prefix: p})
+	}
 }
 
 // AllocStats counts allocator events.
@@ -148,10 +166,13 @@ func (a *BlockAllocator) Tick(now time.Time) {
 			if h.Used == 0 {
 				a.ledger.Release(h.Prefix)
 				a.Stats.Releases++
+				a.emit(obs.MASCReleased, h.Prefix)
+				a.emit(obs.BGPWithdraw, h.Prefix)
 				continue
 			}
 			// Renewal: the claim must outlive its allocations.
 			h.Expires = now.Add(a.strat.ClaimLifetime)
+			a.emit(obs.MASCRenewed, h.Prefix)
 		}
 		kept = append(kept, h)
 	}
@@ -164,10 +185,14 @@ func (a *BlockAllocator) Tick(now time.Time) {
 func (a *BlockAllocator) Request(n uint64, lifetime time.Duration, now time.Time) (Block, bool) {
 	a.Tick(now)
 	if h := a.fit(n); h != nil {
-		return a.place(h, n, lifetime, now), true
+		b := a.place(h, n, lifetime, now)
+		a.emit(obs.MAASLease, b.Prefix)
+		return b, true
 	}
 	if h := a.expand(n, now); h != nil {
-		return a.place(h, n, lifetime, now), true
+		b := a.place(h, n, lifetime, now)
+		a.emit(obs.MAASLease, b.Prefix)
+		return b, true
 	}
 	a.Stats.Failures++
 	return Block{}, false
@@ -290,10 +315,16 @@ func (a *BlockAllocator) tryDouble(demand, n uint64) *Holding {
 		}
 		d, ok := a.ledger.Double(smallest.Prefix)
 		if !ok {
+			a.emit(obs.MASCCollision, smallest.Prefix)
 			return nil
 		}
+		old := smallest.Prefix
 		smallest.Prefix = d
 		a.Stats.Doublings++
+		a.emit(obs.MASCClaim, d)
+		a.emit(obs.MASCWon, d)
+		a.emit(obs.BGPWithdraw, old)
+		a.emit(obs.BGPAnnounce, d)
 		if smallest.Used+n <= smallest.Prefix.Size() {
 			return smallest
 		}
@@ -309,18 +340,25 @@ func (a *BlockAllocator) claimNew(maskLen int, now time.Time) *Holding {
 	}
 	p, ok := a.ledger.PickClaim(maskLen, a.rng)
 	if !ok {
+		a.emit(obs.MASCCollision, addr.Prefix{})
 		return nil
 	}
 	if !a.ledger.Claim(p) {
+		a.emit(obs.MASCCollision, p)
 		return nil
 	}
 	h := &Holding{Prefix: p, Active: true, Expires: now.Add(a.strat.ClaimLifetime)}
 	a.holdings = append(a.holdings, h)
+	a.emit(obs.MASCClaim, p)
+	a.emit(obs.MASCWon, p)
+	a.emit(obs.BGPAnnounce, p)
 	return h
 }
 
 func (a *BlockAllocator) removeHolding(h *Holding) {
 	a.ledger.Release(h.Prefix)
+	a.emit(obs.MASCReleased, h.Prefix)
+	a.emit(obs.BGPWithdraw, h.Prefix)
 	for i, x := range a.holdings {
 		if x == h {
 			a.holdings = append(a.holdings[:i], a.holdings[i+1:]...)

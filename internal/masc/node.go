@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mascbgmp/internal/addr"
+	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
 	"mascbgmp/internal/wire"
 )
@@ -51,6 +52,10 @@ type NodeConfig struct {
 	// Send transmits a MASC message to another domain's node. Called
 	// without internal locks held.
 	Send func(to wire.DomainID, msg wire.Message)
+	// Obs observes claim-collide protocol activity (claims announced,
+	// collisions suffered, ranges won/expired/renewed/released), scoped
+	// by Domain. Nil disables observation.
+	Obs *obs.Observer
 	// OnWon runs when a claim survives its waiting period, with the won
 	// prefix and its expiry; the owner injects it into BGP and hands it
 	// to the MAASes. Called without locks held.
@@ -84,6 +89,9 @@ type Node struct {
 	pending     map[addr.Prefix]*pendingClaim
 	nextClaimID uint64
 	outbox      []outMsg
+	// evbuf collects events under the lock; they are emitted with the
+	// outbox after release so observers may call back into the node.
+	evbuf []obs.Event
 }
 
 type pendingClaim struct {
@@ -181,9 +189,9 @@ func (n *Node) Holdings() []Holding {
 func (n *Node) RequestSpace(size uint64, lifetime time.Duration) bool {
 	n.mu.Lock()
 	ok := n.claimLocked(size, lifetime, 0)
-	msgs := n.drainOutbox()
+	msgs, evs := n.drainOutbox()
 	n.mu.Unlock()
-	n.flush(msgs)
+	n.flush(msgs, evs)
 	return ok
 }
 
@@ -225,6 +233,7 @@ func (n *Node) claimLocked(size uint64, lifetime time.Duration, attempts int) bo
 		n.outbox = append(n.outbox, outMsg{n.parent, claim})
 	}
 	pc.timer = n.cfg.Clock.AfterFunc(n.cfg.WaitPeriod, func() { n.claimMatured(p) })
+	n.event(obs.MASCClaim, p)
 	return true
 }
 
@@ -241,14 +250,15 @@ func (n *Node) claimMatured(p addr.Prefix) {
 	expires := n.cfg.Clock.Now().Add(pc.life)
 	n.holdings = append(n.holdings, &Holding{Prefix: p, Active: true, Expires: expires})
 	n.scheduleExpiry(p, pc.life)
+	n.event(obs.MASCWon, p)
 	ranges := n.rangesLocked()
 	children := make([]wire.DomainID, 0, len(n.children))
 	for c := range n.children {
 		children = append(children, c)
 	}
-	msgs := n.drainOutbox()
+	msgs, evs := n.drainOutbox()
 	n.mu.Unlock()
-	n.flush(msgs)
+	n.flush(msgs, evs)
 	// Advertise the grown space to children.
 	adv := &wire.RangeAdvert{Owner: n.cfg.Domain, Ranges: ranges}
 	for _, c := range children {
@@ -280,10 +290,11 @@ func (n *Node) Release(p addr.Prefix) {
 		if n.hasParent {
 			n.outbox = append(n.outbox, outMsg{n.parent, rel})
 		}
+		n.event(obs.MASCReleased, p)
 	}
-	msgs := n.drainOutbox()
+	msgs, evs := n.drainOutbox()
 	n.mu.Unlock()
-	n.flush(msgs)
+	n.flush(msgs, evs)
 	if found && n.cfg.OnLost != nil {
 		n.cfg.OnLost(p)
 	}
@@ -356,9 +367,9 @@ func (n *Node) handleClaim(from wire.DomainID, m *wire.Claim) {
 		// Sibling claim: record it so our future claims avoid it.
 		n.heard.Record(m.Prefix)
 	}
-	msgs := n.drainOutbox()
+	msgs, evs := n.drainOutbox()
 	n.mu.Unlock()
-	n.flush(msgs)
+	n.flush(msgs, evs)
 }
 
 // pendingConflictLocked resolves a competing claim against our pending
@@ -392,6 +403,7 @@ func (n *Node) handleCollision(from wire.DomainID, m *wire.Collision) {
 	}
 	var lostHolding bool
 	if pc, ok := n.pending[m.Prefix]; ok {
+		n.event(obs.MASCCollision, m.Prefix)
 		n.abandonLocked(m.Prefix, pc)
 		if m.Reason == wire.CollideInUse && m.Conflict.Valid() {
 			// Avoid the objector's conflicting range — and only it —
@@ -407,14 +419,15 @@ func (n *Node) handleCollision(from wire.DomainID, m *wire.Collision) {
 				n.holdings = append(n.holdings[:i], n.holdings[i+1:]...)
 				n.heard.Release(m.Prefix)
 				n.heard.Record(m.Conflict) // still taken — by the winner
+				n.event(obs.MASCCollision, m.Prefix)
 				lostHolding = true
 				break
 			}
 		}
 	}
-	msgs := n.drainOutbox()
+	msgs, evs := n.drainOutbox()
 	n.mu.Unlock()
-	n.flush(msgs)
+	n.flush(msgs, evs)
 	if lostHolding && n.cfg.OnLost != nil {
 		n.cfg.OnLost(m.Prefix)
 	}
@@ -437,9 +450,9 @@ func (n *Node) scheduleRetry(pc *pendingClaim) {
 	n.cfg.Clock.AfterFunc(n.cfg.RetryDelay, func() {
 		n.mu.Lock()
 		n.claimLocked(size, life, attempts)
-		msgs := n.drainOutbox()
+		msgs, evs := n.drainOutbox()
 		n.mu.Unlock()
-		n.flush(msgs)
+		n.flush(msgs, evs)
 	})
 }
 
@@ -517,7 +530,10 @@ func (n *Node) lifetimeDue(p addr.Prefix, life time.Duration) {
 			children = append(children, c)
 		}
 		n.scheduleExpiry(p, life)
+		n.event(obs.MASCRenewed, p)
+		_, evs := n.drainOutbox()
 		n.mu.Unlock()
+		n.flush(nil, evs)
 		adv := &wire.RangeAdvert{Owner: n.cfg.Domain, Ranges: ranges}
 		for _, c := range children {
 			n.send(c, adv)
@@ -543,23 +559,36 @@ func (n *Node) lifetimeDue(p addr.Prefix, life time.Duration) {
 	if n.hasParent {
 		n.outbox = append(n.outbox, outMsg{n.parent, rel})
 	}
-	msgs := n.drainOutbox()
+	n.event(obs.MASCExpired, p)
+	msgs, evs := n.drainOutbox()
 	n.mu.Unlock()
-	n.flush(msgs)
+	n.flush(msgs, evs)
 	if n.cfg.OnLost != nil {
 		n.cfg.OnLost(p)
 	}
 }
 
-func (n *Node) drainOutbox() []outMsg {
-	msgs := n.outbox
-	n.outbox = nil
-	return msgs
+// event queues an observability event for post-unlock emission. Caller
+// holds n.mu.
+func (n *Node) event(kind obs.Kind, p addr.Prefix) {
+	if n.cfg.Obs == nil {
+		return
+	}
+	n.evbuf = append(n.evbuf, obs.Event{Kind: kind, Domain: n.cfg.Domain, Prefix: p})
 }
 
-func (n *Node) flush(msgs []outMsg) {
+func (n *Node) drainOutbox() ([]outMsg, []obs.Event) {
+	msgs, evs := n.outbox, n.evbuf
+	n.outbox, n.evbuf = nil, nil
+	return msgs, evs
+}
+
+func (n *Node) flush(msgs []outMsg, evs []obs.Event) {
 	for _, m := range msgs {
 		n.send(m.to, m.msg)
+	}
+	for _, e := range evs {
+		n.cfg.Obs.Emit(e)
 	}
 }
 

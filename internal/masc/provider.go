@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"mascbgmp/internal/addr"
+	"mascbgmp/internal/obs"
+	"mascbgmp/internal/wire"
 )
 
 // SpaceProvider is the allocation engine of a provider (parent) domain: it
@@ -22,8 +24,24 @@ type SpaceProvider struct {
 	rng      *rand.Rand
 	holdings []*Holding
 
+	obs       *obs.Observer
+	obsDomain wire.DomainID
+
 	// Stats counts expansion events.
 	Stats AllocStats
+}
+
+// SetObserver routes the provider's allocation events (claims, collisions,
+// wins, renewals, releases, and the mirrored BGP route injections) to o,
+// scoped to domain. Nil disables observation.
+func (sp *SpaceProvider) SetObserver(o *obs.Observer, domain wire.DomainID) {
+	sp.obs, sp.obsDomain = o, domain
+}
+
+func (sp *SpaceProvider) emit(kind obs.Kind, p addr.Prefix) {
+	if sp.obs != nil {
+		sp.obs.Emit(obs.Event{Kind: kind, Domain: sp.obsDomain, Prefix: p})
+	}
 }
 
 // NewSpaceProvider returns a provider claiming from up. Children claim from
@@ -126,9 +144,16 @@ func (sp *SpaceProvider) expandOnce(need uint64, now time.Time) bool {
 	}
 	if smallest != nil {
 		if d, ok := sp.up.Double(smallest.Prefix); ok {
+			old := smallest.Prefix
 			smallest.Prefix = d
 			sp.Stats.Doublings++
 			sp.syncSpaces()
+			// A doubling is a claim that succeeds immediately in the
+			// engine model; the route swap mirrors BGP re-injection.
+			sp.emit(obs.MASCClaim, d)
+			sp.emit(obs.MASCWon, d)
+			sp.emit(obs.BGPWithdraw, old)
+			sp.emit(obs.BGPAnnounce, d)
 			return true
 		}
 	}
@@ -143,6 +168,7 @@ func (sp *SpaceProvider) expandOnce(need uint64, now time.Time) bool {
 	}
 	p, ok := sp.up.PickClaim(maskLen, sp.rng)
 	if !ok || !sp.up.Claim(p) {
+		sp.emit(obs.MASCCollision, p)
 		return false
 	}
 	sp.holdings = append(sp.holdings, &Holding{
@@ -152,6 +178,9 @@ func (sp *SpaceProvider) expandOnce(need uint64, now time.Time) bool {
 	})
 	sp.Stats.ExtraClaims++
 	sp.syncSpaces()
+	sp.emit(obs.MASCClaim, p)
+	sp.emit(obs.MASCWon, p)
+	sp.emit(obs.BGPAnnounce, p)
 	return true
 }
 
@@ -164,9 +193,12 @@ func (sp *SpaceProvider) Tick(now time.Time) {
 			if sp.down.TakenWithin(h.Prefix) == 0 {
 				sp.up.Release(h.Prefix)
 				sp.Stats.Releases++
+				sp.emit(obs.MASCReleased, h.Prefix)
+				sp.emit(obs.BGPWithdraw, h.Prefix)
 				continue
 			}
 			h.Expires = now.Add(sp.strat.ClaimLifetime)
+			sp.emit(obs.MASCRenewed, h.Prefix)
 		}
 		kept = append(kept, h)
 	}

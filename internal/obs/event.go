@@ -1,0 +1,156 @@
+// Package obs is the protocol observability layer: a typed event bus and
+// an atomic-counter metrics registry shared by every protocol subsystem
+// (MASC, BGP-lite, BGMP, the transport, and the network assembly).
+//
+// The paper's entire evaluation is about observable protocol behavior —
+// address-space utilization, G-RIB size, claim/collision churn, join/prune
+// traffic (§4.3.3, §5.4) — and the instrumented layers report exactly
+// those quantities. Components hold an *Observer and call Emit; a nil
+// Observer (and a nil Metrics, Counter, …) is a no-op everywhere, so
+// un-observed hot paths pay a single branch.
+//
+// Layering: obs sits below transport and above wire/addr/simclock in the
+// internal import DAG. It imports only wire, addr, and the standard
+// library; every protocol package may import it.
+package obs
+
+import (
+	"fmt"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/wire"
+)
+
+// Kind enumerates the event types the protocol layers emit.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; Emit ignores events carrying it.
+	KindInvalid Kind = iota
+
+	// MASC address-allocation events (§4.1, §4.3).
+	MASCClaim     // a claim was selected and announced
+	MASCCollision // a collision was received for one of our claims
+	MASCWon       // a claim survived its waiting period
+	MASCExpired   // a holding lapsed at its lifetime
+	MASCRenewed   // a holding's lifetime was extended
+	MASCReleased  // a holding was given up before expiry
+
+	// BGP-lite route events (§4.2).
+	BGPAnnounce   // a route was advertised to a peer
+	BGPWithdraw   // a route was withdrawn from a peer
+	BGPBestChange // the best route for a prefix changed (lost when Count==0 handled via Event.Lost)
+
+	// BGMP tree events (§5).
+	BGMPJoin   // a (*,G) or (S,G) join was processed
+	BGMPPrune  // a (*,G) or (S,G) prune was processed
+	BGMPRepair // a shared tree re-attached after a route change or peer failure
+
+	// Data-plane events.
+	DataForwarded // a data packet crossed an inter-domain peering
+	DataEncap     // a data packet was unicast-encapsulated to another border router (§5.3)
+	DataDelivered // a data packet reached an interior member
+
+	// Transport events.
+	TransportSent // a wire message was written to a peering session
+	TransportRecv // a wire message was read from a peering session
+
+	// MAAS events.
+	MAASLease // a group address was leased to an application
+
+	kindCount // sentinel; keep last
+)
+
+var kindNames = [kindCount]string{
+	MASCClaim:     "masc.claim",
+	MASCCollision: "masc.collision",
+	MASCWon:       "masc.won",
+	MASCExpired:   "masc.expired",
+	MASCRenewed:   "masc.renewed",
+	MASCReleased:  "masc.released",
+	BGPAnnounce:   "bgp.announce",
+	BGPWithdraw:   "bgp.withdraw",
+	BGPBestChange: "bgp.best_change",
+	BGMPJoin:      "bgmp.join",
+	BGMPPrune:     "bgmp.prune",
+	BGMPRepair:    "bgmp.repair",
+	DataForwarded: "data.forwarded",
+	DataEncap:     "data.encap",
+	DataDelivered: "data.delivered",
+	TransportSent: "transport.sent",
+	TransportRecv: "transport.recv",
+	MAASLease:     "maas.lease",
+}
+
+// String returns the event kind's counter name, e.g. "masc.claim".
+func (k Kind) String() string {
+	if k == KindInvalid || k >= kindCount || kindNames[k] == "" {
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+	return kindNames[k]
+}
+
+// Event is one observed protocol occurrence. Kind and the two scope fields
+// are always meaningful; the rest are set per kind (zero values mean "not
+// applicable"). Event is a plain value so emission never allocates.
+type Event struct {
+	Kind Kind
+
+	// Domain and Router scope the event to the emitting protocol entity.
+	// Router is zero for domain-level events (MASC, MAAS, deliveries).
+	Domain wire.DomainID
+	Router wire.RouterID
+
+	// Peer is the counterpart router for peering-scoped events (BGP
+	// announce/withdraw, BGMP join/prune to a peer, transport, data hops).
+	Peer wire.RouterID
+
+	// Table selects the routing table for BGP events.
+	Table wire.Table
+
+	// Prefix carries the address range for MASC and BGP events.
+	Prefix addr.Prefix
+
+	// Group and Source carry the multicast flow for BGMP and data events.
+	Group  addr.Addr
+	Source addr.Addr
+
+	// Count is the event's magnitude for aggregated emissions (e.g. hop
+	// counts); zero means 1.
+	Count uint64
+}
+
+// N returns the event's magnitude (Count, or 1 when Count is zero).
+func (e Event) N() uint64 {
+	if e.Count == 0 {
+		return 1
+	}
+	return e.Count
+}
+
+// String renders the event as one deterministic trace line.
+func (e Event) String() string {
+	s := e.Kind.String()
+	if e.Domain != 0 {
+		s += fmt.Sprintf(" domain=%d", e.Domain)
+	}
+	if e.Router != 0 {
+		s += fmt.Sprintf(" router=%d", e.Router)
+	}
+	if e.Peer != 0 {
+		s += fmt.Sprintf(" peer=%d", e.Peer)
+	}
+	if e.Prefix.Valid() && e.Prefix.Len > 0 {
+		s += fmt.Sprintf(" prefix=%v", e.Prefix)
+	}
+	if e.Group != 0 {
+		s += fmt.Sprintf(" group=%v", e.Group)
+	}
+	if e.Source != 0 {
+		s += fmt.Sprintf(" source=%v", e.Source)
+	}
+	if e.Count > 1 {
+		s += fmt.Sprintf(" n=%d", e.Count)
+	}
+	return s
+}

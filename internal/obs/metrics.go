@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mascbgmp/internal/wire"
+)
+
+// CounterKey identifies one counter: a metric name plus its scope. Router
+// is zero for domain-level counters; both are zero for global counters.
+type CounterKey struct {
+	Name   string
+	Domain wire.DomainID
+	Router wire.RouterID
+}
+
+// String renders the key deterministically, e.g.
+// "bgmp.join domain=2 router=21".
+func (k CounterKey) String() string {
+	s := k.Name
+	if k.Domain != 0 {
+		s += fmt.Sprintf(" domain=%d", k.Domain)
+	}
+	if k.Router != 0 {
+		s += fmt.Sprintf(" router=%d", k.Router)
+	}
+	return s
+}
+
+// Counter is one atomic counter. The zero value is ready to use; a nil
+// *Counter ignores all operations so callers can hold one unconditionally.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. Safe on nil.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. Safe on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. A nil counter reads zero.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Metrics is a registry of named, scoped counters. Registration takes a
+// mutex; increments on retrieved counters are lock-free atomics. A nil
+// *Metrics is a no-op registry whose lookups return nil counters.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[CounterKey]*Counter
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: map[CounterKey]*Counter{}}
+}
+
+// Counter returns the counter for key, creating it at zero on first use.
+// The returned handle may be cached and incremented without locks. Safe on
+// nil (returns a nil counter).
+func (m *Metrics) Counter(name string, domain wire.DomainID, router wire.RouterID) *Counter {
+	if m == nil {
+		return nil
+	}
+	k := CounterKey{Name: name, Domain: domain, Router: router}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[k]
+	if c == nil {
+		c = &Counter{}
+		m.counters[k] = c
+	}
+	return c
+}
+
+// Global returns the unscoped counter for name.
+func (m *Metrics) Global(name string) *Counter { return m.Counter(name, 0, 0) }
+
+// Snapshot captures every counter's value at one instant. Snapshots are
+// plain values: comparable with Diff, renderable with String/Totals.
+type Snapshot struct {
+	counts map[CounterKey]uint64
+}
+
+// Snapshot returns the current values of all registered counters. Safe on
+// nil (returns an empty snapshot).
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{counts: map[CounterKey]uint64{}}
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, c := range m.counters {
+		s.counts[k] = c.Value()
+	}
+	return s
+}
+
+// Get returns the snapshotted value for one key.
+func (s Snapshot) Get(name string, domain wire.DomainID, router wire.RouterID) uint64 {
+	return s.counts[CounterKey{Name: name, Domain: domain, Router: router}]
+}
+
+// Total sums the snapshotted value of name across every scope.
+func (s Snapshot) Total(name string) uint64 {
+	var n uint64
+	for k, v := range s.counts {
+		if k.Name == name {
+			n += v
+		}
+	}
+	return n
+}
+
+// Len returns the number of counters captured.
+func (s Snapshot) Len() int { return len(s.counts) }
+
+// Diff returns a snapshot holding, for every key in s, the increase since
+// prev (keys that did not grow are omitted). Counters are monotonic, so a
+// diff is itself a valid snapshot of "what happened in between".
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{counts: map[CounterKey]uint64{}}
+	for k, v := range s.counts {
+		if dv := v - prev.counts[k]; dv > 0 {
+			d.counts[k] = dv
+		}
+	}
+	return d
+}
+
+// sortedKeys returns the snapshot's keys ordered by (name, domain, router).
+func (s Snapshot) sortedKeys() []CounterKey {
+	keys := make([]CounterKey, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		return a.Router < b.Router
+	})
+	return keys
+}
+
+// String renders every nonzero counter, one per line, sorted by
+// (name, domain, router). The rendering is deterministic: equal snapshots
+// produce identical strings.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, k := range s.sortedKeys() {
+		if v := s.counts[k]; v > 0 {
+			fmt.Fprintf(&b, "%s %d\n", k, v)
+		}
+	}
+	return b.String()
+}
+
+// Totals renders per-name totals across all scopes, one per line, sorted
+// by name — the compact form the simulation commands print.
+func (s Snapshot) Totals() string {
+	totals := map[string]uint64{}
+	for k, v := range s.counts {
+		totals[k.Name] += v
+	}
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		if totals[n] > 0 {
+			fmt.Fprintf(&b, "%-18s %d\n", n, totals[n])
+		}
+	}
+	return b.String()
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"mascbgmp/internal/obs"
 	"mascbgmp/internal/wire"
 )
 
@@ -21,6 +22,11 @@ type Peer struct {
 
 	handler func(*Peer, wire.Message)
 	onClose func(*Peer, error)
+
+	out, in *Flight
+	obs     *obs.Observer
+	sent    *obs.Counter
+	recv    *obs.Counter
 
 	mu     sync.Mutex
 	closed bool
@@ -43,6 +49,14 @@ type PeerConfig struct {
 	// seconds (enforced via read deadlines). Zero disables both, which
 	// suits in-process pipes.
 	KeepaliveEvery time.Duration
+	// Out and In account this session's two directed streams against a
+	// Tracker for quiescence detection: Out is the stream this peer
+	// writes, In the stream it reads (the remote side's Out). Nil
+	// disables tracking.
+	Out, In *Flight
+	// Obs, if set, counts every message written and read on this session
+	// (transport.sent / transport.recv), scoped by Local.Domain/Router.
+	Obs *obs.Observer
 }
 
 // StartPeer performs the Open handshake on mc and starts the receive loop.
@@ -59,6 +73,11 @@ func StartPeer(mc *MsgConn, cfg PeerConfig) (*Peer, error) {
 		remote:  remote,
 		handler: cfg.Handler,
 		onClose: cfg.OnClose,
+		out:     cfg.Out,
+		in:      cfg.In,
+		obs:     cfg.Obs,
+		sent:    cfg.Obs.Metrics().Counter(obs.TransportSent.String(), cfg.Local.Domain, cfg.Local.Router),
+		recv:    cfg.Obs.Metrics().Counter(obs.TransportRecv.String(), cfg.Local.Domain, cfg.Local.Router),
 		done:    make(chan struct{}),
 	}
 	if cfg.KeepaliveEvery > 0 {
@@ -75,7 +94,15 @@ func (p *Peer) Remote() wire.Open { return p.remote }
 func (p *Peer) Local() wire.Open { return p.local }
 
 // Send transmits msg to the peer.
-func (p *Peer) Send(msg wire.Message) error { return p.mc.Write(msg) }
+func (p *Peer) Send(msg wire.Message) error {
+	p.out.Sent()
+	if err := p.mc.Write(msg); err != nil {
+		p.out.Handled() // never entered the stream
+		return err
+	}
+	p.sent.Inc()
+	return nil
+}
 
 // Close terminates the session. The OnClose callback observes a nil error.
 func (p *Peer) Close() error {
@@ -95,6 +122,10 @@ func (p *Peer) finish(err error) {
 	p.closed = true
 	p.mu.Unlock()
 	p.mc.Close()
+	// Messages still in transit on a dead session will never be handled;
+	// release them so Quiesce cannot wedge.
+	p.out.Close()
+	p.in.Close()
 	if p.onClose != nil {
 		p.onClose(p, err)
 	}
@@ -114,19 +145,26 @@ func (p *Peer) readLoop(useHold bool) {
 			p.finish(err)
 			return
 		}
+		p.recv.Inc()
 		switch msg.(type) {
 		case *wire.Keepalive:
 			// refreshes the read deadline implicitly
+			p.in.Handled()
 		case *wire.Notification:
 			if p.handler != nil {
 				p.handler(p, msg)
 			}
+			p.in.Handled()
 			p.finish(nil)
 			return
 		default:
 			if p.handler != nil {
 				p.handler(p, msg)
 			}
+			// Handled only after the handler returns: follow-up messages
+			// the handler sent are already counted, so the tracker never
+			// dips to zero mid-cascade.
+			p.in.Handled()
 		}
 	}
 }

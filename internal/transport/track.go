@@ -1,0 +1,156 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrQuiesceTimeout is returned (wrapped) when in-flight messages fail to
+// drain within a Quiesce deadline.
+var ErrQuiesceTimeout = errors.New("transport: quiesce timeout")
+
+// Tracker counts messages in flight across a set of peering sessions so a
+// caller can wait for the network to go quiet instead of sleeping a fixed
+// duration. A message is in flight from the moment a sender commits to
+// writing it until the receiver's handler has finished processing it —
+// handler-generated follow-up messages are counted before the triggering
+// message is released, so the count only reaches zero once every message
+// cascade has fully drained.
+//
+// The zero value is ready to use; a nil *Tracker disables tracking.
+type Tracker struct {
+	mu sync.Mutex
+	n  int64
+	// waiters are closed and cleared whenever n returns to zero.
+	waiters []chan struct{}
+}
+
+// add adjusts the in-flight count, waking waiters at zero.
+func (t *Tracker) add(delta int64) {
+	if t == nil || delta == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.n += delta
+	if t.n < 0 { // defensive: never go negative on double-release
+		t.n = 0
+	}
+	if t.n == 0 {
+		for _, w := range t.waiters {
+			close(w)
+		}
+		t.waiters = nil
+	}
+	t.mu.Unlock()
+}
+
+// InFlight returns the current number of tracked messages.
+func (t *Tracker) InFlight() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Quiesce blocks until the in-flight count reaches zero, or until timeout
+// elapses, in which case it reports the stuck count. A nil tracker is
+// always quiescent.
+func (t *Tracker) Quiesce(timeout time.Duration) error {
+	if t == nil {
+		return nil
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		t.mu.Lock()
+		if t.n == 0 {
+			t.mu.Unlock()
+			return nil
+		}
+		w := make(chan struct{})
+		t.waiters = append(t.waiters, w)
+		n := t.n
+		t.mu.Unlock()
+		select {
+		case <-w:
+			// Re-check: another message may already be in flight, which
+			// means the cascade has not drained — keep waiting.
+		case <-deadline.C:
+			return fmt.Errorf("%w: %d message(s) still in flight after %v", ErrQuiesceTimeout, n, timeout)
+		}
+	}
+}
+
+// NewFlight returns a Flight accounting one direction of one peering
+// against this tracker. Safe on nil (returns a nil, no-op Flight).
+func (t *Tracker) NewFlight() *Flight {
+	if t == nil {
+		return nil
+	}
+	return &Flight{t: t}
+}
+
+// Flight tracks the messages of one directed sender→receiver stream. The
+// sender calls Sent when it commits a message to the stream; the receiver
+// calls Handled after processing it. Close releases whatever is still in
+// transit when the session dies, so lost messages cannot wedge Quiesce.
+//
+// A nil *Flight is a no-op.
+type Flight struct {
+	t      *Tracker
+	mu     sync.Mutex
+	n      int64
+	closed bool
+}
+
+// Sent records one message entering the stream.
+func (f *Flight) Sent() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.n++
+	f.mu.Unlock()
+	f.t.add(1)
+}
+
+// Handled records one message fully processed by the receiver.
+func (f *Flight) Handled() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.closed || f.n == 0 {
+		f.mu.Unlock()
+		return
+	}
+	f.n--
+	f.mu.Unlock()
+	f.t.add(-1)
+}
+
+// Close releases any messages still in transit on this stream (the
+// session died with them queued) and ignores further activity.
+func (f *Flight) Close() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	stuck := f.n
+	f.n = 0
+	f.mu.Unlock()
+	f.t.add(-stuck)
+}

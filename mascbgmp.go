@@ -25,7 +25,7 @@
 //
 // # Quick start
 //
-//	net := mascbgmp.NewNetwork(mascbgmp.Config{Seed: 1, Synchronous: true,
+//	net, err := mascbgmp.NewNetwork(mascbgmp.Config{Seed: 1, Synchronous: true,
 //		Clock: mascbgmp.NewSimClock(time.Now())})
 //	net.AddDomain(mascbgmp.DomainConfig{ID: 1, Routers: []mascbgmp.RouterID{11},
 //		Protocol: mascbgmp.NewDVMRP(), TopLevel: true})
@@ -50,8 +50,10 @@ import (
 	"mascbgmp/internal/migp/mospf"
 	"mascbgmp/internal/migp/pimdm"
 	"mascbgmp/internal/migp/pimsm"
+	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
 	"mascbgmp/internal/topology"
+	"mascbgmp/internal/transport"
 	"mascbgmp/internal/wire"
 )
 
@@ -69,6 +71,64 @@ type (
 	Router = core.Router
 	// Delivery records one packet reaching one interior member.
 	Delivery = core.Delivery
+	// ConfigError reports an invalid Config field combination from
+	// Config.Validate / NewNetwork.
+	ConfigError = core.ConfigError
+)
+
+// Observability types. Pass a NewObserver() as Config.Observer (or wire it
+// into the experiment configs) to count protocol events — MASC claims and
+// collisions, BGP route churn, BGMP joins/prunes and repairs, data-plane
+// hops and deliveries — and to subscribe to the live event stream.
+type (
+	// Observer fans protocol events out to subscribers and the metrics
+	// registry. The zero of everything: a nil *Observer disables
+	// observation at no cost.
+	Observer = obs.Observer
+	// Metrics is a registry of named, scope-keyed atomic counters.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a point-in-time copy of a Metrics registry with
+	// deterministic rendering and diffing.
+	MetricsSnapshot = obs.Snapshot
+	// Event is one observed protocol event.
+	Event = obs.Event
+	// EventKind enumerates observable protocol events.
+	EventKind = obs.Kind
+)
+
+// Event kinds, re-exported for subscribers filtering the stream.
+const (
+	EventMASCClaim     = obs.MASCClaim
+	EventMASCCollision = obs.MASCCollision
+	EventMASCWon       = obs.MASCWon
+	EventMASCExpired   = obs.MASCExpired
+	EventMASCRenewed   = obs.MASCRenewed
+	EventMASCReleased  = obs.MASCReleased
+	EventBGPAnnounce   = obs.BGPAnnounce
+	EventBGPWithdraw   = obs.BGPWithdraw
+	EventBGPBestChange = obs.BGPBestChange
+	EventBGMPJoin      = obs.BGMPJoin
+	EventBGMPPrune     = obs.BGMPPrune
+	EventBGMPRepair    = obs.BGMPRepair
+	EventDataForwarded = obs.DataForwarded
+	EventDataEncap     = obs.DataEncap
+	EventDataDelivered = obs.DataDelivered
+	EventTransportSent = obs.TransportSent
+	EventTransportRecv = obs.TransportRecv
+	EventMAASLease     = obs.MAASLease
+)
+
+// NewObserver returns an Observer backed by a fresh Metrics registry.
+func NewObserver() *Observer { return obs.NewObserver() }
+
+// Network lifecycle errors.
+var (
+	// ErrNotLinked is wrapped by Network.Unlink when no such peering
+	// exists.
+	ErrNotLinked = core.ErrNotLinked
+	// ErrQuiesceTimeout is wrapped by Network.Quiesce when in-flight
+	// messages fail to drain in time.
+	ErrQuiesceTimeout = transport.ErrQuiesceTimeout
 )
 
 // Identifier and address types.
@@ -161,8 +221,9 @@ type (
 	GraphDomainID = topology.DomainID
 )
 
-// NewNetwork returns an empty network.
-func NewNetwork(cfg Config) *Network { return core.NewNetwork(cfg) }
+// NewNetwork returns an empty network, or a *ConfigError when cfg fails
+// Config.Validate.
+func NewNetwork(cfg Config) (*Network, error) { return core.NewNetwork(cfg) }
 
 // NewSimClock returns a simulated clock starting at the given instant.
 func NewSimClock(start time.Time) *SimClock { return simclock.NewSim(start) }
