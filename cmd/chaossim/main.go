@@ -1,0 +1,99 @@
+// Command chaossim measures protocol recovery under injected failure: a
+// three-domain internetwork with a redundant path runs with session
+// supervision (hold timers, exponential-backoff reconnect) while the fault
+// plane drops data and keepalives at a swept loss rate and crashes the
+// direct-path border router. For each loss rate it reports the delivery
+// ratio during the lossy steady state, the sim-time to reroute onto the
+// surviving path after the crash, and the sim-time to reconverge onto the
+// direct path after the restart. Expected bands are recorded in
+// EXPERIMENTS.md.
+//
+// The sweep is fully deterministic: a fixed -seed yields byte-identical
+// event snapshots (-metrics) across runs.
+//
+// Usage:
+//
+//	chaossim [-seed 1998] [-loss 0,0.05,0.1,0.2] [-hold 30s] [-backoff 15s]
+//	         [-crash 5m] [-groups 3] [-packets 50] [-metrics] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mascbgmp"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1998, "random seed")
+		loss    = flag.String("loss", "", "comma-separated loss rates in [0,1) (default: the recorded 0,0.05,0.1,0.2 sweep)")
+		hold    = flag.Duration("hold", 30*time.Second, "session hold time (keepalives every third)")
+		backoff = flag.Duration("backoff", 15*time.Second, "initial reconnect backoff (doubles per failure)")
+		crash   = flag.Duration("crash", 5*time.Minute, "how long the crashed border router stays down")
+		groups  = flag.Int("groups", 3, "multicast groups rooted in the source domain")
+		packets = flag.Int("packets", 50, "probe packets per group during the lossy phase")
+		metrics = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
+		trace   = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
+	)
+	flag.Parse()
+
+	cfg := mascbgmp.DefaultChaosConfig()
+	cfg.Seed = *seed
+	cfg.HoldTime = *hold
+	cfg.ReconnectBackoff = *backoff
+	cfg.CrashFor = *crash
+	cfg.Groups = *groups
+	cfg.Packets = *packets
+	if *loss != "" {
+		cfg.LossRates = nil
+		for _, f := range strings.Split(*loss, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v < 0 || v >= 1 {
+				fmt.Fprintf(os.Stderr, "chaossim: bad -loss entry %q\n", f)
+				os.Exit(2)
+			}
+			cfg.LossRates = append(cfg.LossRates, v)
+		}
+	}
+
+	var ob *mascbgmp.Observer
+	if *metrics || *trace {
+		ob = mascbgmp.NewObserver()
+		cfg.Obs = ob
+		if *trace {
+			ob.Subscribe(func(e mascbgmp.Event) { fmt.Fprintln(os.Stderr, e) })
+		}
+	}
+
+	pts, err := mascbgmp.RunChaos(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaossim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("loss,delivery_ratio,reroute_s,reconverge_s,session_downs,session_ups,recovered")
+	for _, p := range pts {
+		fmt.Printf("%.2f,%.3f,%.0f,%.0f,%d,%d,%t\n",
+			p.Loss, p.DeliveryRatio, p.Reroute.Seconds(), p.Reconverge.Seconds(),
+			p.SessionDowns, p.SessionUps, p.Recovered)
+	}
+
+	fmt.Fprintf(os.Stderr, "\n# recovery vs loss rate (hold %v, backoff %v, crash %v)\n", *hold, *backoff, *crash)
+	for _, p := range pts {
+		state := "recovered"
+		if !p.Recovered {
+			state = "DEGRADED"
+		}
+		fmt.Fprintf(os.Stderr, "loss %4.0f%%: delivery %5.1f%%, reroute %3.0fs after crash, reconverge %3.0fs after restart, %s\n",
+			p.Loss*100, p.DeliveryRatio*100, p.Reroute.Seconds(), p.Reconverge.Seconds(), state)
+	}
+
+	if *metrics {
+		fmt.Fprintf(os.Stderr, "\n# protocol event counters\n%s", ob.Snapshot().Totals())
+	}
+}

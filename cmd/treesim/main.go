@@ -11,6 +11,7 @@
 //
 //	treesim [-domains 3326] [-peering 350] [-seed 1998] [-trials 5]
 //	        [-sizes 1,2,5,...] [-random-root] [-summary] [-metrics] [-trace]
+//	        [-fault-links N] [-fault-loss P]
 package main
 
 import (
@@ -34,6 +35,8 @@ func main() {
 		summary    = flag.Bool("summary", false, "print only the overall summary")
 		metrics    = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
 		trace      = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
+		faultLinks = flag.Int("fault-links", 0, "remove N non-bridge links from the topology before the sweep")
+		faultLoss  = flag.Float64("fault-loss", 0, "per-hop data loss probability on sampled deliveries (0..1)")
 	)
 	flag.Parse()
 
@@ -43,6 +46,12 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Trials = *trials
 	cfg.RandomRoot = *randomRoot
+	cfg.FaultLinks = *faultLinks
+	cfg.FaultLoss = *faultLoss
+	if *faultLoss < 0 || *faultLoss >= 1 {
+		fmt.Fprintln(os.Stderr, "treesim: -fault-loss must be in [0, 1)")
+		os.Exit(2)
+	}
 	if *sizes != "" {
 		cfg.GroupSizes = nil
 		for _, f := range strings.Split(*sizes, ",") {
@@ -67,10 +76,18 @@ func main() {
 	pts := mascbgmp.RunFig4(cfg)
 
 	if !*summary {
-		fmt.Println("receivers,uni_avg,uni_max,bidir_avg,bidir_max,hybrid_avg,hybrid_max,tree_size")
+		if *faultLoss > 0 {
+			fmt.Println("receivers,uni_avg,uni_max,bidir_avg,bidir_max,hybrid_avg,hybrid_max,tree_size,delivery_ratio")
+		} else {
+			fmt.Println("receivers,uni_avg,uni_max,bidir_avg,bidir_max,hybrid_avg,hybrid_max,tree_size")
+		}
 		for _, p := range pts {
-			fmt.Printf("%d,%.3f,%.2f,%.3f,%.2f,%.3f,%.2f,%.0f\n",
+			fmt.Printf("%d,%.3f,%.2f,%.3f,%.2f,%.3f,%.2f,%.0f",
 				p.Receivers, p.UniAvg, p.UniMax, p.BidirAvg, p.BidirMax, p.HybridAvg, p.HybridMax, p.TreeSize)
+			if *faultLoss > 0 {
+				fmt.Printf(",%.3f", p.DeliveryRatio)
+			}
+			fmt.Println()
 		}
 	}
 

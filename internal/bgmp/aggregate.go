@@ -33,17 +33,20 @@ func (c *Component) CompressState(p addr.Prefix) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	// Partition covered groups by their canonical target signature.
+	// Partition covered groups by their canonical target signature,
+	// visiting groups in address order so each signature's group list —
+	// and hence the proto entry choice below — is deterministic.
 	bySig := map[string][]addr.Addr{}
-	for g, e := range c.groups {
+	for _, g := range sortedGroups(c.groups) {
 		if !p.Contains(g) {
 			continue
 		}
-		bySig[entrySig(e)] = append(bySig[entrySig(e)], g)
+		sig := entrySig(c.groups[g])
+		bySig[sig] = append(bySig[sig], g)
 	}
 	var bestSig string
-	for sig, gs := range bySig {
-		if len(gs) > len(bySig[bestSig]) {
+	for _, sig := range sortedSigs(bySig) {
+		if len(bySig[sig]) > len(bySig[bestSig]) {
 			bestSig = sig
 		}
 	}
@@ -62,6 +65,17 @@ func (c *Component) CompressState(p addr.Prefix) int {
 		delete(c.groups, g)
 	}
 	return len(gs)
+}
+
+// sortedSigs returns bySig's keys in lexicographic order, so ties between
+// equally large partitions break the same way on every run.
+func sortedSigs(bySig map[string][]addr.Addr) []string {
+	sigs := make([]string, 0, len(bySig))
+	for sig := range bySig {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	return sigs
 }
 
 // entrySig builds a canonical signature of an entry's parent and children.

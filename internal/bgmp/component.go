@@ -86,6 +86,12 @@ type Component struct {
 	// be re-exported up the shared tree (they would loop B2↔F1 in the
 	// paper's Fig 3(b) topology).
 	importedSG map[sgKey]bool
+	// orphans parks (*,G) entries whose G-RIB route vanished (or never
+	// existed at join time). The child list is kept so that when a
+	// covering route reappears — a session recovered, BGP resynced —
+	// RouteChanged can re-attach the tree without waiting for downstream
+	// routers to re-issue joins. Orphans hold no forwarding state.
+	orphans map[addr.Addr]*entry
 	// out buffers messages generated under the lock.
 	out []outItem
 	// evbuf collects events under the lock; they are emitted with the
@@ -106,6 +112,7 @@ func New(cfg Config) *Component {
 		srcs:       map[sgKey]*entry{},
 		encapFrom:  map[sgKey]wire.RouterID{},
 		importedSG: map[sgKey]bool{},
+		orphans:    map[addr.Addr]*entry{},
 	}
 }
 
@@ -155,6 +162,30 @@ func (c *Component) HasGroupState(g addr.Addr) bool {
 	defer c.mu.Unlock()
 	_, ok := c.groups[g]
 	return ok
+}
+
+// Orphaned reports whether g's tree interest is parked waiting for a
+// G-RIB route (see Component.orphans).
+func (c *Component) Orphaned(g addr.Addr) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.orphans[g]
+	return ok
+}
+
+// Reset drops every piece of forwarding and bookkeeping state, modeling a
+// router process crash: the restarted BGMP speaker comes back empty and
+// relearns its trees from fresh joins and route updates.
+func (c *Component) Reset() {
+	c.mu.Lock()
+	c.groups = map[addr.Addr]*entry{}
+	c.srcs = map[sgKey]*entry{}
+	c.prefixes = nil
+	c.encapFrom = map[sgKey]wire.RouterID{}
+	c.importedSG = map[sgKey]bool{}
+	c.orphans = map[addr.Addr]*entry{}
+	c.out, c.evbuf = nil, nil
+	c.mu.Unlock()
 }
 
 // HasForwardingState reports whether the router can forward g's data from
@@ -264,7 +295,15 @@ func (c *Component) joinLocked(g addr.Addr, child Target) {
 	if !ok {
 		parent, root, ok2 := c.parentForGroup(g)
 		if !ok2 {
-			return // no G-RIB route: cannot join
+			// No G-RIB route: park the interest as an orphan so the join
+			// propagates the moment a covering route (re)appears.
+			oe, had := c.orphans[g]
+			if !had {
+				oe = newEntry(Target{}, false)
+				c.orphans[g] = oe
+			}
+			oe.addChild(child)
+			return
 		}
 		e = newEntry(parent, root)
 		c.groups[g] = e
@@ -291,6 +330,14 @@ func (c *Component) pruneLocked(g addr.Addr, child Target) {
 	if !ok {
 		e = c.materializeLocked(g)
 		if e == nil {
+			// The group may be parked as an orphan (no route); retract the
+			// child's interest there so a later rejoin is accurate.
+			if oe, had := c.orphans[g]; had {
+				oe.removeChild(child)
+				if len(oe.children) == 0 {
+					delete(c.orphans, g)
+				}
+			}
 			return
 		}
 	}

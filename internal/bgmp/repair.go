@@ -1,6 +1,8 @@
 package bgmp
 
 import (
+	"sort"
+
 	"mascbgmp/internal/addr"
 	"mascbgmp/internal/obs"
 	"mascbgmp/internal/wire"
@@ -14,11 +16,52 @@ import (
 // root domain. The paper's stability requirement (§3) argues against
 // *frequent* reshaping — repair only runs on actual route changes, never
 // on membership churn.
+//
+// All repair paths iterate entry maps in sorted key order so that the
+// emitted messages and obs events are identical across same-seed runs.
+
+// sortedGroups returns m's keys in ascending order. Caller holds c.mu.
+func sortedGroups(m map[addr.Addr]*entry) []addr.Addr {
+	gs := make([]addr.Addr, 0, len(m))
+	for g := range m {
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	return gs
+}
+
+// sortedSGKeys returns m's keys ordered by (group, source). Caller holds
+// c.mu.
+func sortedSGKeys(m map[sgKey]*entry) []sgKey {
+	ks := make([]sgKey, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].group != ks[j].group {
+			return ks[i].group < ks[j].group
+		}
+		return ks[i].src < ks[j].src
+	})
+	return ks
+}
+
+// dropSharedClonesLocked removes (S,G) shared-clone state for g: it
+// inherited the (*,G) entry's now-stale target list and is rebuilt lazily
+// from fresh prunes. Caller holds c.mu.
+func (c *Component) dropSharedClonesLocked(g addr.Addr) {
+	for _, k := range sortedSGKeys(c.srcs) {
+		if k.group == g && c.srcs[k].sharedClone {
+			delete(c.srcs, k)
+		}
+	}
+}
 
 // RouteChanged re-resolves the parent target of every (*,G) entry covered
 // by prefix (the changed G-RIB route). Entries whose lookup now fails are
-// torn down (children are pruned implicitly when data stops; explicit
-// prunes go upstream where possible).
+// parked as orphans — children retained, forwarding state gone — and
+// orphans that regain a covering route are re-attached and re-joined
+// upstream, the recovery half of session repair.
 func (c *Component) RouteChanged(prefix addr.Prefix) {
 	c.mu.Lock()
 	type change struct {
@@ -28,17 +71,24 @@ func (c *Component) RouteChanged(prefix addr.Prefix) {
 		newParent Target
 		newRoot   bool
 		torn      bool
+		rejoined  bool
 	}
 	var changes []change
-	for g, e := range c.groups {
+	for _, g := range sortedGroups(c.groups) {
 		if !prefix.Contains(g) {
 			continue
 		}
+		e := c.groups[g]
 		parent, root, ok := c.parentForGroup(g)
 		if !ok {
-			// No route at all anymore: tear the entry down.
+			// No route at all anymore: tear the forwarding entry down but
+			// remember the children, so a returning route re-attaches the
+			// tree without waiting for downstream rejoins.
 			changes = append(changes, change{g: g, oldParent: e.parent, oldRoot: e.root, torn: true})
 			delete(c.groups, g)
+			c.dropSharedClonesLocked(g)
+			e.parent, e.root = Target{}, false
+			c.orphans[g] = e
 			continue
 		}
 		if parent.key() == e.parent.key() && root == e.root {
@@ -52,20 +102,33 @@ func (c *Component) RouteChanged(prefix addr.Prefix) {
 		e.root = root
 		// Dependent shared-clone (S,G) state inherited the old parent;
 		// rebuild it lazily (drop it — prunes re-establish if needed).
-		for k, se := range c.srcs {
-			if k.group == g && se.sharedClone {
-				delete(c.srcs, k)
-			}
+		c.dropSharedClonesLocked(g)
+	}
+	// Orphans covered by the changed prefix may have a route again.
+	for _, g := range sortedGroups(c.orphans) {
+		if !prefix.Contains(g) {
+			continue
 		}
+		parent, root, ok := c.parentForGroup(g)
+		if !ok {
+			continue
+		}
+		e := c.orphans[g]
+		delete(c.orphans, g)
+		e.parent, e.root = parent, root
+		c.groups[g] = e
+		changes = append(changes, change{g: g, newParent: parent, newRoot: root, rejoined: true})
 	}
 	for _, ch := range changes {
 		c.event(obs.Event{Kind: obs.BGMPRepair, Group: ch.g, Prefix: prefix})
-		// Prune away from the old parent.
-		switch {
-		case ch.oldRoot:
-			c.out = append(c.out, outItem{target: MIGPTarget, msg: migpLeave{group: ch.g}})
-		default:
-			c.out = append(c.out, outItem{target: ch.oldParent, msg: &wire.GroupPrune{Group: ch.g}})
+		if !ch.rejoined {
+			// Prune away from the old parent.
+			switch {
+			case ch.oldRoot:
+				c.out = append(c.out, outItem{target: MIGPTarget, msg: migpLeave{group: ch.g}})
+			default:
+				c.out = append(c.out, outItem{target: ch.oldParent, msg: &wire.GroupPrune{Group: ch.g}})
+			}
 		}
 		if ch.torn {
 			continue
@@ -90,7 +153,8 @@ func (c *Component) RouteChanged(prefix addr.Prefix) {
 func (c *Component) PeerDown(peer wire.RouterID) {
 	t := PeerTarget(peer)
 	c.mu.Lock()
-	for g, e := range c.groups {
+	for _, g := range sortedGroups(c.groups) {
+		e := c.groups[g]
 		if !e.children[t] {
 			continue
 		}
@@ -100,22 +164,28 @@ func (c *Component) PeerDown(peer wire.RouterID) {
 		}
 		delete(c.groups, g)
 		c.event(obs.Event{Kind: obs.BGMPRepair, Group: g})
-		for k, se := range c.srcs {
-			if k.group == g && se.sharedClone {
-				delete(c.srcs, k)
-			}
-		}
+		c.dropSharedClonesLocked(g)
 		if e.root {
 			c.out = append(c.out, outItem{target: MIGPTarget, msg: migpLeave{group: g}})
 		} else {
 			c.out = append(c.out, outItem{target: e.parent, msg: &wire.GroupPrune{Group: g}})
 		}
 	}
-	for k, se := range c.srcs {
-		if se.children[t] {
+	for _, k := range sortedSGKeys(c.srcs) {
+		if se := c.srcs[k]; se.children[t] {
 			se.removeChild(t)
 		}
-		_ = k
+	}
+	// The dead peer's parked interest must not trigger a rejoin later.
+	for _, g := range sortedGroups(c.orphans) {
+		oe := c.orphans[g]
+		if !oe.children[t] {
+			continue
+		}
+		oe.removeChild(t)
+		if len(oe.children) == 0 {
+			delete(c.orphans, g)
+		}
 	}
 	out, evs := c.drain()
 	c.mu.Unlock()

@@ -1,6 +1,7 @@
 package bgmp
 
 import (
+	"fmt"
 	"testing"
 
 	"mascbgmp/internal/addr"
@@ -149,5 +150,222 @@ func TestPeerDownUnknownPeerHarmless(t *testing.T) {
 	rig.comp.PeerDown(99)
 	if !rig.comp.HasGroupState(groupG) {
 		t.Fatal("unrelated peer-down destroyed state")
+	}
+}
+
+func TestRouteChangedMidBatchPartialLoss(t *testing.T) {
+	// Two groups under one covering prefix; mid-batch, the G-RIB lookup
+	// fails for only one of them. The survivor is re-parented; the loser
+	// is torn down (and orphaned), each with the right upstream traffic.
+	rig := newRig(1, 5, false)
+	g2 := addr.MakeAddr(224, 0, 128, 2)
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+	rig.groups[g2] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: g2})
+	rig.sent = nil
+
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 4}
+	delete(rig.groups, g2) // lookup now fails for g2 only
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+
+	if parent, _, ok := rig.comp.GroupEntry(groupG); !ok || parent != PeerTarget(4) {
+		t.Fatalf("survivor parent = %v ok=%v, want peer 4", parent, ok)
+	}
+	if rig.comp.HasGroupState(g2) {
+		t.Fatal("torn group kept forwarding state")
+	}
+	if !rig.comp.Orphaned(g2) {
+		t.Fatal("torn group was not orphaned")
+	}
+	prunes := map[wire.RouterID][]addr.Addr{}
+	joins := map[wire.RouterID][]addr.Addr{}
+	for _, s := range rig.sent {
+		switch m := s.msg.(type) {
+		case *wire.GroupPrune:
+			prunes[s.to] = append(prunes[s.to], m.Group)
+		case *wire.GroupJoin:
+			joins[s.to] = append(joins[s.to], m.Group)
+		}
+	}
+	if len(prunes[7]) != 2 {
+		t.Fatalf("prunes to old parent 7 = %v, want both groups", prunes[7])
+	}
+	if len(joins[4]) != 1 || joins[4][0] != groupG {
+		t.Fatalf("joins to new parent 4 = %v, want only survivor", joins[4])
+	}
+}
+
+func TestRouteChangedTeardownDropsSharedClones(t *testing.T) {
+	// Regression: the teardown branch used to `continue` before the
+	// shared-clone sweep, leaking (S,G) state for torn-down groups.
+	rig := newRig(1, 5, false)
+	buildTree(rig)
+	rig.comp.HandlePeer(8, &wire.SourcePrune{Group: groupG, Source: sourceS})
+	if _, _, ok := rig.comp.SourceEntry(sourceS, groupG); !ok {
+		t.Fatal("setup: clone missing")
+	}
+	delete(rig.groups, groupG) // total route loss
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	if _, _, ok := rig.comp.SourceEntry(sourceS, groupG); ok {
+		t.Fatal("shared-clone (S,G) state survived group teardown")
+	}
+}
+
+func TestSharedCloneReestablishedAfterRepair(t *testing.T) {
+	// A shared clone dropped by re-parenting comes back — with the new
+	// parent — when the downstream source prune is re-issued.
+	rig := newRig(1, 5, false)
+	buildTree(rig)
+	rig.comp.HandlePeer(8, &wire.SourcePrune{Group: groupG, Source: sourceS})
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 4}
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	if _, _, ok := rig.comp.SourceEntry(sourceS, groupG); ok {
+		t.Fatal("stale clone survived re-parenting")
+	}
+	rig.comp.HandlePeer(8, &wire.SourcePrune{Group: groupG, Source: sourceS})
+	parent, _, ok := rig.comp.SourceEntry(sourceS, groupG)
+	if !ok {
+		t.Fatal("clone not re-established by a fresh source prune")
+	}
+	if parent != PeerTarget(4) {
+		t.Fatalf("re-established clone parent = %v, want new parent 4", parent)
+	}
+}
+
+func TestOrphanRejoinsWhenRouteReturns(t *testing.T) {
+	rig := newRig(1, 5, false)
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
+
+	delete(rig.groups, groupG)
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	if !rig.comp.Orphaned(groupG) {
+		t.Fatal("group not orphaned on total route loss")
+	}
+	rig.sent = nil
+
+	// The route comes back via a different peer: the orphan re-attaches
+	// with its children intact and joins upstream on its own.
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 4}
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	if rig.comp.Orphaned(groupG) {
+		t.Fatal("orphan not cleared on rejoin")
+	}
+	parent, children, ok := rig.comp.GroupEntry(groupG)
+	if !ok || parent != PeerTarget(4) {
+		t.Fatalf("rejoined parent = %v ok=%v, want peer 4", parent, ok)
+	}
+	if len(children) != 1 || children[0] != PeerTarget(8) {
+		t.Fatalf("children = %v, want the pre-loss child [peer(8)]", children)
+	}
+	foundJoin := false
+	for _, s := range rig.sent {
+		if _, ok := s.msg.(*wire.GroupJoin); ok && s.to == 4 {
+			foundJoin = true
+		}
+	}
+	if !foundJoin {
+		t.Fatalf("no upstream join on rejoin: %v", rig.sent)
+	}
+}
+
+func TestJoinWithoutRouteParksOrphanAndRejoins(t *testing.T) {
+	rig := newRig(1, 5, false)
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG}) // no G-RIB route yet
+	if rig.comp.HasGroupState(groupG) || len(rig.sent) != 0 {
+		t.Fatal("routeless join must not create state or traffic")
+	}
+	if !rig.comp.Orphaned(groupG) {
+		t.Fatal("routeless join interest was lost")
+	}
+	// A prune retracts the parked interest.
+	rig.comp.HandlePeer(8, &wire.GroupPrune{Group: groupG})
+	if rig.comp.Orphaned(groupG) {
+		t.Fatal("prune did not retract orphan interest")
+	}
+	// Re-join and let the route appear.
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	if parent, _, ok := rig.comp.GroupEntry(groupG); !ok || parent != PeerTarget(7) {
+		t.Fatalf("parent = %v ok=%v after route appeared, want peer 7", parent, ok)
+	}
+}
+
+func TestPeerDownClearsOrphanInterest(t *testing.T) {
+	rig := newRig(1, 5, false)
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG}) // orphan, child 8 only
+	rig.comp.PeerDown(8)
+	if rig.comp.Orphaned(groupG) {
+		t.Fatal("dead peer's orphan interest survived")
+	}
+	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+	rig.sent = nil
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	if len(rig.sent) != 0 {
+		t.Fatalf("route return rejoined on behalf of a dead peer: %v", rig.sent)
+	}
+}
+
+func TestResetDropsAllState(t *testing.T) {
+	rig := newRig(1, 5, true)
+	buildTree(rig)
+	rig.srcs[sourceS] = bgp.Entry{Route: wire.Route{Origin: 11}, NextHop: 4}
+	rig.comp.HandlePeer(9, &wire.SourceJoin{Group: groupG, Source: sourceS})
+	rig.comp.Reset()
+	if rig.comp.HasGroupState(groupG) || rig.comp.HasForwardingState(groupG) {
+		t.Fatal("(*,G) state survived Reset")
+	}
+	if _, _, ok := rig.comp.SourceEntry(sourceS, groupG); ok {
+		t.Fatal("(S,G) state survived Reset")
+	}
+	if rig.comp.Orphaned(groupG) {
+		t.Fatal("orphan state survived Reset")
+	}
+	// The reset speaker relearns from fresh joins.
+	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
+	if !rig.comp.HasGroupState(groupG) {
+		t.Fatal("reset speaker cannot relearn state")
+	}
+}
+
+func TestRepairOrderDeterminism(t *testing.T) {
+	// Same scripted failure, two runs: the exact message sequence (order
+	// included) must match — RouteChanged and PeerDown iterate sorted
+	// keys, never raw map order.
+	run := func() []string {
+		rig := newRig(1, 5, false)
+		var gs []addr.Addr
+		for i := 1; i <= 8; i++ {
+			g := addr.MakeAddr(224, 0, 128, byte(i))
+			gs = append(gs, g)
+			rig.groups[g] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
+			rig.comp.HandlePeer(8, &wire.GroupJoin{Group: g})
+			rig.comp.HandlePeer(9, &wire.GroupJoin{Group: g})
+		}
+		rig.sent = nil
+		for _, g := range gs[:4] {
+			rig.groups[g] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 4}
+		}
+		for _, g := range gs[4:] {
+			delete(rig.groups, g)
+		}
+		rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+		rig.comp.PeerDown(9)
+		var trace []string
+		for _, s := range rig.sent {
+			trace = append(trace, fmt.Sprintf("%d:%T:%v", s.to, s.msg, s.msg))
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %q vs %q", i, a[i], b[i])
+		}
 	}
 }

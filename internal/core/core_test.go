@@ -432,14 +432,18 @@ func TestAsyncNetworkConverges(t *testing.T) {
 	clk.RunFor(49 * time.Hour)
 	n.Domain(2).MASC().RequestSpace(256, 30*24*time.Hour)
 	clk.RunFor(49 * time.Hour)
-	n.Settle(200 * time.Millisecond)
+	if err := n.Quiesce(time.Second); err != nil {
+		t.Fatal(err)
+	}
 
 	lease, err := n.Domain(2).NewGroup(24 * time.Hour)
 	if err != nil {
 		t.Fatalf("lease: %v", err)
 	}
 	n.Domain(3).Join(lease.Addr, 0)
-	n.Settle(200 * time.Millisecond)
+	if err := n.Quiesce(time.Second); err != nil {
+		t.Fatal(err)
+	}
 
 	src := n.Domain(2).HostAddr(1)
 	n.Domain(2).Send(lease.Addr, src, "async hello", 0)

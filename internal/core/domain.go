@@ -148,13 +148,17 @@ func (n *Network) AddDomain(cfg DomainConfig) (*Domain, error) {
 		OnRenewed: d.onRangeWon, // refresh the route expiry and MAAS range
 		OnLost:    d.onRangeLost,
 	})
-	d.maas = maas.NewServer(maas.Config{
+	mserver, err := maas.NewServer(maas.Config{
 		Clock: n.cfg.Clock,
 		Rand:  rand.New(rand.NewSource(seedBase + 2)),
 		OnDemand: func(need uint64) {
 			d.masc.RequestSpace(need, n.cfg.ClaimLifetime)
 		},
 	})
+	if err != nil {
+		return nil, err
+	}
+	d.maas = mserver
 
 	// Originate the domain's unicast prefix so sources resolve.
 	if cfg.HostPrefix.Valid() && cfg.HostPrefix.Len > 0 {

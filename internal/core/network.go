@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"mascbgmp/internal/faultinject"
 	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
 	"mascbgmp/internal/transport"
@@ -53,6 +54,20 @@ type Config struct {
 	// repairs, data-plane hops and deliveries, transport traffic. Nil
 	// disables observation at zero cost.
 	Observer *obs.Observer
+	// Faults, when set, routes every peering message (and session
+	// keepalive) through the fault plane: per-link drop/duplicate/
+	// reorder/delay, partitions, and peer crashes all apply. The plane
+	// must share the network's Clock; NewNetwork wires its peer hooks.
+	Faults *faultinject.Plane
+	// HoldTime enables session supervision on links made with Link: each
+	// side sends keepalives every HoldTime/3, and a session that hears
+	// nothing for HoldTime is declared down — BGP withdraws the peer's
+	// routes, BGMP repairs, and reconnects are retried with exponential
+	// backoff. Zero disables supervision (links only fail via Unlink).
+	HoldTime time.Duration
+	// ReconnectBackoff is the first retry delay after a session drops;
+	// it doubles per failed attempt up to 8×. Defaults to HoldTime/2.
+	ReconnectBackoff time.Duration
 }
 
 // ConfigError reports an invalid Config field combination.
@@ -77,6 +92,15 @@ func (c Config) Validate() error {
 	if c.TCP && c.Synchronous {
 		return &ConfigError{Field: "TCP", Reason: "TCP peerings need background transport; unset Synchronous"}
 	}
+	if c.HoldTime < 0 {
+		return &ConfigError{Field: "HoldTime", Reason: "must not be negative"}
+	}
+	if c.ReconnectBackoff < 0 {
+		return &ConfigError{Field: "ReconnectBackoff", Reason: "must not be negative"}
+	}
+	if c.ReconnectBackoff > 0 && c.HoldTime == 0 {
+		return &ConfigError{Field: "ReconnectBackoff", Reason: "needs HoldTime to enable session supervision"}
+	}
 	return nil
 }
 
@@ -90,10 +114,11 @@ type Network struct {
 	// tracker counts in-flight asynchronous messages for Quiesce.
 	tracker *transport.Tracker
 
-	mu      sync.Mutex
-	domains map[wire.DomainID]*Domain
-	routers map[wire.RouterID]*Router
-	links   []link
+	mu       sync.Mutex
+	domains  map[wire.DomainID]*Domain
+	routers  map[wire.RouterID]*Router
+	links    []link
+	sessions []*session
 }
 
 type link struct {
@@ -115,12 +140,19 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.ClaimLifetime == 0 {
 		cfg.ClaimLifetime = 30 * 24 * time.Hour
 	}
-	return &Network{
+	if cfg.HoldTime > 0 && cfg.ReconnectBackoff == 0 {
+		cfg.ReconnectBackoff = cfg.HoldTime / 2
+	}
+	n := &Network{
 		cfg:     cfg,
 		tracker: &transport.Tracker{},
 		domains: map[wire.DomainID]*Domain{},
 		routers: map[wire.RouterID]*Router{},
-	}, nil
+	}
+	if cfg.Faults != nil {
+		cfg.Faults.SetPeerHooks(n.onPeerCrash, n.onPeerRestart)
+	}
+	return n, nil
 }
 
 // Clock returns the network's time source.
@@ -172,6 +204,13 @@ func (n *Network) Link(a, b wire.RouterID) error {
 	n.mu.Lock()
 	n.links = append(n.links, link{ra, rb})
 	n.mu.Unlock()
+	if n.cfg.HoldTime > 0 {
+		s := newSession(n, ra, rb)
+		n.mu.Lock()
+		n.sessions = append(n.sessions, s)
+		n.mu.Unlock()
+		s.start()
+	}
 	return nil
 }
 
@@ -189,7 +228,18 @@ func (n *Network) Unlink(a, b wire.RouterID) error {
 			break
 		}
 	}
+	var sess *session
+	for i, s := range n.sessions {
+		if (s.a == ra && s.b == rb) || (s.a == rb && s.b == ra) {
+			n.sessions = append(n.sessions[:i], n.sessions[i+1:]...)
+			sess = s
+			break
+		}
+	}
 	n.mu.Unlock()
+	if sess != nil {
+		sess.stop()
+	}
 	if ra == nil || rb == nil {
 		return fmt.Errorf("core: unknown router in unlink %d-%d", a, b)
 	}
@@ -262,7 +312,9 @@ func (n *Network) Quiesce(timeout time.Duration) error {
 // Settle waits up to d for in-flight asynchronous messages to drain.
 //
 // Deprecated: use Quiesce, which reports whether the network actually went
-// quiet instead of discarding the timeout outcome.
+// quiet instead of discarding the timeout outcome. Each call emits a
+// core.deprecated event so remaining callers show up in metrics.
 func (n *Network) Settle(d time.Duration) {
+	n.cfg.Observer.Emit(obs.Event{Kind: obs.DeprecatedCall})
 	_ = n.Quiesce(d)
 }

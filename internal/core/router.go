@@ -8,6 +8,7 @@ import (
 	"mascbgmp/internal/addr"
 	"mascbgmp/internal/bgmp"
 	"mascbgmp/internal/bgp"
+	"mascbgmp/internal/faultinject"
 	"mascbgmp/internal/migp"
 	"mascbgmp/internal/transport"
 	"mascbgmp/internal/wire"
@@ -52,6 +53,28 @@ func (d directSender) Send(msg wire.Message) error {
 }
 
 func (directSender) Close() error { return nil }
+
+// faultSender routes an outbound peering message through the fault plane
+// before the real sender sees it: drops vanish, duplicates send twice,
+// reordered and delayed messages arrive when the plane releases them.
+// Data packets are classified Data; everything else (BGP updates, BGMP
+// joins/prunes, notifications) is Control.
+type faultSender struct {
+	plane    *faultinject.Plane
+	from, to wire.RouterID
+	inner    sender
+}
+
+func (f *faultSender) Send(msg wire.Message) error {
+	class := faultinject.Control
+	if _, ok := msg.(*wire.Data); ok {
+		class = faultinject.Data
+	}
+	f.plane.Deliver(f.from, f.to, class, func() { _ = f.inner.Send(msg) })
+	return nil
+}
+
+func (f *faultSender) Close() error { return f.inner.Close() }
 
 // newRouter builds a router and registers it with the fabric.
 func newRouter(n *Network, d *Domain, id wire.RouterID, at migp.Node, export bgp.ExportFilter) (*Router, error) {
@@ -153,10 +176,20 @@ func (r *Router) dispatch(from wire.RouterID, msg wire.Message) {
 // initial route exchange.
 func (r *Router) connect(other *Router, synchronous, tcp bool) error {
 	internal := r.domain == other.domain
+	// faulty wraps a sender in the network's fault plane, when one is
+	// configured. Internal-mesh links pass through it too: per-link fault
+	// settings default to clean, and a crashed router must go silent on
+	// every interface.
+	faulty := func(s sender, from, to wire.RouterID) sender {
+		if p := r.domain.net.cfg.Faults; p != nil {
+			return &faultSender{plane: p, from: from, to: to, inner: s}
+		}
+		return s
+	}
 
 	if synchronous {
-		r.addPeer(other.ID, directSender{from: r.ID, to: other}, internal)
-		other.addPeer(r.ID, directSender{from: other.ID, to: r}, internal)
+		r.addPeer(other.ID, faulty(directSender{from: r.ID, to: other}, r.ID, other.ID), internal)
+		other.addPeer(r.ID, faulty(directSender{from: other.ID, to: r}, other.ID, r.ID), internal)
 	} else {
 		ca, cb, err := dialPair(tcp)
 		if err != nil {
@@ -193,8 +226,8 @@ func (r *Router) connect(other *Router, synchronous, tcp bool) error {
 		if err := <-done; err != nil {
 			return err
 		}
-		r.addPeer(other.ID, pa, internal)
-		other.addPeer(r.ID, pb, internal)
+		r.addPeer(other.ID, faulty(pa, r.ID, other.ID), internal)
+		other.addPeer(r.ID, faulty(pb, other.ID, r.ID), internal)
 	}
 
 	r.bgp.AddNeighbor(bgp.Neighbor{Router: other.ID, Domain: other.domain.ID, Internal: internal})

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"mascbgmp/internal/faultinject"
+	"mascbgmp/internal/obs"
+	"mascbgmp/internal/simclock"
+	"mascbgmp/internal/wire"
+)
+
+// Session supervision. When Config.HoldTime is set, every external peering
+// made with Link is watched by a session object: both ends exchange
+// keepalives every HoldTime/3 (routed through the fault plane as Keepalive
+// class, so loss and partitions apply), and an end that hears nothing for
+// HoldTime declares the session dead. A dead session is torn down exactly
+// like Unlink — BGP withdraws the peer's routes, BGMP repairs or orphans
+// the affected trees — but the session object stays and retries the
+// connection with exponential backoff, re-running the BGP route exchange
+// when it succeeds so orphaned groups rejoin through RouteChanged.
+//
+// Peer crashes injected through the fault plane are detected the same way:
+// the crashed router exchanges no traffic, so its peers' hold timers
+// expire. The crash hook only wipes the crashed process's BGMP state
+// (Component.Reset); everything else is relearned on reconnect.
+
+// session supervises one supervised external peering.
+type session struct {
+	n    *Network
+	a, b *Router
+
+	// The session's own lock; never held while calling into routers or
+	// the fault plane (both cascade into protocol handlers).
+	mu      sync.Mutex
+	up      bool
+	stopped bool
+	// heardA/heardB are the last instants a (resp. b) heard a keepalive
+	// from the other end.
+	heardA, heardB time.Time
+	backoff        time.Duration
+	timer          simclock.Timer
+}
+
+func newSession(n *Network, a, b *Router) *session {
+	return &session{n: n, a: a, b: b}
+}
+
+func (s *session) interval() time.Duration { return s.n.cfg.HoldTime / 3 }
+
+// start arms the keepalive tick on a freshly connected session.
+func (s *session) start() {
+	now := s.n.cfg.Clock.Now()
+	s.mu.Lock()
+	s.up = true
+	s.heardA, s.heardB = now, now
+	s.backoff = s.n.cfg.ReconnectBackoff
+	s.timer = s.n.cfg.Clock.AfterFunc(s.interval(), s.onTick)
+	s.mu.Unlock()
+}
+
+// stop cancels all supervision (Unlink).
+func (s *session) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.mu.Unlock()
+}
+
+// onTick exchanges keepalives in both directions and checks both hold
+// timers. Runs in a clock callback.
+func (s *session) onTick() {
+	s.mu.Lock()
+	if s.stopped || !s.up {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	now := s.n.cfg.Clock.Now()
+	s.keepalive(s.a, s.b, now)
+	s.keepalive(s.b, s.a, now)
+
+	s.mu.Lock()
+	if s.stopped || !s.up {
+		s.mu.Unlock()
+		return
+	}
+	expired := now.Sub(s.heardA) >= s.n.cfg.HoldTime || now.Sub(s.heardB) >= s.n.cfg.HoldTime
+	if !expired {
+		s.timer = s.n.cfg.Clock.AfterFunc(s.interval(), s.onTick)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	s.down()
+}
+
+// keepalive sends one keepalive from -> to through the fault plane; on
+// delivery the receiver's hold timer is touched. Without a plane the
+// keepalive always arrives.
+func (s *session) keepalive(from, to *Router, now time.Time) {
+	touch := func() {
+		s.mu.Lock()
+		if to == s.a {
+			if now.After(s.heardA) {
+				s.heardA = now
+			}
+		} else if now.After(s.heardB) {
+			s.heardB = now
+		}
+		s.mu.Unlock()
+	}
+	if p := s.n.cfg.Faults; p != nil {
+		p.Deliver(from.ID, to.ID, faultinject.Keepalive, touch)
+		return
+	}
+	touch()
+}
+
+// down declares the session dead: both sides drop the peering (routes
+// withdraw, trees repair or orphan) and a reconnect is scheduled.
+func (s *session) down() {
+	s.mu.Lock()
+	if s.stopped || !s.up {
+		s.mu.Unlock()
+		return
+	}
+	s.up = false
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	backoff := s.backoff
+	s.mu.Unlock()
+
+	s.n.emit(obs.Event{Kind: obs.SessionDown, Domain: s.a.domain.ID, Router: s.a.ID, Peer: s.b.ID})
+	s.a.dropPeer(s.b.ID)
+	s.b.dropPeer(s.a.ID)
+
+	s.mu.Lock()
+	if !s.stopped {
+		s.timer = s.n.cfg.Clock.AfterFunc(backoff, s.retry)
+	}
+	s.mu.Unlock()
+}
+
+// retry attempts to re-establish the peering. While the link is
+// partitioned or either end is crashed the attempt fails and the backoff
+// doubles (capped at 8× the configured initial); a successful attempt
+// reconnects, resyncs BGP — which replays routes and lets orphaned trees
+// rejoin — and resumes keepalives.
+func (s *session) retry() {
+	s.mu.Lock()
+	if s.stopped || s.up {
+		s.mu.Unlock()
+		return
+	}
+	backoff := s.backoff
+	s.mu.Unlock()
+
+	p := s.n.cfg.Faults
+	blocked := p != nil && (p.Partitioned(s.a.ID, s.b.ID) || p.Crashed(s.a.ID) || p.Crashed(s.b.ID))
+	if !blocked {
+		if err := s.a.connect(s.b, s.n.cfg.Synchronous, s.n.cfg.TCP); err != nil {
+			blocked = true
+		}
+	}
+	if blocked {
+		s.n.emit(obs.Event{Kind: obs.SessionRetry, Domain: s.a.domain.ID, Router: s.a.ID, Peer: s.b.ID})
+		s.mu.Lock()
+		if !s.stopped {
+			s.backoff = min(backoff*2, 8*s.n.cfg.ReconnectBackoff)
+			s.timer = s.n.cfg.Clock.AfterFunc(s.backoff, s.retry)
+		}
+		s.mu.Unlock()
+		return
+	}
+
+	s.n.emit(obs.Event{Kind: obs.SessionUp, Domain: s.a.domain.ID, Router: s.a.ID, Peer: s.b.ID})
+	s.start()
+}
+
+// emit forwards a network-level event to the observer (nil-safe).
+func (n *Network) emit(e obs.Event) { n.cfg.Observer.Emit(e) }
+
+// onPeerCrash is the fault plane's crash hook: the crashed border router's
+// process state is gone, so its BGMP component resets. Its peering
+// sessions are not torn here — the peers notice through their hold timers,
+// exactly as they would a real silent crash.
+func (n *Network) onPeerCrash(id wire.RouterID) {
+	n.mu.Lock()
+	r := n.routers[id]
+	n.mu.Unlock()
+	if r != nil {
+		r.bgmp.Reset()
+	}
+}
+
+// onPeerRestart is the fault plane's restart hook. Nothing to do eagerly:
+// the next backoff-scheduled retry on each affected session will succeed
+// and resynchronize state.
+func (n *Network) onPeerRestart(wire.RouterID) {}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/bgmp"
+	"mascbgmp/internal/faultinject"
+	"mascbgmp/internal/migp/dvmrp"
+	"mascbgmp/internal/obs"
+	"mascbgmp/internal/simclock"
+	"mascbgmp/internal/wire"
+)
+
+// faultNet is failoverNet with a fault plane and session supervision: the
+// triangle R(11,12)—T(21,22)—M(31) with the direct link 12–31, hold time
+// 30s (10s keepalives) and a 15s initial reconnect backoff.
+func faultNet(t *testing.T, seed int64) (*Network, *simclock.Sim, *faultinject.Plane, *obs.Observer) {
+	t.Helper()
+	clk := simclock.NewSim(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
+	ob := obs.NewObserver()
+	plane, err := faultinject.New(faultinject.Config{
+		Clock: clk,
+		Rand:  rand.New(rand.NewSource(seed)),
+		Obs:   ob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNetwork(Config{
+		Clock:            clk,
+		Seed:             seed,
+		Synchronous:      true,
+		Observer:         ob,
+		Faults:           plane,
+		HoldTime:         30 * time.Second,
+		ReconnectBackoff: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dc := range []DomainConfig{
+		{ID: 1, Routers: []wire.RouterID{11, 12}, Protocol: dvmrp.New(), TopLevel: true,
+			HostPrefix: addr.Prefix{Base: addr.MakeAddr(10, 1, 0, 0), Len: 16}},
+		{ID: 2, Routers: []wire.RouterID{21, 22}, Protocol: dvmrp.New(), TopLevel: true,
+			HostPrefix: addr.Prefix{Base: addr.MakeAddr(10, 2, 0, 0), Len: 16}},
+		{ID: 3, Routers: []wire.RouterID{31}, Protocol: dvmrp.New(), TopLevel: true,
+			HostPrefix: addr.Prefix{Base: addr.MakeAddr(10, 3, 0, 0), Len: 16}},
+	} {
+		if _, err := n.AddDomain(dc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]wire.RouterID{{11, 21}, {12, 31}, {22, 31}} {
+		if err := n.Link(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.MASCPeerSiblings(1, 2)
+	n.MASCPeerSiblings(1, 3)
+	n.MASCPeerSiblings(2, 3)
+	if !n.Domain(1).MASC().RequestSpace(1<<12, 90*24*time.Hour) {
+		t.Fatal("claim failed")
+	}
+	clk.RunFor(49 * time.Hour)
+	return n, clk, plane, ob
+}
+
+func TestPartitionDropsSessionAndRecovers(t *testing.T) {
+	n, clk, plane, ob := faultNet(t, 3)
+	lease, err := n.Domain(1).NewGroup(24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Domain(3).Join(lease.Addr, 0)
+
+	// The direct link partitions for two minutes: keepalives stop, the
+	// hold timer expires, and the session is declared down.
+	plane.PartitionFor(12, 31, 2*time.Minute)
+	clk.RunFor(time.Minute)
+	if ob.Snapshot().Total("session.down") == 0 {
+		t.Fatal("hold timer never expired during partition")
+	}
+	// BGP withdrew the direct route; the tree repaired onto transit.
+	parent, _, ok := n.Router(31).BGMP().GroupEntry(lease.Addr)
+	if !ok || parent != bgmp.PeerTarget(22) {
+		t.Fatalf("mid-partition parent = %v ok=%v, want transit peer 22", parent, ok)
+	}
+	// Delivery keeps working over the surviving path.
+	src := n.Domain(1).HostAddr(1)
+	n.Domain(1).Send(lease.Addr, src, "during", 0)
+	if len(n.Domain(3).Received()) != 1 {
+		t.Fatal("delivery failed during partition")
+	}
+
+	// Retries fail (and back off) while the partition lasts, then succeed
+	// after the heal: the session comes back and the tree returns to the
+	// direct path.
+	clk.RunFor(5 * time.Minute)
+	s := ob.Snapshot()
+	if s.Total("session.retry") == 0 {
+		t.Fatal("no failed reconnect attempts observed")
+	}
+	if s.Total("session.up") == 0 {
+		t.Fatal("session never re-established after heal")
+	}
+	parent, _, ok = n.Router(31).BGMP().GroupEntry(lease.Addr)
+	if !ok || parent != bgmp.PeerTarget(12) {
+		t.Fatalf("post-heal parent = %v ok=%v, want direct peer 12", parent, ok)
+	}
+	n.Domain(3).ClearReceived()
+	n.Domain(1).Send(lease.Addr, src, "after", 0)
+	if got := n.Domain(3).Received(); len(got) != 1 || got[0].Payload != "after" {
+		t.Fatalf("post-heal delivery = %v", got)
+	}
+}
+
+func TestPeerCrashDetectedByHoldTimerAndRecovered(t *testing.T) {
+	n, clk, plane, ob := faultNet(t, 3)
+	lease, err := n.Domain(1).NewGroup(24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Domain(3).Join(lease.Addr, 0)
+	if parent, _, _ := n.Router(31).BGMP().GroupEntry(lease.Addr); parent != bgmp.PeerTarget(12) {
+		t.Fatalf("pre-crash parent = %v, want 12", parent)
+	}
+
+	// Border 12 crashes for ten minutes. Its process state is wiped; the
+	// peer at 31 notices only when the hold timer expires.
+	plane.CrashPeerFor(12, 10*time.Minute)
+	if n.Router(12).BGMP().HasGroupState(lease.Addr) {
+		t.Fatal("crashed router kept BGMP state")
+	}
+	clk.RunFor(time.Minute)
+	if ob.Snapshot().Total("session.down") == 0 {
+		t.Fatal("crash not detected via hold timer")
+	}
+	parent, _, ok := n.Router(31).BGMP().GroupEntry(lease.Addr)
+	if !ok || parent != bgmp.PeerTarget(22) {
+		t.Fatalf("mid-crash parent = %v ok=%v, want transit peer 22", parent, ok)
+	}
+	src := n.Domain(1).HostAddr(1)
+	n.Domain(1).Send(lease.Addr, src, "during", 0)
+	if len(n.Domain(3).Received()) != 1 {
+		t.Fatal("delivery failed while 12 was down")
+	}
+
+	// After the restart, a backoff retry reconnects, BGP resyncs, and the
+	// restarted router relearns its tree state from the rejoin.
+	clk.RunFor(15 * time.Minute)
+	if ob.Snapshot().Total("session.up") == 0 {
+		t.Fatal("session to restarted peer never came back")
+	}
+	parent, _, ok = n.Router(31).BGMP().GroupEntry(lease.Addr)
+	if !ok || parent != bgmp.PeerTarget(12) {
+		t.Fatalf("post-restart parent = %v ok=%v, want direct peer 12", parent, ok)
+	}
+	if !n.Router(12).BGMP().HasGroupState(lease.Addr) {
+		t.Fatal("restarted router did not relearn tree state")
+	}
+	n.Domain(3).ClearReceived()
+	n.Domain(1).Send(lease.Addr, src, "after", 0)
+	if got := n.Domain(3).Received(); len(got) != 1 || got[0].Payload != "after" {
+		t.Fatalf("post-restart delivery = %v", got)
+	}
+}
+
+func TestDataLossDoesNotDropSessions(t *testing.T) {
+	n, clk, plane, ob := faultNet(t, 3)
+	// Heavy loss confined to the data class: keepalives and control are
+	// exempt, so sessions must stay up.
+	plane.SetDefault(faultinject.LinkFaults{Drop: 0.9, Classes: faultinject.MaskData})
+	lease, err := n.Domain(1).NewGroup(24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Domain(3).Join(lease.Addr, 0)
+	clk.RunFor(10 * time.Minute)
+	if got := ob.Snapshot().Total("session.down"); got != 0 {
+		t.Fatalf("session.down = %d under data-only loss, want 0", got)
+	}
+}
+
+func TestSessionRecoveryDeterminism(t *testing.T) {
+	// The full chaos sequence — partition, hold expiry, failed retries,
+	// heal, reconnect — must emit byte-identical snapshots across
+	// same-seed runs.
+	run := func() string {
+		n, clk, plane, ob := faultNet(t, 11)
+		lease, err := n.Domain(1).NewGroup(24 * time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Domain(3).Join(lease.Addr, 0)
+		plane.SetDefault(faultinject.LinkFaults{Drop: 0.1, Classes: faultinject.MaskData})
+		plane.PartitionFor(12, 31, 2*time.Minute)
+		clk.RunFor(time.Minute)
+		plane.CrashPeerFor(22, 3*time.Minute)
+		clk.RunFor(10 * time.Minute)
+		src := n.Domain(1).HostAddr(1)
+		for i := 0; i < 20; i++ {
+			n.Domain(1).Send(lease.Addr, src, "x", 0)
+		}
+		return ob.Snapshot().String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same-seed chaos runs diverged:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}

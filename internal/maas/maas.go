@@ -37,12 +37,23 @@ var (
 	ErrUnknownLease = errors.New("maas: unknown lease")
 )
 
+// ConfigError reports an invalid Config field.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("maas: invalid Config.%s: %s", e.Field, e.Reason)
+}
+
 // Config parameterizes a Server.
 type Config struct {
 	// Clock drives lease expiry; defaults to the real clock.
 	Clock simclock.Clock
-	// Rand randomizes address selection (sdr-style); defaults to a fixed
-	// seed, fine for single-server domains.
+	// Rand randomizes address selection (sdr-style). Required: every
+	// randomized decision must trace back to an explicit seed, so there is
+	// no silent fallback.
 	Rand *rand.Rand
 	// OnDemand, if set, is called when a lease request cannot be
 	// satisfied, with the number of additional addresses wanted; the
@@ -65,15 +76,18 @@ type managedRange struct {
 	expires time.Time
 }
 
-// NewServer returns an empty Server; add ranges as MASC wins them.
-func NewServer(cfg Config) *Server {
+// NewServer returns an empty Server; add ranges as MASC wins them. A nil
+// cfg.Rand is a *ConfigError: address selection is randomized, and an
+// implicit fixed seed would hide nondeterminism bugs in multi-server
+// setups.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Rand == nil {
+		return nil, &ConfigError{Field: "Rand", Reason: "required; pass an explicitly seeded *rand.Rand"}
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Real{}
 	}
-	if cfg.Rand == nil {
-		cfg.Rand = rand.New(rand.NewSource(1))
-	}
-	return &Server{cfg: cfg, leases: map[addr.Addr]time.Time{}}
+	return &Server{cfg: cfg, leases: map[addr.Addr]time.Time{}}, nil
 }
 
 // AddRange makes a MASC-won prefix available for leasing until it expires.

@@ -15,8 +15,25 @@ var t0 = time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC)
 
 func newTestServer(onDemand func(uint64)) (*Server, *simclock.Sim) {
 	clk := simclock.NewSim(t0)
-	s := NewServer(Config{Clock: clk, Rand: rand.New(rand.NewSource(7)), OnDemand: onDemand})
+	s, err := NewServer(Config{Clock: clk, Rand: rand.New(rand.NewSource(7)), OnDemand: onDemand})
+	if err != nil {
+		panic(err)
+	}
 	return s, clk
+}
+
+func TestNewServerRejectsNilRand(t *testing.T) {
+	s, err := NewServer(Config{Clock: simclock.NewSim(t0)})
+	if s != nil || err == nil {
+		t.Fatalf("NewServer without Rand = (%v, %v), want config error", s, err)
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error type = %T, want *ConfigError", err)
+	}
+	if ce.Field != "Rand" {
+		t.Fatalf("ConfigError.Field = %q, want %q", ce.Field, "Rand")
+	}
 }
 
 func TestLeaseFromRange(t *testing.T) {

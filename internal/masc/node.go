@@ -75,6 +75,7 @@ type Node struct {
 	cfg NodeConfig
 
 	mu        sync.Mutex
+	dead      bool
 	parent    wire.DomainID
 	hasParent bool
 	siblings  map[wire.DomainID]bool
@@ -100,6 +101,9 @@ type pendingClaim struct {
 	life     time.Duration
 	size     uint64 // original request, for retry
 	attempts int
+	// matureAt is the absolute end of the waiting period, kept so a
+	// snapshot can re-arm the maturity timer with the remaining wait.
+	matureAt time.Time
 	timer    simclock.Timer
 	lost     bool
 }
@@ -134,6 +138,21 @@ func NewNode(cfg NodeConfig) *Node {
 		n.heard.SetSpaces([]addr.Prefix{addr.MulticastSpace})
 	}
 	return n
+}
+
+// Shutdown models the node's process dying: pending-claim timers stop and
+// every later timer or message callback becomes a no-op. A successor node
+// (usually built from a Snapshot via Restore) takes over the domain's
+// allocation duties. Irreversible.
+func (n *Node) Shutdown() {
+	n.mu.Lock()
+	n.dead = true
+	for _, pc := range n.pending {
+		if pc.timer != nil {
+			pc.timer.Stop()
+		}
+	}
+	n.mu.Unlock()
 }
 
 // SetParent configures the node's MASC parent (chosen among its providers,
@@ -218,7 +237,10 @@ func (n *Node) claimLocked(size uint64, lifetime time.Duration, attempts int) bo
 		return false
 	}
 	n.nextClaimID++
-	pc := &pendingClaim{prefix: p, claimID: n.nextClaimID, life: lifetime, size: size, attempts: attempts}
+	pc := &pendingClaim{
+		prefix: p, claimID: n.nextClaimID, life: lifetime, size: size, attempts: attempts,
+		matureAt: n.cfg.Clock.Now().Add(n.cfg.WaitPeriod),
+	}
 	n.pending[p] = pc
 	claim := &wire.Claim{
 		Claimer:  n.cfg.Domain,
@@ -241,6 +263,10 @@ func (n *Node) claimLocked(size uint64, lifetime time.Duration, attempts int) bo
 // collision: the range is won.
 func (n *Node) claimMatured(p addr.Prefix) {
 	n.mu.Lock()
+	if n.dead {
+		n.mu.Unlock()
+		return
+	}
 	pc, ok := n.pending[p]
 	if !ok || pc.lost {
 		n.mu.Unlock()
@@ -449,6 +475,10 @@ func (n *Node) scheduleRetry(pc *pendingClaim) {
 	size, life, attempts := pc.size, pc.life, pc.attempts+1
 	n.cfg.Clock.AfterFunc(n.cfg.RetryDelay, func() {
 		n.mu.Lock()
+		if n.dead {
+			n.mu.Unlock()
+			return
+		}
 		n.claimLocked(size, life, attempts)
 		msgs, evs := n.drainOutbox()
 		n.mu.Unlock()
@@ -509,6 +539,10 @@ func (n *Node) scheduleExpiry(p addr.Prefix, life time.Duration) {
 // lifetimeDue runs when a holding's lifetime elapses.
 func (n *Node) lifetimeDue(p addr.Prefix, life time.Duration) {
 	n.mu.Lock()
+	if n.dead {
+		n.mu.Unlock()
+		return
+	}
 	var h *Holding
 	for _, x := range n.holdings {
 		if x.Prefix == p {

@@ -1,0 +1,153 @@
+package masc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/obs"
+	"mascbgmp/internal/simclock"
+	"mascbgmp/internal/wire"
+)
+
+// restart replaces domain d's node in the net with a fresh one restored
+// from snap — the node crashed and came back with its durable state.
+func (nn *nodeNet) restart(d wire.DomainID, topLevel bool, seed int64, snap Snapshot) *Node {
+	if old := nn.nodes[d]; old != nil {
+		old.Shutdown()
+	}
+	delete(nn.nodes, d)
+	n := nn.add(d, topLevel, seed)
+	n.Restore(snap)
+	return n
+}
+
+func TestSnapshotRestoreMidWaitClaimStillMatures(t *testing.T) {
+	nn := newNodeNet(t)
+	a := nn.add(1, true, 1)
+	if !a.RequestSpace(65536, 30*24*time.Hour) {
+		t.Fatal("claim selection failed")
+	}
+	// Half the waiting period passes, then the node restarts.
+	nn.run(24 * time.Hour)
+	snap := a.Snapshot()
+	if len(snap.Pending) != 1 {
+		t.Fatalf("pending snapshot = %v, want 1 claim", snap.Pending)
+	}
+	a2 := nn.restart(1, true, 1, snap)
+
+	// The time already served counts: the claim matures after the
+	// REMAINING 24 hours, not a fresh 48.
+	nn.run(24*time.Hour + time.Second)
+	if len(nn.won[1]) != 1 {
+		t.Fatalf("restored claim did not mature on schedule: won=%v", nn.won[1])
+	}
+	if len(a2.Holdings()) != 1 {
+		t.Fatal("holding missing after restored claim matured")
+	}
+}
+
+func TestSnapshotRestoreKeepsHoldings(t *testing.T) {
+	nn := newNodeNet(t)
+	a := nn.add(1, true, 1)
+	a.RequestSpace(65536, 30*24*time.Hour)
+	nn.run(49 * time.Hour)
+	held := a.Holdings()
+	if len(held) != 1 {
+		t.Fatalf("setup: holdings = %v", held)
+	}
+
+	a2 := nn.restart(1, true, 1, a.Snapshot())
+	got := a2.Holdings()
+	if len(got) != 1 || got[0].Prefix != held[0].Prefix || !got[0].Expires.Equal(held[0].Expires) {
+		t.Fatalf("restored holdings = %v, want %v", got, held)
+	}
+	// The expiry timer survives the restart: the holding lapses at its
+	// original lifetime, announcing the release.
+	nn.run(31 * 24 * time.Hour)
+	if len(a2.Holdings()) != 0 {
+		t.Fatal("restored holding did not expire at its original lifetime")
+	}
+	if len(nn.lost[1]) != 1 {
+		t.Fatalf("lost = %v, want the expired range", nn.lost[1])
+	}
+}
+
+func TestSnapshotRestoreKeepsSiblingView(t *testing.T) {
+	nn := newNodeNet(t)
+	a := nn.add(1, true, 1)
+	b := nn.add(2, true, 2)
+	a.AddSibling(2)
+	b.AddSibling(1)
+	// B claims; A hears it. After A restarts, its next claim must still
+	// avoid B's (pending) range.
+	if !b.RequestSpace(1<<16, 30*24*time.Hour) {
+		t.Fatal("sibling claim failed")
+	}
+	snap := a.Snapshot()
+	if len(snap.Heard) == 0 {
+		t.Fatal("sibling claim not in snapshot")
+	}
+	a2 := nn.restart(1, true, 1, snap)
+	a2.AddSibling(2)
+	if !a2.RequestSpace(1<<16, 30*24*time.Hour) {
+		t.Fatal("post-restart claim failed")
+	}
+	nn.run(49 * time.Hour)
+	if len(nn.won[1]) != 1 || len(nn.won[2]) != 1 {
+		t.Fatalf("won: a=%v b=%v", nn.won[1], nn.won[2])
+	}
+	if nn.won[1][0].Overlaps(nn.won[2][0]) {
+		t.Fatalf("restored node forgot sibling claim: %v overlaps %v", nn.won[1][0], nn.won[2][0])
+	}
+}
+
+func TestRestoreEmitsObservableEvent(t *testing.T) {
+	clk := simclock.NewSim(time.Unix(0, 0))
+	ob := obs.NewObserver()
+	n := NewNode(NodeConfig{
+		Domain:   1,
+		Clock:    clk,
+		Rand:     rand.New(rand.NewSource(1)),
+		TopLevel: true,
+		Obs:      ob,
+	})
+	n.RequestSpace(1<<12, 24*time.Hour)
+	n2 := NewNode(NodeConfig{
+		Domain:   1,
+		Clock:    clk,
+		Rand:     rand.New(rand.NewSource(1)),
+		TopLevel: true,
+		Obs:      ob,
+	})
+	n2.Restore(n.Snapshot())
+	if ob.Snapshot().Total("masc.restored") != 1 {
+		t.Fatalf("masc.restored missing:\n%s", ob.Snapshot())
+	}
+}
+
+func TestSnapshotIsCanonical(t *testing.T) {
+	nn := newNodeNet(t)
+	a := nn.add(1, true, 7)
+	a.RequestSpace(1<<12, 30*24*time.Hour)
+	a.RequestSpace(1<<10, 30*24*time.Hour)
+	nn.run(49 * time.Hour)
+	s1, s2 := a.Snapshot(), a.Snapshot()
+	for i := range s1.Pending {
+		if s1.Pending[i] != s2.Pending[i] {
+			t.Fatal("pending order not canonical")
+		}
+	}
+	for i := range s1.Holdings {
+		if s1.Holdings[i] != s2.Holdings[i] {
+			t.Fatal("holdings order not canonical")
+		}
+	}
+	for i := range s1.Heard {
+		if s1.Heard[i] != s2.Heard[i] {
+			t.Fatal("heard order not canonical")
+		}
+	}
+	_ = addr.Prefix{}
+}

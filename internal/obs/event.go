@@ -58,28 +58,66 @@ const (
 	// MAAS events.
 	MAASLease // a group address was leased to an application
 
+	// Fault-injection events (internal/faultinject): every fault the
+	// plane applies is observable, so chaos experiments can reconcile
+	// injected faults against the recovery actions they provoked.
+	FaultDrop      // a message was silently dropped on a link
+	FaultDup       // a message was delivered twice
+	FaultReorder   // a message was held and delivered out of order
+	FaultDelay     // a message's delivery was delayed through the clock
+	FaultPartition // a link was partitioned (all traffic dropped)
+	FaultHeal      // a partition healed
+	FaultCrash     // a peer (border router process) crashed
+	FaultRestart   // a crashed peer restarted
+
+	// Peering-session lifecycle events (core session supervision).
+	SessionDown  // a peering session was declared dead (hold timer expired or peer crashed)
+	SessionRetry // a reconnect attempt failed; backoff grows
+	SessionUp    // a peering session (re-)established and resynced
+
+	// MASCRestored marks a MASC node whose claim state was restored after
+	// a restart (holdings and pending claims survived).
+	MASCRestored
+
+	// DeprecatedCall marks a call to a deprecated API (e.g. Settle), so
+	// stragglers are visible in metric snapshots.
+	DeprecatedCall
+
 	kindCount // sentinel; keep last
 )
 
 var kindNames = [kindCount]string{
-	MASCClaim:     "masc.claim",
-	MASCCollision: "masc.collision",
-	MASCWon:       "masc.won",
-	MASCExpired:   "masc.expired",
-	MASCRenewed:   "masc.renewed",
-	MASCReleased:  "masc.released",
-	BGPAnnounce:   "bgp.announce",
-	BGPWithdraw:   "bgp.withdraw",
-	BGPBestChange: "bgp.best_change",
-	BGMPJoin:      "bgmp.join",
-	BGMPPrune:     "bgmp.prune",
-	BGMPRepair:    "bgmp.repair",
-	DataForwarded: "data.forwarded",
-	DataEncap:     "data.encap",
-	DataDelivered: "data.delivered",
-	TransportSent: "transport.sent",
-	TransportRecv: "transport.recv",
-	MAASLease:     "maas.lease",
+	MASCClaim:      "masc.claim",
+	MASCCollision:  "masc.collision",
+	MASCWon:        "masc.won",
+	MASCExpired:    "masc.expired",
+	MASCRenewed:    "masc.renewed",
+	MASCReleased:   "masc.released",
+	BGPAnnounce:    "bgp.announce",
+	BGPWithdraw:    "bgp.withdraw",
+	BGPBestChange:  "bgp.best_change",
+	BGMPJoin:       "bgmp.join",
+	BGMPPrune:      "bgmp.prune",
+	BGMPRepair:     "bgmp.repair",
+	DataForwarded:  "data.forwarded",
+	DataEncap:      "data.encap",
+	DataDelivered:  "data.delivered",
+	TransportSent:  "transport.sent",
+	TransportRecv:  "transport.recv",
+	MAASLease:      "maas.lease",
+	FaultDrop:      "fault.drop",
+	FaultDup:       "fault.dup",
+	FaultReorder:   "fault.reorder",
+	FaultDelay:     "fault.delay",
+	FaultPartition: "fault.partition",
+	FaultHeal:      "fault.heal",
+	FaultCrash:     "fault.crash",
+	FaultRestart:   "fault.restart",
+	SessionDown:    "session.down",
+	SessionRetry:   "session.retry",
+	SessionUp:      "session.up",
+	MASCRestored:   "masc.restored",
+	DeprecatedCall: "core.deprecated",
 }
 
 // String returns the event kind's counter name, e.g. "masc.claim".

@@ -107,6 +107,30 @@ func (g *Graph) addLink(a, b DomainID, rel Relation) bool {
 	return true
 }
 
+// RemoveLink disconnects a and b (either order), reporting whether a link
+// existed. Provider-customer records for the pair are dropped with it. The
+// fault experiments use this to model long-lived link failures at the
+// topology level; transient faults belong to the faultinject plane.
+func (g *Graph) RemoveLink(a, b DomainID) bool {
+	if !g.HasLink(a, b) {
+		return false
+	}
+	g.adj[a] = dropEdge(g.adj[a], b)
+	g.adj[b] = dropEdge(g.adj[b], a)
+	delete(g.providers[a], b)
+	delete(g.providers[b], a)
+	return true
+}
+
+func dropEdge(es []Edge, to DomainID) []Edge {
+	for i, e := range es {
+		if e.To == to {
+			return append(es[:i], es[i+1:]...)
+		}
+	}
+	return es
+}
+
 // HasLink reports whether a and b are adjacent.
 func (g *Graph) HasLink(a, b DomainID) bool {
 	if a < 0 || b < 0 || int(a) >= len(g.adj) || int(b) >= len(g.adj) {

@@ -290,3 +290,27 @@ func TestDegreeDistributionSorted(t *testing.T) {
 		t.Fatalf("median degree %d too high for AS-like graph", degs[len(degs)/2])
 	}
 }
+
+func TestRemoveLink(t *testing.T) {
+	g := New(4)
+	g.AddLink(0, 1)
+	g.AddProviderLink(2, 3)
+	if !g.RemoveLink(1, 0) {
+		t.Fatal("RemoveLink(1,0) = false, want true")
+	}
+	if g.HasLink(0, 1) || g.HasLink(1, 0) || g.NumLinks() != 1 {
+		t.Fatal("link survived removal")
+	}
+	if g.RemoveLink(0, 1) {
+		t.Fatal("second removal must report false")
+	}
+	if !g.RemoveLink(2, 3) {
+		t.Fatal("provider link removal failed")
+	}
+	if g.IsProviderOf(2, 3) {
+		t.Fatal("provider record survived removal")
+	}
+	if g.RemoveLink(-1, 5) {
+		t.Fatal("out-of-range RemoveLink must be false")
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"mascbgmp/internal/bgp"
 	"mascbgmp/internal/core"
 	"mascbgmp/internal/experiments"
+	"mascbgmp/internal/faultinject"
 	"mascbgmp/internal/masc"
 	"mascbgmp/internal/migp"
 	"mascbgmp/internal/migp/cbt"
@@ -98,24 +99,37 @@ type (
 
 // Event kinds, re-exported for subscribers filtering the stream.
 const (
-	EventMASCClaim     = obs.MASCClaim
-	EventMASCCollision = obs.MASCCollision
-	EventMASCWon       = obs.MASCWon
-	EventMASCExpired   = obs.MASCExpired
-	EventMASCRenewed   = obs.MASCRenewed
-	EventMASCReleased  = obs.MASCReleased
-	EventBGPAnnounce   = obs.BGPAnnounce
-	EventBGPWithdraw   = obs.BGPWithdraw
-	EventBGPBestChange = obs.BGPBestChange
-	EventBGMPJoin      = obs.BGMPJoin
-	EventBGMPPrune     = obs.BGMPPrune
-	EventBGMPRepair    = obs.BGMPRepair
-	EventDataForwarded = obs.DataForwarded
-	EventDataEncap     = obs.DataEncap
-	EventDataDelivered = obs.DataDelivered
-	EventTransportSent = obs.TransportSent
-	EventTransportRecv = obs.TransportRecv
-	EventMAASLease     = obs.MAASLease
+	EventMASCClaim      = obs.MASCClaim
+	EventMASCCollision  = obs.MASCCollision
+	EventMASCWon        = obs.MASCWon
+	EventMASCExpired    = obs.MASCExpired
+	EventMASCRenewed    = obs.MASCRenewed
+	EventMASCReleased   = obs.MASCReleased
+	EventBGPAnnounce    = obs.BGPAnnounce
+	EventBGPWithdraw    = obs.BGPWithdraw
+	EventBGPBestChange  = obs.BGPBestChange
+	EventBGMPJoin       = obs.BGMPJoin
+	EventBGMPPrune      = obs.BGMPPrune
+	EventBGMPRepair     = obs.BGMPRepair
+	EventDataForwarded  = obs.DataForwarded
+	EventDataEncap      = obs.DataEncap
+	EventDataDelivered  = obs.DataDelivered
+	EventTransportSent  = obs.TransportSent
+	EventTransportRecv  = obs.TransportRecv
+	EventMAASLease      = obs.MAASLease
+	EventFaultDrop      = obs.FaultDrop
+	EventFaultDup       = obs.FaultDup
+	EventFaultReorder   = obs.FaultReorder
+	EventFaultDelay     = obs.FaultDelay
+	EventFaultPartition = obs.FaultPartition
+	EventFaultHeal      = obs.FaultHeal
+	EventFaultCrash     = obs.FaultCrash
+	EventFaultRestart   = obs.FaultRestart
+	EventSessionDown    = obs.SessionDown
+	EventSessionRetry   = obs.SessionRetry
+	EventSessionUp      = obs.SessionUp
+	EventMASCRestored   = obs.MASCRestored
+	EventDeprecatedCall = obs.DeprecatedCall
 )
 
 // NewObserver returns an Observer backed by a fresh Metrics registry.
@@ -212,6 +226,56 @@ type (
 	// Fig4Point is one x-axis point of Figure 4.
 	Fig4Point = experiments.Fig4Point
 )
+
+// Fault injection and recovery (chaos engineering for the protocols). A
+// FaultPlane set as Config.Faults intercepts every peering message;
+// Config.HoldTime enables session supervision with keepalives, hold-timer
+// failure detection, and exponential-backoff reconnect.
+type (
+	// FaultPlane is a seeded, deterministic fault injector for the
+	// message layer: per-link drop/duplicate/reorder/delay, partitions
+	// with scheduled heal, and peer crash/restart.
+	FaultPlane = faultinject.Plane
+	// FaultPlaneConfig parameterizes NewFaultPlane.
+	FaultPlaneConfig = faultinject.Config
+	// LinkFaults is one link's fault probabilities.
+	LinkFaults = faultinject.LinkFaults
+	// FaultClass labels a message for class-scoped faults.
+	FaultClass = faultinject.Class
+	// FaultClassMask selects the classes a LinkFaults entry applies to.
+	FaultClassMask = faultinject.ClassMask
+	// FaultStats counts what the plane did to the traffic.
+	FaultStats = faultinject.Stats
+	// ChaosConfig parameterizes the failure-recovery sweep (cmd/chaossim).
+	ChaosConfig = core.ChaosConfig
+	// ChaosPoint is one loss rate's recovery measurements.
+	ChaosPoint = core.ChaosPoint
+)
+
+// Fault message classes and masks.
+const (
+	FaultControl   = faultinject.Control
+	FaultData      = faultinject.Data
+	FaultKeepalive = faultinject.Keepalive
+
+	FaultMaskControl   = faultinject.MaskControl
+	FaultMaskData      = faultinject.MaskData
+	FaultMaskKeepalive = faultinject.MaskKeepalive
+	FaultMaskAll       = faultinject.MaskAll
+)
+
+// NewFaultPlane returns a fault plane, or an error when the config lacks
+// its explicit *rand.Rand.
+func NewFaultPlane(cfg FaultPlaneConfig) (*FaultPlane, error) { return faultinject.New(cfg) }
+
+// DefaultChaosConfig returns the failure-recovery sweep recorded in
+// EXPERIMENTS.md.
+func DefaultChaosConfig() ChaosConfig { return core.DefaultChaosConfig() }
+
+// RunChaos runs the failure-recovery sweep: delivery ratio under loss,
+// time-to-reroute after a crash, time-to-reconverge after the restart.
+// Deterministic for a given config.
+func RunChaos(cfg ChaosConfig) ([]ChaosPoint, error) { return core.RunChaos(cfg) }
 
 // Topology types for custom inter-domain graphs.
 type (
