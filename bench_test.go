@@ -1,10 +1,11 @@
 package mascbgmp_test
 
-// Benchmark harness for the paper's evaluation artifacts. One benchmark per
-// figure regenerates the corresponding result at a laptop-friendly scale
-// and reports the headline metrics with b.ReportMetric; cmd/mascsim and
-// cmd/treesim produce the full-scale series. The Ablation* benchmarks vary
-// the design choices DESIGN.md §5 calls out.
+// Benchmark harness for the paper's evaluation artifacts.
+// BenchmarkScenario drives the registered benchsuite scenarios, so
+// `go test -bench Scenario` and `go run ./cmd/benchsuite` report the same
+// scenario names and metrics; cmd/mascsim and cmd/treesim produce the
+// full-scale series. The Ablation* benchmarks vary the design choices
+// DESIGN.md §5 calls out.
 //
 // Run with: go test -bench=. -benchmem
 
@@ -46,48 +47,32 @@ func steadyState(res mascbgmp.Fig2Result) (util, gribAvg float64, gribMax int) {
 	return util, gribAvg, gribMax
 }
 
-// BenchmarkFig2aUtilization regenerates Figure 2(a): address-space
-// utilization of the MASC claim algorithm (paper steady state ≈ 50 %).
-func BenchmarkFig2aUtilization(b *testing.B) {
-	cfg := fig2Bench()
-	var util float64
-	for i := 0; i < b.N; i++ {
-		res := mascbgmp.RunFig2(cfg)
-		util, _, _ = steadyState(res)
+// BenchmarkScenario runs every registered benchsuite scenario (one trial
+// per iteration) under its registry name, so `go test -bench Scenario`
+// reports the same scenario names and metrics as cmd/benchsuite. The
+// expensive fig2-alloc suite is excluded from -short runs.
+func BenchmarkScenario(b *testing.B) {
+	for _, s := range mascbgmp.BenchScenarios() {
+		s := s
+		b.Run(s.Name, func(b *testing.B) {
+			if testing.Short() && s.Name == "fig2-alloc" {
+				b.Skip("fig2-alloc takes ~3s per trial")
+			}
+			b.ReportAllocs()
+			var res mascbgmp.BenchResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = mascbgmp.RunBenchScenario(s.Name,
+					mascbgmp.BenchOptions{Trials: 1, Parallel: 1, Seed: 1998})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, m := range res.Metrics {
+				b.ReportMetric(m.Mean, m.Name)
+			}
+		})
 	}
-	b.ReportMetric(util*100, "%util")
-}
-
-// BenchmarkFig2bGRIBSize regenerates Figure 2(b): G-RIB sizes (paper:
-// mean ≈ 175, max ≤ 180 at 50×50 scale; scales with domain count).
-func BenchmarkFig2bGRIBSize(b *testing.B) {
-	cfg := fig2Bench()
-	var gribAvg float64
-	var gribMax int
-	for i := 0; i < b.N; i++ {
-		res := mascbgmp.RunFig2(cfg)
-		_, gribAvg, gribMax = steadyState(res)
-	}
-	b.ReportMetric(gribAvg, "routes-avg")
-	b.ReportMetric(float64(gribMax), "routes-max")
-}
-
-// BenchmarkFig2FullScale runs the paper's exact 50×50×800-day parameters.
-// Expensive (~8 s/iteration); excluded from -short runs.
-func BenchmarkFig2FullScale(b *testing.B) {
-	if testing.Short() {
-		b.Skip("full-scale Fig 2 takes ~8s per iteration")
-	}
-	cfg := mascbgmp.DefaultFig2Config()
-	var util float64
-	var live int
-	for i := 0; i < b.N; i++ {
-		res := mascbgmp.RunFig2(cfg)
-		util, _, _ = steadyState(res)
-		live = res.LiveBlocks
-	}
-	b.ReportMetric(util*100, "%util")
-	b.ReportMetric(float64(live), "live-blocks")
 }
 
 func fig4Bench() mascbgmp.Fig4Config {
@@ -97,35 +82,6 @@ func fig4Bench() mascbgmp.Fig4Config {
 	cfg.GroupSizes = []int{10, 100, 400}
 	cfg.Trials = 3
 	return cfg
-}
-
-// BenchmarkFig4PathLength regenerates Figure 4: path-length overhead
-// ratios of unidirectional, bidirectional, and hybrid trees relative to the
-// shortest-path tree (paper: ≈2.0× / <1.3× / <1.2×).
-func BenchmarkFig4PathLength(b *testing.B) {
-	cfg := fig4Bench()
-	var pts []mascbgmp.Fig4Point
-	for i := 0; i < b.N; i++ {
-		pts = mascbgmp.RunFig4(cfg)
-	}
-	last := pts[len(pts)-1]
-	b.ReportMetric(last.UniAvg, "uni-ratio")
-	b.ReportMetric(last.BidirAvg, "bidir-ratio")
-	b.ReportMetric(last.HybridAvg, "hybrid-ratio")
-}
-
-// BenchmarkFig4FullScale runs the paper's 3326-domain topology with the
-// full 1..1000 receiver sweep.
-func BenchmarkFig4FullScale(b *testing.B) {
-	cfg := mascbgmp.DefaultFig4Config()
-	var pts []mascbgmp.Fig4Point
-	for i := 0; i < b.N; i++ {
-		pts = mascbgmp.RunFig4(cfg)
-	}
-	last := pts[len(pts)-1]
-	b.ReportMetric(last.UniAvg, "uni-ratio")
-	b.ReportMetric(last.BidirAvg, "bidir-ratio")
-	b.ReportMetric(last.HybridAvg, "hybrid-ratio")
 }
 
 // BenchmarkAblationRootPlacement compares initiator-domain rooting (the

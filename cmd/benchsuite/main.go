@@ -1,0 +1,134 @@
+// Command benchsuite runs the registered benchmark scenarios through the
+// parallel deterministic trial runner and writes machine-readable results
+// (schema mascbgmp-bench/v1) suitable for checking in as BENCH_<suite>.json
+// baselines. The Metrics and Counters sections of a result are pure
+// functions of (suite, trials, seed) — byte-identical at any -parallel —
+// while the env and timing sections carry the host-dependent figures.
+// Expected bands are recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchsuite -list
+//	benchsuite -suite scale-churn [-trials 3] [-parallel 0] [-seed 1998]
+//	           [-out BENCH_scale.json] [-compare old.json] [-tolerance 0.10]
+//	benchsuite -validate BENCH_scale.json
+//	benchsuite -diff a.json b.json
+//
+// -compare gates the fresh run against a baseline file: any directional
+// metric moving the wrong way by more than -tolerance (relative) fails
+// with exit status 1. -diff compares two result files for determinism
+// (strict equality ignoring the env and timing sections). -validate
+// checks a file against the schema. All three exit 1 on mismatch.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mascbgmp"
+	"mascbgmp/internal/bench"
+)
+
+func main() {
+	var (
+		suite     = flag.String("suite", "", "scenario to run (see -list)")
+		trials    = flag.Int("trials", 0, "trials to run (0: the scenario's default)")
+		parallel  = flag.Int("parallel", 0, "worker pool size (0: GOMAXPROCS)")
+		seed      = flag.Int64("seed", 1998, "suite seed; per-trial seeds derive from it")
+		out       = flag.String("out", "", "write the result JSON to this file (default: stdout)")
+		compare   = flag.String("compare", "", "baseline result file to gate the run against")
+		tolerance = flag.Float64("tolerance", 0.10, "relative regression tolerance for -compare")
+		list      = flag.Bool("list", false, "list the registered scenarios and exit")
+		validate  = flag.String("validate", "", "validate a result file against the schema and exit")
+		diff      = flag.Bool("diff", false, "compare two result files (args) modulo env/timing and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, s := range mascbgmp.BenchScenarios() {
+			fmt.Printf("%-16s trials=%d  %s\n", s.Name, s.DefaultTrials, s.Description)
+			for _, m := range s.Metrics {
+				fmt.Printf("    %-20s %-10s better=%-6s %s\n", m.Name, m.Unit, m.Better, m.Help)
+			}
+		}
+		return
+
+	case *validate != "":
+		if _, err := bench.ReadFile(*validate); err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("%s: valid (%s)\n", *validate, bench.SchemaID)
+		return
+
+	case *diff:
+		if flag.NArg() != 2 {
+			fatal("-diff needs exactly two result files")
+		}
+		a, err := bench.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err.Error())
+		}
+		b, err := bench.ReadFile(flag.Arg(1))
+		if err != nil {
+			fatal(err.Error())
+		}
+		if d := bench.DeterministicDiff(a, b); d != "" {
+			fatal("results differ: " + d)
+		}
+		fmt.Println("results match (modulo env/timing)")
+		return
+	}
+
+	if *suite == "" {
+		fmt.Fprintln(os.Stderr, "benchsuite: -suite required (or -list/-validate/-diff)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	res, err := mascbgmp.RunBenchScenario(*suite, mascbgmp.BenchOptions{
+		Trials: *trials, Parallel: *parallel, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err.Error())
+	}
+
+	if *out != "" {
+		if err := bench.WriteFile(*out, res); err != nil {
+			fatal(err.Error())
+		}
+		fmt.Fprintf(os.Stderr, "benchsuite: wrote %s\n", *out)
+	} else {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err.Error())
+		}
+		fmt.Println(string(data))
+	}
+
+	if *compare != "" {
+		base, err := bench.ReadFile(*compare)
+		if err != nil {
+			fatal(err.Error())
+		}
+		regs, err := bench.Compare(base, res, *tolerance)
+		if err != nil {
+			fatal(err.Error())
+		}
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "benchsuite: REGRESSION %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchsuite: no regressions vs %s (tolerance %.0f%%)\n",
+			*compare, *tolerance*100)
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "benchsuite: "+msg)
+	os.Exit(1)
+}

@@ -14,7 +14,12 @@
 // Usage:
 //
 //	chaossim [-seed 1998] [-loss 0,0.05,0.1,0.2] [-hold 30s] [-backoff 15s]
-//	         [-crash 5m] [-groups 3] [-packets 50] [-metrics] [-trace]
+//	         [-crash 5m] [-groups 3] [-packets 50] [-parallel 1]
+//	         [-metrics] [-trace]
+//
+// -parallel fans the loss-rate points across a worker pool; each point is
+// an independent seeded trial, so the measurements (and the -metrics
+// counter totals) are identical at any value.
 package main
 
 import (
@@ -30,15 +35,16 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1998, "random seed")
-		loss    = flag.String("loss", "", "comma-separated loss rates in [0,1) (default: the recorded 0,0.05,0.1,0.2 sweep)")
-		hold    = flag.Duration("hold", 30*time.Second, "session hold time (keepalives every third)")
-		backoff = flag.Duration("backoff", 15*time.Second, "initial reconnect backoff (doubles per failure)")
-		crash   = flag.Duration("crash", 5*time.Minute, "how long the crashed border router stays down")
-		groups  = flag.Int("groups", 3, "multicast groups rooted in the source domain")
-		packets = flag.Int("packets", 50, "probe packets per group during the lossy phase")
-		metrics = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
-		trace   = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
+		seed     = flag.Int64("seed", 1998, "random seed")
+		loss     = flag.String("loss", "", "comma-separated loss rates in [0,1) (default: the recorded 0,0.05,0.1,0.2 sweep)")
+		hold     = flag.Duration("hold", 30*time.Second, "session hold time (keepalives every third)")
+		backoff  = flag.Duration("backoff", 15*time.Second, "initial reconnect backoff (doubles per failure)")
+		crash    = flag.Duration("crash", 5*time.Minute, "how long the crashed border router stays down")
+		groups   = flag.Int("groups", 3, "multicast groups rooted in the source domain")
+		packets  = flag.Int("packets", 50, "probe packets per group during the lossy phase")
+		parallel = flag.Int("parallel", 1, "worker pool size for the loss-rate points (0: GOMAXPROCS); measurements are identical at any value")
+		metrics  = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
+		trace    = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
 	)
 	flag.Parse()
 
@@ -49,6 +55,7 @@ func main() {
 	cfg.CrashFor = *crash
 	cfg.Groups = *groups
 	cfg.Packets = *packets
+	cfg.Parallel = *parallel
 	if *loss != "" {
 		cfg.LossRates = nil
 		for _, f := range strings.Split(*loss, ",") {

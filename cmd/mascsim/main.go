@@ -11,6 +11,13 @@
 //
 //	mascsim [-top 50] [-children 50] [-days 800] [-seed 1998]
 //	        [-fig 2a|2b|csv] [-summary] [-metrics] [-trace]
+//	        [-trials 1] [-parallel 1]
+//
+// With -trials N > 1 the simulation is replicated N times across a worker
+// pool, each replica with a seed derived from (-seed, trial index); the
+// CSV series is skipped and a per-trial summary table plus the
+// mean/min/max aggregate is printed instead. The per-trial results are
+// identical at any -parallel value.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"os"
 
 	"mascbgmp"
+	"mascbgmp/internal/harness"
 )
 
 func main() {
@@ -32,6 +40,8 @@ func main() {
 		hetero   = flag.Bool("hetero", false, "heterogeneous topology: variable children per provider and block sizes")
 		metrics  = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
 		trace    = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
+		trials   = flag.Int("trials", 1, "replicate the simulation N times with derived seeds (1: single legacy run)")
+		parallel = flag.Int("parallel", 1, "worker pool size for -trials replication (0: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -49,6 +59,14 @@ func main() {
 		if *trace {
 			ob.Subscribe(func(e mascbgmp.Event) { fmt.Fprintln(os.Stderr, e) })
 		}
+	}
+
+	if *trials > 1 {
+		runReplicated(cfg, *trials, *parallel, *days)
+		if *metrics {
+			fmt.Fprintf(os.Stderr, "\n# protocol event counters (all trials)\n%s", ob.Snapshot().Totals())
+		}
+		return
 	}
 
 	res := mascbgmp.RunFig2(cfg)
@@ -78,13 +96,30 @@ func main() {
 	}
 
 	// Steady-state summary (after the startup transient).
-	var util, grib float64
-	var gribMax, n int
-	cut := float64(*days) / 4
+	util, grib, gribMax, cut := steadyState(res.Samples, *days)
+	fmt.Fprintf(os.Stderr, "\n# steady state after day %.0f (paper: util ~50%%, G-RIB mean ~175 / max <=180 at 50x50)\n", cut)
+	fmt.Fprintf(os.Stderr, "domains:              %d top-level, %d children\n", *top, *top**children)
+	fmt.Fprintf(os.Stderr, "utilization:          %.1f%%\n", util*100)
+	fmt.Fprintf(os.Stderr, "G-RIB size:           mean %.1f, max %d\n", grib, gribMax)
+	fmt.Fprintf(os.Stderr, "live block requests:  %d (paper: ~37500 at 50x50)\n", res.LiveBlocks)
+	fmt.Fprintf(os.Stderr, "requests satisfied:   %d (failed: %d)\n", res.Satisfied, res.Failed)
+	fmt.Fprintf(os.Stderr, "expansion events:     %d doublings, %d extra claims, %d replacements, %d releases\n",
+		res.ChildStats.Doublings, res.ChildStats.ExtraClaims, res.ChildStats.Replacements, res.ChildStats.Releases)
+
+	if *metrics {
+		fmt.Fprintf(os.Stderr, "\n# protocol event counters\n%s", ob.Snapshot().Totals())
+	}
+}
+
+// steadyState averages the post-transient samples (after day
+// min(days/4, 100)) and returns the cut day used.
+func steadyState(samples []mascbgmp.Fig2Sample, days int) (util, grib float64, gribMax int, cut float64) {
+	cut = float64(days) / 4
 	if cut > 100 {
 		cut = 100
 	}
-	for _, s := range res.Samples {
+	n := 0
+	for _, s := range samples {
 		if s.Day > cut {
 			util += s.Utilization
 			grib += s.GRIBAvg
@@ -98,16 +133,55 @@ func main() {
 		util /= float64(n)
 		grib /= float64(n)
 	}
-	fmt.Fprintf(os.Stderr, "\n# steady state after day %.0f (paper: util ~50%%, G-RIB mean ~175 / max <=180 at 50x50)\n", cut)
-	fmt.Fprintf(os.Stderr, "domains:              %d top-level, %d children\n", *top, *top**children)
-	fmt.Fprintf(os.Stderr, "utilization:          %.1f%%\n", util*100)
-	fmt.Fprintf(os.Stderr, "G-RIB size:           mean %.1f, max %d\n", grib, gribMax)
-	fmt.Fprintf(os.Stderr, "live block requests:  %d (paper: ~37500 at 50x50)\n", res.LiveBlocks)
-	fmt.Fprintf(os.Stderr, "requests satisfied:   %d (failed: %d)\n", res.Satisfied, res.Failed)
-	fmt.Fprintf(os.Stderr, "expansion events:     %d doublings, %d extra claims, %d replacements, %d releases\n",
-		res.ChildStats.Doublings, res.ChildStats.ExtraClaims, res.ChildStats.Replacements, res.ChildStats.Releases)
+	return util, grib, gribMax, cut
+}
 
-	if *metrics {
-		fmt.Fprintf(os.Stderr, "\n# protocol event counters\n%s", ob.Snapshot().Totals())
+// runReplicated runs the simulation trials times across a worker pool,
+// each replica seeded from (cfg.Seed, trial index), and prints per-trial
+// steady-state rows plus the aggregate. Per-trial results are identical
+// at any parallelism.
+func runReplicated(cfg mascbgmp.Fig2Config, trials, parallel, days int) {
+	type row struct {
+		seed              int64
+		util, grib        float64
+		gribMax, live     int
+		satisfied, failed int
 	}
+	results, err := harness.Run(harness.Config{
+		Trials:   trials,
+		Parallel: parallel,
+		Seed:     cfg.Seed,
+		Run: func(t harness.Trial) (any, error) {
+			c := cfg
+			c.Seed = t.Seed
+			res := mascbgmp.RunFig2(c)
+			u, g, gm, _ := steadyState(res.Samples, days)
+			return row{seed: t.Seed, util: u, grib: g, gribMax: gm,
+				live: res.LiveBlocks, satisfied: res.Satisfied, failed: res.Failed}, nil
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mascsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("trial,seed,utilization_pct,grib_mean,grib_max,live_blocks,satisfied,failed")
+	var uSum, uMin, uMax, gSum float64
+	var liveSum int
+	for i, r := range results {
+		rw := r.Value.(row)
+		fmt.Printf("%d,%d,%.2f,%.1f,%d,%d,%d,%d\n",
+			i, rw.seed, rw.util*100, rw.grib, rw.gribMax, rw.live, rw.satisfied, rw.failed)
+		if i == 0 || rw.util < uMin {
+			uMin = rw.util
+		}
+		if i == 0 || rw.util > uMax {
+			uMax = rw.util
+		}
+		uSum += rw.util
+		gSum += rw.grib
+		liveSum += rw.live
+	}
+	n := float64(len(results))
+	fmt.Fprintf(os.Stderr, "\n# %d trials: utilization mean %.1f%% (min %.1f%%, max %.1f%%), G-RIB mean %.1f, live blocks mean %.0f\n",
+		len(results), uSum/n*100, uMin*100, uMax*100, gSum/n, float64(liveSum)/n)
 }

@@ -10,6 +10,10 @@
 //	topogen -kind as [-n 3326] [-peering 350] [-seed 1998]
 //	topogen -kind hierarchy [-top 50] [-children 50]
 //
+// -seed only applies to the "as" generator. The hierarchy generator is
+// fully regular (no randomness), so passing -seed with -kind hierarchy is
+// rejected rather than silently ignored.
+//
 // Output: one "a b" pair per link on stdout, preceded by a comment header
 // with graph statistics.
 package main
@@ -28,7 +32,7 @@ func main() {
 		kind     = flag.String("kind", "as", `generator: "as" or "hierarchy"`)
 		n        = flag.Int("n", 3326, "domains (as)")
 		peering  = flag.Int("peering", 350, "extra peering links (as)")
-		seed     = flag.Int64("seed", 1998, "random seed (as)")
+		seed     = flag.Int64("seed", 1998, "random seed (as only; rejected with -kind hierarchy)")
 		top      = flag.Int("top", 50, "top-level domains (hierarchy)")
 		children = flag.Int("children", 50, "children per top-level domain (hierarchy)")
 	)
@@ -39,6 +43,19 @@ func main() {
 	case "as":
 		g = topology.ASGraph(*n, *peering, *seed)
 	case "hierarchy":
+		// The hierarchy is deterministic by construction; a -seed here
+		// would be silently ignored, which reads like a reproducibility
+		// knob that does not exist. Reject it instead.
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedSet = true
+			}
+		})
+		if seedSet {
+			fmt.Fprintln(os.Stderr, "topogen: -seed has no effect with -kind hierarchy (the generator is fully regular); drop the flag")
+			os.Exit(2)
+		}
 		g, _, _ = topology.Hierarchy(*top, *children)
 	default:
 		fmt.Fprintf(os.Stderr, "topogen: unknown -kind %q\n", *kind)

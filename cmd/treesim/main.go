@@ -10,8 +10,11 @@
 // Usage:
 //
 //	treesim [-domains 3326] [-peering 350] [-seed 1998] [-trials 5]
-//	        [-sizes 1,2,5,...] [-random-root] [-summary] [-metrics] [-trace]
-//	        [-fault-links N] [-fault-loss P]
+//	        [-parallel 1] [-sizes 1,2,5,...] [-random-root] [-summary]
+//	        [-metrics] [-trace] [-fault-links N] [-fault-loss P]
+//
+// -parallel fans the per-size sweep across a worker pool; each size draws
+// from its own seed-derived rng, so the output is identical at any value.
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 		peering    = flag.Int("peering", 350, "extra peering links in the synthetic topology")
 		seed       = flag.Int64("seed", 1998, "random seed")
 		trials     = flag.Int("trials", 5, "trials per group size")
+		parallel   = flag.Int("parallel", 1, "worker pool size for the per-size sweep (0: GOMAXPROCS); results are identical at any value")
 		sizes      = flag.String("sizes", "", "comma-separated receiver counts (default: the paper's 1..1000 sweep)")
 		randomRoot = flag.Bool("random-root", false, "ablation: root the bidirectional tree at a random domain instead of the initiator's")
 		summary    = flag.Bool("summary", false, "print only the overall summary")
@@ -45,6 +49,7 @@ func main() {
 	cfg.ExtraPeering = *peering
 	cfg.Seed = *seed
 	cfg.Trials = *trials
+	cfg.Parallel = *parallel
 	cfg.RandomRoot = *randomRoot
 	cfg.FaultLinks = *faultLinks
 	cfg.FaultLoss = *faultLoss

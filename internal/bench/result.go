@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// SchemaID identifies the result-file format; bump on breaking changes.
+const SchemaID = "mascbgmp-bench/v1"
+
+// Percentiles summarizes a per-trial series.
+type Percentiles struct {
+	Min float64 `json:"min"`
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// MetricSummary is one metric aggregated over all trials. Series keeps
+// the raw per-trial values in trial order so a baseline file carries
+// enough information to re-derive any statistic later.
+type MetricSummary struct {
+	Name        string      `json:"name"`
+	Unit        string      `json:"unit,omitempty"`
+	Better      Direction   `json:"better"`
+	Help        string      `json:"help,omitempty"`
+	Mean        float64     `json:"mean"`
+	Percentiles Percentiles `json:"percentiles"`
+	Series      []float64   `json:"series"`
+}
+
+// Env records where and how the suite ran. Volatile: stripped before
+// determinism comparison.
+type Env struct {
+	GoVersion string `json:"go_version,omitempty"`
+	OS        string `json:"os,omitempty"`
+	Arch      string `json:"arch,omitempty"`
+	// Revision is the VCS revision from the build info, when the binary
+	// was built from a checkout (absent under plain `go run` of a dirty
+	// tree — callers must tolerate the empty string).
+	Revision string `json:"revision,omitempty"`
+	Parallel int    `json:"parallel,omitempty"`
+	Started  string `json:"started,omitempty"`
+}
+
+// Timing holds everything wall-clock- or allocator-derived. Volatile:
+// stripped before determinism comparison.
+type Timing struct {
+	TotalWallNS int64       `json:"total_wall_ns,omitempty"`
+	Wall        Percentiles `json:"wall_ns,omitempty"`
+	AllocBytes  Percentiles `json:"alloc_bytes,omitempty"`
+	PeakHeap    Percentiles `json:"peak_heap_bytes,omitempty"`
+	// Rates maps "<name>_per_sec" to the mean per-trial rate for every
+	// rate counter the scenario reports (e.g. joins_per_sec).
+	Rates map[string]float64 `json:"rates,omitempty"`
+}
+
+// SuiteResult is the machine-readable outcome of one suite run — the
+// contents of a BENCH_<suite>.json file.
+type SuiteResult struct {
+	Schema      string            `json:"schema"`
+	Suite       string            `json:"suite"`
+	Description string            `json:"description,omitempty"`
+	Trials      int               `json:"trials"`
+	Seed        int64             `json:"seed"`
+	Metrics     []MetricSummary   `json:"metrics"`
+	Counters    map[string]uint64 `json:"counters,omitempty"`
+	Env         Env               `json:"env"`
+	Timing      Timing            `json:"timing"`
+}
+
+// summarize computes mean and percentiles over a non-empty series.
+func summarize(series []float64) (float64, Percentiles) {
+	sorted := append([]float64(nil), series...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		// Nearest-rank on the sorted series.
+		i := int(math.Round(p / 100 * float64(len(sorted)-1)))
+		return sorted[i]
+	}
+	return sum / float64(len(sorted)), Percentiles{
+		Min: sorted[0],
+		P50: pct(50),
+		P90: pct(90),
+		P99: pct(99),
+		Max: sorted[len(sorted)-1],
+	}
+}
+
+// Validate checks the structural invariants of a result: schema tag,
+// suite name, positive trial count, and per-metric series of the right
+// length with ordered percentiles.
+func (r SuiteResult) Validate() error {
+	if r.Schema != SchemaID {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, SchemaID)
+	}
+	if r.Suite == "" {
+		return fmt.Errorf("bench: empty suite name")
+	}
+	if r.Trials <= 0 {
+		return fmt.Errorf("bench: trials = %d", r.Trials)
+	}
+	if len(r.Metrics) == 0 {
+		return fmt.Errorf("bench: no metrics")
+	}
+	for _, m := range r.Metrics {
+		if m.Name == "" {
+			return fmt.Errorf("bench: unnamed metric")
+		}
+		switch m.Better {
+		case Lower, Higher, Info:
+		default:
+			return fmt.Errorf("bench: metric %s: bad direction %q", m.Name, m.Better)
+		}
+		if len(m.Series) != r.Trials {
+			return fmt.Errorf("bench: metric %s: %d series points for %d trials",
+				m.Name, len(m.Series), r.Trials)
+		}
+		p := m.Percentiles
+		if !(p.Min <= p.P50 && p.P50 <= p.P90 && p.P90 <= p.P99 && p.P99 <= p.Max) {
+			return fmt.Errorf("bench: metric %s: percentiles out of order: %+v", m.Name, p)
+		}
+	}
+	return nil
+}
+
+// StripVolatile returns a copy with the Env and Timing sections zeroed —
+// the determinism view of a result: everything left must be a pure
+// function of (suite, trials, seed).
+func StripVolatile(r SuiteResult) SuiteResult {
+	r.Env = Env{}
+	r.Timing = Timing{}
+	return r
+}
+
+// DeterministicDiff compares two results modulo their volatile sections
+// and returns "" when identical, or a human-readable description of the
+// first difference.
+func DeterministicDiff(a, b SuiteResult) string {
+	ja, err := json.Marshal(StripVolatile(a))
+	if err != nil {
+		return "marshal a: " + err.Error()
+	}
+	jb, err := json.Marshal(StripVolatile(b))
+	if err != nil {
+		return "marshal b: " + err.Error()
+	}
+	if string(ja) == string(jb) {
+		return ""
+	}
+	// Localize the divergence for the error message.
+	if a.Suite != b.Suite {
+		return fmt.Sprintf("suite %q vs %q", a.Suite, b.Suite)
+	}
+	if a.Trials != b.Trials || a.Seed != b.Seed {
+		return fmt.Sprintf("trials/seed (%d,%d) vs (%d,%d)", a.Trials, a.Seed, b.Trials, b.Seed)
+	}
+	for i := range a.Metrics {
+		if i >= len(b.Metrics) {
+			break
+		}
+		ma, mb := a.Metrics[i], b.Metrics[i]
+		if ma.Name != mb.Name || ma.Mean != mb.Mean || fmt.Sprint(ma.Series) != fmt.Sprint(mb.Series) {
+			return fmt.Sprintf("metric %s: %v vs %v", ma.Name, ma.Series, mb.Series)
+		}
+	}
+	for k, va := range a.Counters {
+		if vb := b.Counters[k]; va != vb {
+			return fmt.Sprintf("counter %s: %d vs %d", k, va, vb)
+		}
+	}
+	return "results differ (structure)"
+}
+
+// Regression is one metric that moved the wrong way past the tolerance.
+type Regression struct {
+	Metric   string
+	Baseline float64
+	Current  float64
+	// Delta is the signed relative change, positive = grew.
+	Delta float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.4g -> %.4g (%+.1f%%)", r.Metric, r.Baseline, r.Current, r.Delta*100)
+}
+
+// Compare gates current against baseline: every directional metric
+// (Better == Lower or Higher) present in both must not move the wrong
+// way by more than tolerance (relative, e.g. 0.10 = 10%). Info metrics
+// are ignored. Returns the regressions found.
+func Compare(baseline, current SuiteResult, tolerance float64) ([]Regression, error) {
+	if baseline.Suite != current.Suite {
+		return nil, fmt.Errorf("bench: comparing suite %q against baseline %q",
+			current.Suite, baseline.Suite)
+	}
+	base := make(map[string]MetricSummary, len(baseline.Metrics))
+	for _, m := range baseline.Metrics {
+		base[m.Name] = m
+	}
+	var regs []Regression
+	for _, m := range current.Metrics {
+		b, ok := base[m.Name]
+		if !ok || m.Better == Info {
+			continue
+		}
+		var bad bool
+		switch m.Better {
+		case Lower:
+			bad = m.Mean > b.Mean*(1+tolerance)+1e-12
+		case Higher:
+			bad = m.Mean < b.Mean*(1-tolerance)-1e-12
+		}
+		if bad {
+			delta := 0.0
+			if b.Mean != 0 {
+				delta = (m.Mean - b.Mean) / math.Abs(b.Mean)
+			}
+			regs = append(regs, Regression{Metric: m.Name, Baseline: b.Mean, Current: m.Mean, Delta: delta})
+		}
+	}
+	return regs, nil
+}
+
+// WriteFile serializes a result as indented JSON (trailing newline, so
+// the file is diff- and cat-friendly).
+func WriteFile(path string, r SuiteResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a result file.
+func ReadFile(path string) (SuiteResult, error) {
+	var r SuiteResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return r, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return r, nil
+}

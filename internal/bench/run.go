@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"mascbgmp/internal/harness"
+	"mascbgmp/internal/obs"
+)
+
+// Options parameterize a suite run.
+type Options struct {
+	// Trials overrides the scenario's DefaultTrials when positive.
+	Trials int
+	// Parallel bounds the worker pool; <= 0 uses GOMAXPROCS.
+	Parallel int
+	// Seed is the suite seed every trial's seed derives from.
+	Seed int64
+}
+
+// RunSuite runs a registered scenario by name.
+func RunSuite(name string, opts Options) (SuiteResult, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return SuiteResult{}, fmt.Errorf("bench: unknown suite %q (try -list)", name)
+	}
+	return RunScenario(s, opts)
+}
+
+// RunScenario runs a scenario (registered or not) through the harness
+// and aggregates the trials into a SuiteResult. The Metrics and Counters
+// sections are pure functions of (scenario, trials, seed); Env and
+// Timing carry everything host- or wall-clock-dependent.
+func RunScenario(s Scenario, opts Options) (SuiteResult, error) {
+	trials := opts.Trials
+	if trials <= 0 {
+		trials = s.DefaultTrials
+	}
+	if trials <= 0 {
+		trials = 1
+	}
+
+	type trialRecord struct {
+		out TrialOutput
+		obs map[string]uint64
+	}
+	start := time.Now()
+	results, err := harness.Run(harness.Config{
+		Trials:   trials,
+		Parallel: opts.Parallel,
+		Seed:     opts.Seed,
+		Run: func(t harness.Trial) (any, error) {
+			ob := obs.NewObserver()
+			out, err := s.Trial(TrialContext{Index: t.Index, Seed: t.Seed, Rng: t.Rng, Obs: ob})
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range s.Metrics {
+				if _, ok := out.Values[m.Name]; !ok {
+					return nil, fmt.Errorf("trial output missing metric %q", m.Name)
+				}
+			}
+			return trialRecord{out: out, obs: ob.Snapshot().NameTotals()}, nil
+		},
+	})
+	if err != nil {
+		return SuiteResult{}, fmt.Errorf("bench: suite %s: %w", s.Name, err)
+	}
+	totalWall := time.Since(start)
+
+	res := SuiteResult{
+		Schema:      SchemaID,
+		Suite:       s.Name,
+		Description: s.Description,
+		Trials:      trials,
+		Seed:        opts.Seed,
+		Counters:    map[string]uint64{},
+		Env:         captureEnv(opts.Parallel, start),
+	}
+
+	// Deterministic sections: metric series in trial order, counter sums.
+	for _, def := range s.Metrics {
+		series := make([]float64, trials)
+		for i, r := range results {
+			series[i] = r.Value.(trialRecord).out.Values[def.Name]
+		}
+		mean, pct := summarize(series)
+		res.Metrics = append(res.Metrics, MetricSummary{
+			Name: def.Name, Unit: def.Unit, Better: def.Better, Help: def.Help,
+			Mean: mean, Percentiles: pct, Series: series,
+		})
+	}
+	for _, r := range results {
+		for k, v := range r.Value.(trialRecord).obs {
+			res.Counters[k] += v
+		}
+	}
+	if len(res.Counters) == 0 {
+		res.Counters = nil
+	}
+
+	// Volatile sections: wall/alloc/heap percentiles and mean rates.
+	walls := make([]float64, trials)
+	allocs := make([]float64, trials)
+	heaps := make([]float64, trials)
+	rateSums := map[string]float64{}
+	for i, r := range results {
+		walls[i] = float64(r.Wall)
+		allocs[i] = float64(r.AllocBytes)
+		heaps[i] = float64(r.PeakHeapBytes)
+		secs := r.Wall.Seconds()
+		if secs <= 0 {
+			continue
+		}
+		for k, count := range r.Value.(trialRecord).out.Rates {
+			rateSums[k] += count / secs
+		}
+	}
+	res.Timing.TotalWallNS = totalWall.Nanoseconds()
+	_, res.Timing.Wall = summarize(walls)
+	_, res.Timing.AllocBytes = summarize(allocs)
+	_, res.Timing.PeakHeap = summarize(heaps)
+	if len(rateSums) > 0 {
+		res.Timing.Rates = make(map[string]float64, len(rateSums))
+		for k, sum := range rateSums {
+			res.Timing.Rates[k+"_per_sec"] = sum / float64(trials)
+		}
+	}
+	return res, nil
+}
+
+// captureEnv snapshots the host metadata. The VCS revision comes from
+// the build info and is best-effort: absent under `go run` of a dirty
+// tree or a non-VCS build.
+func captureEnv(parallel int, started time.Time) Env {
+	env := Env{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Parallel:  parallel,
+		Started:   started.UTC().Format(time.RFC3339),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" {
+				env.Revision = kv.Value
+			}
+		}
+	}
+	return env
+}

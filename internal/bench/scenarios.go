@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"time"
+
+	"mascbgmp/internal/core"
+	"mascbgmp/internal/experiments"
+)
+
+// The built-in suites. Each trial re-runs the underlying experiment with
+// the trial's derived seed, so the trials are independent samples of the
+// same workload and the percentile spread is the seed-to-seed variance.
+
+func init() {
+	Register(Scenario{
+		Name:          "fig2-alloc",
+		Description:   "MASC claim-algorithm allocation on the paper's 50x50 hierarchy (Fig 2)",
+		DefaultTrials: 3,
+		Metrics: []MetricDef{
+			{Name: "utilization", Unit: "fraction", Better: Info,
+				Help: "steady-state (day > 60) address-space utilization; paper band ~0.5"},
+			{Name: "grib_final", Unit: "routes", Better: Lower,
+				Help: "mean G-RIB size at the end of the run"},
+			{Name: "live_blocks", Unit: "blocks", Better: Info,
+				Help: "live block allocations at the end"},
+			{Name: "failed", Unit: "requests", Better: Lower,
+				Help: "block requests the allocator could not satisfy"},
+		},
+		Trial: func(ctx TrialContext) (TrialOutput, error) {
+			cfg := experiments.DefaultFig2Config()
+			cfg.Days = 150
+			cfg.Seed = ctx.Seed
+			cfg.Obs = ctx.Obs
+			res := experiments.RunFig2(cfg)
+			var uSum float64
+			var n int
+			for _, s := range res.Samples {
+				if s.Day > 60 {
+					uSum += s.Utilization
+					n++
+				}
+			}
+			util := 0.0
+			if n > 0 {
+				util = uSum / float64(n)
+			}
+			return TrialOutput{
+				Values: map[string]float64{
+					"utilization": util,
+					"grib_final":  res.Samples[len(res.Samples)-1].GRIBAvg,
+					"live_blocks": float64(res.LiveBlocks),
+					"failed":      float64(res.Failed),
+				},
+				Rates: map[string]float64{"requests": float64(res.Satisfied + res.Failed)},
+			}, nil
+		},
+	})
+
+	Register(Scenario{
+		Name:          "fig4-trees",
+		Description:   "shared-tree path-length overhead sweep over the synthetic AS graph (Fig 4)",
+		DefaultTrials: 5,
+		Metrics: []MetricDef{
+			{Name: "uni_avg", Unit: "ratio", Better: Info,
+				Help: "unidirectional (PIM-SM-style RP) overhead vs shortest path, mean over sizes"},
+			{Name: "bidir_avg", Unit: "ratio", Better: Lower,
+				Help: "bidirectional BGMP tree overhead vs shortest path, mean over sizes"},
+			{Name: "hybrid_avg", Unit: "ratio", Better: Lower,
+				Help: "hybrid (source-branch) overhead vs shortest path, mean over sizes"},
+			{Name: "tree_size", Unit: "domains", Better: Info,
+				Help: "mean on-tree domain count at the largest group size"},
+		},
+		Trial: func(ctx TrialContext) (TrialOutput, error) {
+			cfg := experiments.DefaultFig4Config()
+			cfg.Domains = 1000
+			cfg.ExtraPeering = 120
+			cfg.GroupSizes = []int{10, 50, 200, 600}
+			cfg.Trials = 3
+			cfg.Seed = ctx.Seed
+			cfg.Obs = ctx.Obs
+			pts := experiments.RunFig4(cfg)
+			var uni, bidir, hybrid float64
+			for _, p := range pts {
+				uni += p.UniAvg
+				bidir += p.BidirAvg
+				hybrid += p.HybridAvg
+			}
+			n := float64(len(pts))
+			return TrialOutput{
+				Values: map[string]float64{
+					"uni_avg":    uni / n,
+					"bidir_avg":  bidir / n,
+					"hybrid_avg": hybrid / n,
+					"tree_size":  pts[len(pts)-1].TreeSize,
+				},
+			}, nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "scale-churn",
+		Description: "join/leave churn over thousands of groups on the paper-scale " +
+			"3326-domain AS graph, then a steady-state forwarding phase",
+		DefaultTrials: 3,
+		Metrics: []MetricDef{
+			{Name: "grib_size", Unit: "routes", Better: Lower,
+				Help: "aggregated G-RIB routes covering all group blocks"},
+			{Name: "forwarding_entries", Unit: "entries", Better: Lower,
+				Help: "total (group, domain) forwarding state after churn"},
+			{Name: "mean_tree_size", Unit: "domains", Better: Info,
+				Help: "mean on-tree domains per group after churn"},
+			{Name: "joins", Unit: "ops", Better: Info,
+				Help: "join operations processed during the churn phase"},
+			{Name: "delivered", Unit: "packets", Better: Info,
+				Help: "member deliveries during the forwarding phase"},
+		},
+		Trial: func(ctx TrialContext) (TrialOutput, error) {
+			cfg := experiments.DefaultChurnConfig()
+			cfg.Seed = ctx.Seed
+			cfg.Obs = ctx.Obs
+			res := experiments.RunChurn(cfg)
+			return TrialOutput{
+				Values: map[string]float64{
+					"grib_size":          float64(res.GRIBSize),
+					"forwarding_entries": float64(res.ForwardingEntries),
+					"mean_tree_size":     res.MeanTreeSize,
+					"joins":              float64(res.Joins),
+					"delivered":          float64(res.Delivered),
+				},
+				Rates: map[string]float64{
+					"joins":     float64(res.Joins),
+					"forwarded": float64(res.ForwardHops),
+				},
+			}, nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "chaos-recovery",
+		Description: "fault-injected border-router crash under 10% loss: time to reroute " +
+			"onto the surviving path and to reconverge after restart",
+		DefaultTrials: 5,
+		Metrics: []MetricDef{
+			{Name: "reroute_s", Unit: "sim-seconds", Better: Lower,
+				Help: "crash to all groups delivering over the transit path"},
+			{Name: "reconverge_s", Unit: "sim-seconds", Better: Lower,
+				Help: "restart to all groups re-attached on the direct path"},
+			{Name: "delivery_ratio", Unit: "fraction", Better: Higher,
+				Help: "probe deliveries surviving the lossy steady-state phase"},
+			{Name: "recovered", Unit: "bool", Better: Info,
+				Help: "1 when the end state is fully healthy"},
+		},
+		Trial: func(ctx TrialContext) (TrialOutput, error) {
+			cfg := core.DefaultChaosConfig()
+			cfg.LossRates = []float64{0.10}
+			cfg.Packets = 15
+			cfg.CrashFor = 3 * time.Minute
+			cfg.Seed = ctx.Seed
+			cfg.Obs = ctx.Obs
+			pts, err := core.RunChaos(cfg)
+			if err != nil {
+				return TrialOutput{}, err
+			}
+			pt := pts[0]
+			recovered := 0.0
+			if pt.Recovered {
+				recovered = 1
+			}
+			return TrialOutput{
+				Values: map[string]float64{
+					"reroute_s":      pt.Reroute.Seconds(),
+					"reconverge_s":   pt.Reconverge.Seconds(),
+					"delivery_ratio": pt.DeliveryRatio,
+					"recovered":      recovered,
+				},
+			}, nil
+		},
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"mascbgmp/internal/addr"
 	"mascbgmp/internal/bgmp"
 	"mascbgmp/internal/faultinject"
+	"mascbgmp/internal/harness"
 	"mascbgmp/internal/migp/dvmrp"
 	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
@@ -55,6 +56,12 @@ type ChaosConfig struct {
 	// sweep; same-seed sweeps produce byte-identical snapshots. Nil uses
 	// an internal observer.
 	Obs *obs.Observer
+	// Parallel bounds the worker pool running the loss-rate points
+	// (<= 1: serial). Every point builds its own network with faults
+	// seeded from (Seed, point index), so the measured ChaosPoints and
+	// the Obs counter totals are identical at any Parallel value; only
+	// the interleaving of the live event stream changes.
+	Parallel int
 }
 
 // DefaultChaosConfig returns the sweep recorded in EXPERIMENTS.md.
@@ -98,19 +105,42 @@ type ChaosPoint struct {
 const chaosStep = 5 * time.Second
 
 // RunChaos runs the failure-recovery sweep and returns one point per loss
-// rate. Deterministic for a given config.
+// rate. Deterministic for a given config. The points are independent
+// seeded trials, so the sweep fans out across the harness worker pool:
+// each point emits into its own observer (scoping the per-point session
+// counters) and forwards every event to cfg.Obs, whose counter totals are
+// order-independent sums.
 func RunChaos(cfg ChaosConfig) ([]ChaosPoint, error) {
 	ob := cfg.Obs
 	if ob == nil {
 		ob = obs.NewObserver()
 	}
+	par := cfg.Parallel
+	if par <= 0 {
+		par = 1
+	}
+	results, err := harness.Run(harness.Config{
+		Trials:   len(cfg.LossRates),
+		Parallel: par,
+		Seed:     cfg.Seed,
+		Run: func(t harness.Trial) (any, error) {
+			loss := cfg.LossRates[t.Index]
+			pointObs := obs.NewObserver()
+			cancel := pointObs.Subscribe(ob.Emit)
+			defer cancel()
+			pt, err := runChaosPoint(cfg, int64(t.Index), loss, pointObs)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: loss %.2f: %w", loss, err)
+			}
+			return pt, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]ChaosPoint, 0, len(cfg.LossRates))
-	for i, loss := range cfg.LossRates {
-		pt, err := runChaosPoint(cfg, int64(i), loss, ob)
-		if err != nil {
-			return nil, fmt.Errorf("chaos: loss %.2f: %w", loss, err)
-		}
-		out = append(out, pt)
+	for _, r := range results {
+		out = append(out, r.Value.(ChaosPoint))
 	}
 	return out, nil
 }

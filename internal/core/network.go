@@ -308,13 +308,3 @@ func (n *Network) Quiesce(timeout time.Duration) error {
 	}
 	return n.tracker.Quiesce(timeout)
 }
-
-// Settle waits up to d for in-flight asynchronous messages to drain.
-//
-// Deprecated: use Quiesce, which reports whether the network actually went
-// quiet instead of discarding the timeout outcome. Each call emits a
-// core.deprecated event so remaining callers show up in metrics.
-func (n *Network) Settle(d time.Duration) {
-	n.cfg.Observer.Emit(obs.Event{Kind: obs.DeprecatedCall})
-	_ = n.Quiesce(d)
-}

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/masc"
+	"mascbgmp/internal/obs"
+	"mascbgmp/internal/topology"
+	"mascbgmp/internal/wire"
+)
+
+// Scale-churn workload: thousands of multicast groups joining and leaving
+// over a paper-scale (3326-domain) AS graph. This is this repository's
+// production-scale extension of the paper's evaluation: Figure 4 measures
+// static tree quality, while churn measures the dynamic costs the
+// architecture was designed to bound — join/prune message hops on the
+// bidirectional shared tree (§5.2), per-domain forwarding state, and the
+// G-RIB footprint of the MASC block allocations the groups are drawn from
+// (§4.3).
+//
+// The model:
+//
+//   - RootDomains provider domains (the best-connected domains, as real
+//     exchanges would be) run MASC block allocators over the global 224/4
+//     ledger; every group's address comes from its root domain's blocks,
+//     so the G-RIB size is the number of live claimed prefixes.
+//   - Each group maintains a bidirectional shared tree as the refcounted
+//     union of member→root shortest paths. A join walks toward the root
+//     until it hits the tree (§5.2); a leave prunes the now-unused tail.
+//   - After the churn phase, a steady-state forwarding phase sends packets
+//     from random (often non-member) domains: each packet climbs to its
+//     attach point and floods the tree's branches, crossing size-1 links.
+//
+// Everything is driven by the seeded rng; a given config yields identical
+// results and byte-identical obs snapshots on every run.
+
+// ChurnConfig parameterizes RunChurn.
+type ChurnConfig struct {
+	// Domains and ExtraPeering parameterize the synthetic AS graph
+	// (paper scale: 3326 / 350).
+	Domains      int
+	ExtraPeering int
+	// Groups is the number of multicast groups.
+	Groups int
+	// RootDomains is the number of provider domains groups are rooted at
+	// (the domains running MASC allocators).
+	RootDomains int
+	// Events is the number of join/leave operations in the churn phase.
+	Events int
+	// BlockSize is the MASC block request size backing group addresses
+	// (paper: 256).
+	BlockSize uint64
+	// SendsPerGroup is the number of steady-state packets sent to each
+	// group after the churn phase.
+	SendsPerGroup int
+	Seed          int64
+	// Obs observes the workload: maas.lease per group, bgmp.join/prune
+	// per membership change, data.forwarded/data.delivered for the
+	// steady-state phase, plus the masc.* events of the block allocators.
+	// Nil disables observation.
+	Obs *obs.Observer
+}
+
+// DefaultChurnConfig returns the scale recorded in EXPERIMENTS.md:
+// 2500 groups over the paper's 3326-domain topology, 40000 churn events.
+func DefaultChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		Domains:       3326,
+		ExtraPeering:  350,
+		Groups:        2500,
+		RootDomains:   64,
+		Events:        40000,
+		BlockSize:     256,
+		SendsPerGroup: 4,
+		Seed:          1998,
+	}
+}
+
+// ChurnResult is the workload's deterministic outcome. Throughput rates
+// (joins/sec, forwarded hops/sec) are derived from these counts and the
+// measured wall time by the benchmark harness, not recorded here.
+type ChurnResult struct {
+	// Joins and Leaves count membership operations performed.
+	Joins, Leaves int
+	// JoinHops and PruneHops count the inter-domain hops join and prune
+	// messages traveled (graft/prune tail lengths).
+	JoinHops, PruneHops uint64
+	// GRIBSize is the number of live claimed prefixes across all root
+	// domains at the end — the group-route table the architecture keeps
+	// small through aggregation.
+	GRIBSize int
+	// ForwardingEntries is the total per-domain forwarding state:
+	// Σ over groups of on-tree domain count.
+	ForwardingEntries int
+	// MeanTreeSize is ForwardingEntries / Groups.
+	MeanTreeSize float64
+	// MembersFinal is the total membership at the end of the churn phase.
+	MembersFinal int
+	// Packets, ForwardHops, and Delivered describe the steady-state
+	// forwarding phase: packets sent, inter-domain link crossings, and
+	// member deliveries.
+	Packets     int
+	ForwardHops uint64
+	Delivered   uint64
+}
+
+// churnGroup is one group's membership and refcounted shared tree.
+type churnGroup struct {
+	root    int // index into the roots slice
+	addr    addr.Addr
+	members []topology.DomainID
+	mpos    map[topology.DomainID]int // member → index in members
+	refs    map[topology.DomainID]int // on-tree refcounts (path-to-root counts)
+	size    int                       // domains with refs > 0
+}
+
+// churnRoot is one provider domain running a MASC block allocator.
+type churnRoot struct {
+	id     topology.DomainID
+	parent []topology.DomainID // BFS parents toward id
+	alloc  *masc.BlockAllocator
+	// next/end walk individual addresses out of the current block.
+	next, end addr.Addr
+}
+
+// RunChurn runs the churn workload. Deterministic for a given config.
+func RunChurn(cfg ChurnConfig) ChurnResult {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := topology.ASGraph(cfg.Domains, cfg.ExtraPeering, cfg.Seed)
+	now := time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC)
+	life := 365 * 24 * time.Hour
+
+	// Root domains: the RootDomains highest-degree domains (ties broken by
+	// ID), modeling the well-connected providers that host group roots.
+	roots := pickRoots(g, cfg.RootDomains)
+	global := masc.NewLedger(addr.MulticastSpace)
+	rootState := make([]*churnRoot, len(roots))
+	for i, id := range roots {
+		_, parent := g.BFS(id)
+		ba := masc.NewBlockAllocator(masc.DefaultStrategy(), global,
+			rand.New(rand.NewSource(cfg.Seed+int64(i)+1)))
+		ba.SetObserver(cfg.Obs, wire.DomainID(int(id)+1))
+		rootState[i] = &churnRoot{id: id, parent: parent, alloc: ba}
+	}
+
+	// Create the groups, leasing each an address from its root's blocks.
+	groups := make([]*churnGroup, cfg.Groups)
+	for i := range groups {
+		ri := rng.Intn(len(rootState))
+		rs := rootState[ri]
+		if rs.next >= rs.end {
+			blk, ok := rs.alloc.Request(cfg.BlockSize, life, now)
+			if !ok {
+				// 224/4 cannot run out at these scales; skip defensively.
+				continue
+			}
+			rs.next = blk.Prefix.Base
+			rs.end = blk.Prefix.Base + addr.Addr(blk.Size)
+		}
+		gr := &churnGroup{
+			root: ri,
+			addr: rs.next,
+			mpos: map[topology.DomainID]int{},
+			refs: map[topology.DomainID]int{rs.id: 1},
+			size: 1,
+		}
+		rs.next++
+		groups[i] = gr
+		if cfg.Obs != nil {
+			cfg.Obs.Emit(obs.Event{Kind: obs.MAASLease,
+				Domain: wire.DomainID(int(rs.id) + 1), Group: gr.addr})
+		}
+	}
+
+	res := ChurnResult{}
+
+	// Churn phase: random join/leave events. A domain that is already a
+	// member leaves; anyone else joins — so each group's membership does a
+	// random walk and the trees grow and shrink continuously.
+	for e := 0; len(groups) > 0 && e < cfg.Events; e++ {
+		gr := groups[rng.Intn(len(groups))]
+		if gr == nil {
+			continue
+		}
+		m := topology.DomainID(rng.Intn(cfg.Domains))
+		if _, isMember := gr.mpos[m]; isMember {
+			res.Leaves++
+			res.PruneHops += churnLeave(gr, rootState[gr.root], m)
+			if cfg.Obs != nil {
+				cfg.Obs.Emit(obs.Event{Kind: obs.BGMPPrune, Group: gr.addr})
+			}
+		} else {
+			res.Joins++
+			res.JoinHops += churnJoin(gr, rootState[gr.root], m)
+			if cfg.Obs != nil {
+				cfg.Obs.Emit(obs.Event{Kind: obs.BGMPJoin, Group: gr.addr})
+			}
+		}
+	}
+
+	// Steady state: forwarding footprint and tree state.
+	for _, gr := range groups {
+		if gr == nil {
+			continue
+		}
+		res.ForwardingEntries += gr.size
+		res.MembersFinal += len(gr.members)
+	}
+	if cfg.Groups > 0 {
+		res.MeanTreeSize = float64(res.ForwardingEntries) / float64(cfg.Groups)
+	}
+	for _, rs := range rootState {
+		res.GRIBSize += len(rs.alloc.Holdings())
+	}
+
+	// Forwarding phase: packets from random senders climb to their attach
+	// point (§5.2: "forward the data packets towards the root domain")
+	// and flood the bidirectional tree, reaching every member.
+	for _, gr := range groups {
+		if gr == nil {
+			continue
+		}
+		rs := rootState[gr.root]
+		for s := 0; s < cfg.SendsPerGroup; s++ {
+			src := topology.DomainID(rng.Intn(cfg.Domains))
+			climb := uint64(0)
+			for cur := src; gr.refs[cur] == 0; cur = rs.parent[cur] {
+				climb++
+			}
+			res.Packets++
+			hops := climb + uint64(gr.size-1)
+			res.ForwardHops += hops
+			res.Delivered += uint64(len(gr.members))
+			if cfg.Obs != nil {
+				if hops > 0 {
+					cfg.Obs.Emit(obs.Event{Kind: obs.DataForwarded,
+						Group: gr.addr, Count: hops})
+				}
+				if n := uint64(len(gr.members)); n > 0 {
+					cfg.Obs.Emit(obs.Event{Kind: obs.DataDelivered,
+						Group: gr.addr, Count: n})
+				}
+			}
+		}
+	}
+	return res
+}
+
+// churnJoin adds member m, refcounting its path toward the root, and
+// returns the number of domains newly grafted onto the tree (the hops the
+// join message traveled before reaching an on-tree domain).
+func churnJoin(gr *churnGroup, rs *churnRoot, m topology.DomainID) uint64 {
+	gr.mpos[m] = len(gr.members)
+	gr.members = append(gr.members, m)
+	grafted := uint64(0)
+	for cur := m; ; cur = rs.parent[cur] {
+		gr.refs[cur]++
+		if gr.refs[cur] == 1 {
+			gr.size++
+			grafted++
+		}
+		if cur == rs.id {
+			break
+		}
+	}
+	return grafted
+}
+
+// churnLeave removes member m, dropping refcounts along its path, and
+// returns the number of domains pruned off the tree.
+func churnLeave(gr *churnGroup, rs *churnRoot, m topology.DomainID) uint64 {
+	pos := gr.mpos[m]
+	last := len(gr.members) - 1
+	gr.members[pos] = gr.members[last]
+	gr.mpos[gr.members[pos]] = pos
+	gr.members = gr.members[:last]
+	delete(gr.mpos, m)
+	pruned := uint64(0)
+	for cur := m; ; cur = rs.parent[cur] {
+		gr.refs[cur]--
+		if gr.refs[cur] == 0 {
+			gr.size--
+			pruned++
+			delete(gr.refs, cur)
+		}
+		if cur == rs.id {
+			break
+		}
+	}
+	return pruned
+}
+
+// pickRoots returns the n highest-degree domains, ties broken by lower ID
+// (deterministic regardless of map iteration or seed).
+func pickRoots(g *topology.Graph, n int) []topology.DomainID {
+	if n > g.NumDomains() {
+		n = g.NumDomains()
+	}
+	ids := make([]topology.DomainID, g.NumDomains())
+	for i := range ids {
+		ids[i] = topology.DomainID(i)
+	}
+	// Selection by repeated max keeps this O(V·n); n is small (≤ 64-ish).
+	out := make([]topology.DomainID, 0, n)
+	taken := make([]bool, g.NumDomains())
+	for len(out) < n {
+		best, bestDeg := topology.NoDomain, -1
+		for _, id := range ids {
+			if taken[id] {
+				continue
+			}
+			if d := g.Degree(id); d > bestDeg {
+				best, bestDeg = id, d
+			}
+		}
+		taken[best] = true
+		out = append(out, best)
+	}
+	return out
+}

@@ -135,7 +135,11 @@ func TestFig4OrderingMatchesPaper(t *testing.T) {
 			t.Fatalf("unidirectional (%.2f) beat bidirectional (%.2f) at %d receivers",
 				p.UniAvg, p.BidirAvg, p.Receivers)
 		}
-		if p.BidirAvg < p.HybridAvg-1e-9 {
+		// Hybrid tracks bidirectional closely (the paper's curves nearly
+		// overlap). A small positive gap is possible per-sample: a branch
+		// can attach at a domain that is tree-farther than the member
+		// itself, so the averages may cross by a hair.
+		if p.BidirAvg < p.HybridAvg-0.01 {
 			t.Fatalf("bidirectional (%.2f) beat hybrid (%.2f) at %d receivers",
 				p.BidirAvg, p.HybridAvg, p.Receivers)
 		}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"mascbgmp/internal/addr"
+	"mascbgmp/internal/harness"
 	"mascbgmp/internal/migp"
 	"mascbgmp/internal/obs"
 	"mascbgmp/internal/topology"
@@ -46,6 +47,10 @@ type Fig4Config struct {
 	// bidirectional-tree delivery; Fig4Point.DeliveryRatio reports the
 	// surviving fraction. Zero disables loss (ratio 1.0).
 	FaultLoss float64
+	// Parallel bounds the worker pool fanning the per-size sweeps out
+	// (<= 1: serial). Each group size draws from its own rng derived from
+	// (Seed, size index), so results are identical at any Parallel value.
+	Parallel int
 }
 
 // DefaultFig4Config returns parameters matching the paper's setup.
@@ -79,104 +84,124 @@ type Fig4Point struct {
 }
 
 // RunFig4 runs the path-length comparison and returns one point per group
-// size. Deterministic for a given config.
+// size. Deterministic for a given config: each group size is one harness
+// trial with its own (Seed, size index)-derived rng, so the sweep's
+// results do not depend on Parallel or on scheduling. The shared topology
+// is built once and only read concurrently.
 func RunFig4(cfg Fig4Config) []Fig4Point {
 	g := topology.ASGraph(cfg.Domains, cfg.ExtraPeering, cfg.Seed)
 	if cfg.FaultLinks > 0 {
 		degradeTopology(g, cfg.FaultLinks, cfg.Seed+13)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	par := cfg.Parallel
+	if par <= 0 {
+		par = 1
+	}
+	results, _ := harness.Run(harness.Config{
+		Trials:   len(cfg.GroupSizes),
+		Parallel: par,
+		Seed:     cfg.Seed + 7,
+		Run: func(t harness.Trial) (any, error) {
+			return fig4Size(cfg, g, cfg.GroupSizes[t.Index], t.Rng), nil
+		},
+	})
 	out := make([]Fig4Point, 0, len(cfg.GroupSizes))
-	for _, size := range cfg.GroupSizes {
-		pt := Fig4Point{Receivers: size, DeliveryRatio: 1}
-		var uniSum, bidirSum, hybridSum, treeSum float64
-		samples, survived := 0, 0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			receivers := pickDistinct(rng, cfg.Domains, size)
-			src := topology.DomainID(rng.Intn(cfg.Domains))
-
-			// BGMP root: the group initiator's domain — the first
-			// receiver, which got the group address from its local MAAS
-			// (§5.1). The ablation forces a random third-party root.
-			root := receivers[0]
-			if cfg.RandomRoot {
-				root = topology.DomainID(rng.Intn(cfg.Domains))
-			}
-			bidirTree := trees.NewShared(g, root, receivers)
-
-			// PIM-SM RP: hash the group over all domains — effectively a
-			// random, often third-party, domain (§5.1).
-			group := rng.Uint32()
-			rp := migp.HashGroup(addrOf(group), g.NumDomains())
-			uniTree := trees.NewShared(g, rp, receivers)
-
-			if cfg.Obs != nil {
-				cfg.Obs.Emit(obs.Event{Kind: obs.BGMPJoin,
-					Group: addrOf(group), Count: uint64(len(receivers))})
-			}
-			distSrc, parentSrc := g.BFS(src)
-			treeSum += float64(bidirTree.Size())
-			var delivered, hops uint64
-			for _, m := range receivers {
-				if m == src || distSrc[m] <= 0 {
-					continue
-				}
-				spt := float64(distSrc[m])
-				uni := uniTree.UniLen(distSrc, m)
-				bidir := bidirTree.BidirLen(src, m)
-				hybrid := bidirTree.HybridLen(src, distSrc, parentSrc, m)
-				if uni < 0 || bidir < 0 || hybrid < 0 {
-					continue
-				}
-				samples++
-				// Per-hop loss on the bidirectional delivery path; the
-				// draw only happens under fault so clean runs keep their
-				// rng sequence (and their recorded bands) unchanged. Loss
-				// affects delivery accounting only — path-length overheads
-				// are properties of the tree, not of the packet's luck.
-				if cfg.FaultLoss == 0 || rng.Float64() < math.Pow(1-cfg.FaultLoss, float64(bidir)) {
-					survived++
-					delivered++
-					hops += uint64(bidir)
-				}
-				ru, rb, rh := float64(uni)/spt, float64(bidir)/spt, float64(hybrid)/spt
-				uniSum += ru
-				bidirSum += rb
-				hybridSum += rh
-				if ru > pt.UniMax {
-					pt.UniMax = ru
-				}
-				if rb > pt.BidirMax {
-					pt.BidirMax = rb
-				}
-				if rh > pt.HybridMax {
-					pt.HybridMax = rh
-				}
-			}
-			if cfg.Obs != nil {
-				if hops > 0 {
-					cfg.Obs.Emit(obs.Event{Kind: obs.DataForwarded,
-						Group: addrOf(group), Count: hops})
-				}
-				if delivered > 0 {
-					cfg.Obs.Emit(obs.Event{Kind: obs.DataDelivered,
-						Group: addrOf(group), Count: delivered})
-				}
-				// Trial teardown: every receiver leaves the tree.
-				cfg.Obs.Emit(obs.Event{Kind: obs.BGMPPrune,
-					Group: addrOf(group), Count: uint64(len(receivers))})
-			}
-		}
-		if samples > 0 {
-			pt.UniAvg = uniSum / float64(samples)
-			pt.BidirAvg = bidirSum / float64(samples)
-			pt.HybridAvg = hybridSum / float64(samples)
-			pt.DeliveryRatio = float64(survived) / float64(samples)
-		}
-		pt.TreeSize = treeSum / float64(cfg.Trials)
-		out = append(out, pt)
+	for _, r := range results {
+		out = append(out, r.Value.(Fig4Point))
 	}
 	return out
+}
+
+// fig4Size measures one x-axis point (one group size) of Figure 4 with the
+// given per-size rng.
+func fig4Size(cfg Fig4Config, g *topology.Graph, size int, rng *rand.Rand) Fig4Point {
+	pt := Fig4Point{Receivers: size, DeliveryRatio: 1}
+	var uniSum, bidirSum, hybridSum, treeSum float64
+	samples, survived := 0, 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		receivers := pickDistinct(rng, cfg.Domains, size)
+		src := topology.DomainID(rng.Intn(cfg.Domains))
+
+		// BGMP root: the group initiator's domain — the first
+		// receiver, which got the group address from its local MAAS
+		// (§5.1). The ablation forces a random third-party root.
+		root := receivers[0]
+		if cfg.RandomRoot {
+			root = topology.DomainID(rng.Intn(cfg.Domains))
+		}
+		bidirTree := trees.NewShared(g, root, receivers)
+
+		// PIM-SM RP: hash the group over all domains — effectively a
+		// random, often third-party, domain (§5.1).
+		group := rng.Uint32()
+		rp := migp.HashGroup(addrOf(group), g.NumDomains())
+		uniTree := trees.NewShared(g, rp, receivers)
+
+		if cfg.Obs != nil {
+			cfg.Obs.Emit(obs.Event{Kind: obs.BGMPJoin,
+				Group: addrOf(group), Count: uint64(len(receivers))})
+		}
+		distSrc, parentSrc := g.BFS(src)
+		treeSum += float64(bidirTree.Size())
+		var delivered, hops uint64
+		for _, m := range receivers {
+			if m == src || distSrc[m] <= 0 {
+				continue
+			}
+			spt := float64(distSrc[m])
+			uni := uniTree.UniLen(distSrc, m)
+			bidir := bidirTree.BidirLen(src, m)
+			hybrid := bidirTree.HybridLen(src, distSrc, parentSrc, m)
+			if uni < 0 || bidir < 0 || hybrid < 0 {
+				continue
+			}
+			samples++
+			// Per-hop loss on the bidirectional delivery path; the
+			// draw only happens under fault so clean runs keep their
+			// rng sequence (and their recorded bands) unchanged. Loss
+			// affects delivery accounting only — path-length overheads
+			// are properties of the tree, not of the packet's luck.
+			if cfg.FaultLoss == 0 || rng.Float64() < math.Pow(1-cfg.FaultLoss, float64(bidir)) {
+				survived++
+				delivered++
+				hops += uint64(bidir)
+			}
+			ru, rb, rh := float64(uni)/spt, float64(bidir)/spt, float64(hybrid)/spt
+			uniSum += ru
+			bidirSum += rb
+			hybridSum += rh
+			if ru > pt.UniMax {
+				pt.UniMax = ru
+			}
+			if rb > pt.BidirMax {
+				pt.BidirMax = rb
+			}
+			if rh > pt.HybridMax {
+				pt.HybridMax = rh
+			}
+		}
+		if cfg.Obs != nil {
+			if hops > 0 {
+				cfg.Obs.Emit(obs.Event{Kind: obs.DataForwarded,
+					Group: addrOf(group), Count: hops})
+			}
+			if delivered > 0 {
+				cfg.Obs.Emit(obs.Event{Kind: obs.DataDelivered,
+					Group: addrOf(group), Count: delivered})
+			}
+			// Trial teardown: every receiver leaves the tree.
+			cfg.Obs.Emit(obs.Event{Kind: obs.BGMPPrune,
+				Group: addrOf(group), Count: uint64(len(receivers))})
+		}
+	}
+	if samples > 0 {
+		pt.UniAvg = uniSum / float64(samples)
+		pt.BidirAvg = bidirSum / float64(samples)
+		pt.HybridAvg = hybridSum / float64(samples)
+		pt.DeliveryRatio = float64(survived) / float64(samples)
+	}
+	pt.TreeSize = treeSum / float64(cfg.Trials)
+	return pt
 }
 
 // degradeTopology removes up to n randomly chosen links whose removal

@@ -1,0 +1,181 @@
+// Package harness runs N independent, seeded benchmark trials across a
+// bounded worker pool.
+//
+// The paper's evaluation (§4.3.3 Figure 2, §5.4 Figure 4) and this
+// repository's additions (the chaos sweep, the churn workload) are all
+// sweeps of independent seeded trials. The harness gives every trial its
+// own *rand.Rand derived purely from (suite seed, trial index) with a
+// splitmix64 mix, so a suite's results are bit-identical regardless of the
+// worker count or the order the scheduler happens to run trials in —
+// parallelism changes wall time, never results.
+//
+// Per-trial wall time and approximate allocation / peak-heap figures are
+// sampled around each trial with runtime.ReadMemStats. Those are the only
+// non-deterministic outputs and are reported separately so callers (the
+// internal/bench result model) can exclude them from determinism
+// comparisons. ReadMemStats figures are process-global: with Parallel > 1
+// the memory attribution of concurrently running trials overlaps, so treat
+// AllocBytes/PeakHeapBytes as indicative, not exact, in parallel runs.
+//
+// This package deliberately uses time.Now for wall-clock measurement: a
+// benchmark's timing is real time by definition. Everything that feeds
+// simulation logic goes through the derived per-trial *rand.Rand.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trial is the context handed to a TrialFunc: its index in the suite, the
+// seed derived for it, and a rand.Rand freshly created from that seed.
+// Trial functions must draw randomness only from Rng (or sub-seed their
+// own generators from Seed) to stay deterministic under parallelism.
+type Trial struct {
+	Index int
+	Seed  int64
+	Rng   *rand.Rand
+}
+
+// TrialFunc runs one trial and returns its result value. Returning an
+// error cancels the suite: no new trials start, and Run reports the error
+// of the lowest-indexed failed trial.
+type TrialFunc func(t Trial) (any, error)
+
+// Config parameterizes Run.
+type Config struct {
+	// Trials is the number of independent trials.
+	Trials int
+	// Parallel bounds the worker pool; <= 0 uses GOMAXPROCS.
+	Parallel int
+	// Seed is the suite seed every per-trial seed derives from.
+	Seed int64
+	// Run is the trial body.
+	Run TrialFunc
+}
+
+// Result is one completed trial. Value is deterministic for a given
+// (suite seed, index); the remaining fields are timing measurements.
+type Result struct {
+	Index int
+	Value any
+
+	// Wall is the trial's wall-clock duration.
+	Wall time.Duration
+	// AllocBytes is the growth of runtime.MemStats.TotalAlloc across the
+	// trial (approximate when trials run concurrently).
+	AllocBytes uint64
+	// PeakHeapBytes is the larger of HeapInuse sampled before and after
+	// the trial (a cheap stand-in for true in-trial peak).
+	PeakHeapBytes uint64
+}
+
+// TrialSeed derives the seed for one trial from the suite seed using a
+// splitmix64 mix, so neighboring trial indices get uncorrelated streams
+// and trial k's seed never depends on how many workers ran before it.
+func TrialSeed(suiteSeed int64, trial int) int64 {
+	z := uint64(suiteSeed) + 0x9e3779b97f4a7c15*(uint64(trial)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Run executes cfg.Trials independent trials across the worker pool and
+// returns their results ordered by trial index. On the first trial error
+// the pool stops dispatching new trials, waits for in-flight trials, and
+// returns the error of the lowest-indexed trial that failed (so the
+// reported failure does not depend on scheduling).
+func Run(cfg Config) ([]Result, error) {
+	if cfg.Run == nil {
+		return nil, errors.New("harness: Config.Run is nil")
+	}
+	if cfg.Trials < 0 {
+		return nil, fmt.Errorf("harness: Trials = %d, want >= 0", cfg.Trials)
+	}
+	if cfg.Trials == 0 {
+		return nil, nil
+	}
+	par := cfg.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > cfg.Trials {
+		par = cfg.Trials
+	}
+
+	results := make([]Result, cfg.Trials)
+	var (
+		mu          sync.Mutex
+		firstErr    error
+		firstErrIdx = -1
+		stop        atomic.Bool
+	)
+
+	idxCh := make(chan int)
+	go func() {
+		defer close(idxCh)
+		for i := 0; i < cfg.Trials; i++ {
+			if stop.Load() {
+				return
+			}
+			idxCh <- i
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				res, err := runTrial(cfg, i)
+				mu.Lock()
+				if err != nil {
+					if firstErrIdx < 0 || i < firstErrIdx {
+						firstErr, firstErrIdx = err, i
+					}
+					stop.Store(true)
+				} else {
+					results[i] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErrIdx >= 0 {
+		return nil, fmt.Errorf("harness: trial %d: %w", firstErrIdx, firstErr)
+	}
+	return results, nil
+}
+
+// runTrial runs one trial with timing and memory sampling around it.
+func runTrial(cfg Config, i int) (Result, error) {
+	seed := TrialSeed(cfg.Seed, i)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	v, err := cfg.Run(Trial{Index: i, Seed: seed, Rng: rand.New(rand.NewSource(seed))})
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return Result{}, err
+	}
+	peak := before.HeapInuse
+	if after.HeapInuse > peak {
+		peak = after.HeapInuse
+	}
+	return Result{
+		Index:         i,
+		Value:         v,
+		Wall:          wall,
+		AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+		PeakHeapBytes: peak,
+	}, nil
+}

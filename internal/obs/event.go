@@ -79,10 +79,6 @@ const (
 	// a restart (holdings and pending claims survived).
 	MASCRestored
 
-	// DeprecatedCall marks a call to a deprecated API (e.g. Settle), so
-	// stragglers are visible in metric snapshots.
-	DeprecatedCall
-
 	kindCount // sentinel; keep last
 )
 
@@ -117,7 +113,6 @@ var kindNames = [kindCount]string{
 	SessionRetry:   "session.retry",
 	SessionUp:      "session.up",
 	MASCRestored:   "masc.restored",
-	DeprecatedCall: "core.deprecated",
 }
 
 // String returns the event kind's counter name, e.g. "masc.claim".

@@ -174,13 +174,22 @@ func (s Snapshot) String() string {
 	return b.String()
 }
 
-// Totals renders per-name totals across all scopes, one per line, sorted
-// by name — the compact form the simulation commands print.
-func (s Snapshot) Totals() string {
-	totals := map[string]uint64{}
+// NameTotals returns per-name totals across all scopes. The benchmark
+// result model (internal/bench) serializes these alongside each suite's
+// metrics; totals are order-independent sums, so they stay deterministic
+// even when trials emit concurrently.
+func (s Snapshot) NameTotals() map[string]uint64 {
+	totals := make(map[string]uint64, len(s.counts))
 	for k, v := range s.counts {
 		totals[k.Name] += v
 	}
+	return totals
+}
+
+// Totals renders per-name totals across all scopes, one per line, sorted
+// by name — the compact form the simulation commands print.
+func (s Snapshot) Totals() string {
+	totals := s.NameTotals()
 	names := make([]string, 0, len(totals))
 	for n := range totals {
 		names = append(names, n)

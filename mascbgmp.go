@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"mascbgmp/internal/addr"
+	"mascbgmp/internal/bench"
 	"mascbgmp/internal/bgp"
 	"mascbgmp/internal/core"
 	"mascbgmp/internal/experiments"
@@ -129,7 +130,6 @@ const (
 	EventSessionRetry   = obs.SessionRetry
 	EventSessionUp      = obs.SessionUp
 	EventMASCRestored   = obs.MASCRestored
-	EventDeprecatedCall = obs.DeprecatedCall
 )
 
 // NewObserver returns an Observer backed by a fresh Metrics registry.
@@ -225,7 +225,40 @@ type (
 	Fig4Config = experiments.Fig4Config
 	// Fig4Point is one x-axis point of Figure 4.
 	Fig4Point = experiments.Fig4Point
+	// ChurnConfig parameterizes the scale-churn workload: join/leave
+	// churn over thousands of groups on the paper-scale AS graph.
+	ChurnConfig = experiments.ChurnConfig
+	// ChurnResult is its outcome.
+	ChurnResult = experiments.ChurnResult
 )
+
+// Benchmark suite layer (cmd/benchsuite): named scenarios run through the
+// parallel deterministic trial runner and reported as machine-readable
+// results. The Metrics and Counters sections of a BenchResult are pure
+// functions of (suite, trials, seed) — identical at any parallelism —
+// while Env and Timing carry the host- and wall-clock-dependent figures.
+type (
+	// BenchScenario is a named, registered benchmark workload.
+	BenchScenario = bench.Scenario
+	// BenchMetricDef declares one metric a scenario reports per trial.
+	BenchMetricDef = bench.MetricDef
+	// BenchOptions parameterize a suite run (trials, parallelism, seed).
+	BenchOptions = bench.Options
+	// BenchResult is the machine-readable outcome of one suite run —
+	// the contents of a BENCH_<suite>.json file.
+	BenchResult = bench.SuiteResult
+	// BenchRegression is one metric that moved the wrong way past the
+	// -compare tolerance.
+	BenchRegression = bench.Regression
+)
+
+// BenchScenarios lists the registered benchmark suites sorted by name.
+func BenchScenarios() []BenchScenario { return bench.Scenarios() }
+
+// RunBenchScenario runs a registered suite by name.
+func RunBenchScenario(name string, opts BenchOptions) (BenchResult, error) {
+	return bench.RunSuite(name, opts)
+}
 
 // Fault injection and recovery (chaos engineering for the protocols). A
 // FaultPlane set as Config.Faults intercepts every peering message;
@@ -340,6 +373,14 @@ func DefaultFig4Config() Fig4Config { return experiments.DefaultFig4Config() }
 
 // RunFig4 runs the tree-quality comparison behind Figure 4.
 func RunFig4(cfg Fig4Config) []Fig4Point { return experiments.RunFig4(cfg) }
+
+// DefaultChurnConfig returns the scale-churn workload at paper scale:
+// the 3326-domain AS graph, 2500 groups, 40000 join/leave events.
+func DefaultChurnConfig() ChurnConfig { return experiments.DefaultChurnConfig() }
+
+// RunChurn runs the churn workload and its steady-state forwarding
+// phase. Deterministic for a given config.
+func RunChurn(cfg ChurnConfig) ChurnResult { return experiments.RunChurn(cfg) }
 
 // ASGraph synthesizes an AS-like inter-domain topology (the stand-in for
 // the paper's BGP-dump topology; see DESIGN.md §2).

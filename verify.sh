@@ -1,11 +1,23 @@
 #!/bin/sh
-# Full verification loop: build, vet, test, race-check everything, then
-# re-run the determinism suites twice so same-seed obs-snapshot diffs
-# (chaos sweeps, session recovery, fig2/fig4 metrics) can't flake past CI.
+# Full verification loop: format check, build, vet, test, race-check
+# everything, re-run the determinism suites twice so same-seed
+# obs-snapshot diffs (chaos sweeps, session recovery, fig2/fig4 metrics)
+# can't flake past CI, then smoke-run the benchmark suite and assert its
+# JSON validates and is parallelism-independent.
 set -eux
 
+test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
 go test -run Determinism -count=2 ./...
+
+# benchsuite smoke: same suite seed at -parallel 1 and -parallel 2 must
+# produce schema-valid results that match modulo the env/timing sections.
+BENCH_TMP="$(mktemp -d)"
+trap 'rm -rf "$BENCH_TMP"' EXIT
+go run ./cmd/benchsuite -suite fig2-alloc -trials 2 -parallel 1 -out "$BENCH_TMP/a.json"
+go run ./cmd/benchsuite -suite fig2-alloc -trials 2 -parallel 2 -out "$BENCH_TMP/b.json"
+go run ./cmd/benchsuite -validate "$BENCH_TMP/a.json"
+go run ./cmd/benchsuite -diff "$BENCH_TMP/a.json" "$BENCH_TMP/b.json"
