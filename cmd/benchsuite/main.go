@@ -15,10 +15,21 @@
 //	benchsuite -diff a.json b.json
 //
 // -compare gates the fresh run against a baseline file: any directional
-// metric moving the wrong way by more than -tolerance (relative) fails
-// with exit status 1. -diff compares two result files for determinism
-// (strict equality ignoring the env and timing sections). -validate
-// checks a file against the schema. All three exit 1 on mismatch.
+// metric moving the wrong way by more than -tolerance (relative) is a
+// regression. -diff compares two result files for determinism (strict
+// equality ignoring the env and timing sections). -validate checks a
+// file against the schema.
+//
+// Exit status:
+//
+//	0  success (no regressions, files match, file valid)
+//	1  benchmark outcome failure: -compare found a regression, or -diff
+//	   found a deterministic mismatch
+//	2  usage or runtime error (bad flags, unknown suite, write failure)
+//	3  schema error: a result file is unreadable or fails validation
+//
+// Distinct codes let CI tell "the code got slower" (1) from "the
+// baseline file is broken" (3) without parsing stderr.
 package main
 
 import (
@@ -44,6 +55,12 @@ func main() {
 		validate  = flag.String("validate", "", "validate a result file against the schema and exit")
 		diff      = flag.Bool("diff", false, "compare two result files (args) modulo env/timing and exit")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchsuite [flags]\n\n"+
+			"Exit status: 0 success; 1 regression (-compare) or mismatch (-diff);\n"+
+			"2 usage or runtime error; 3 unreadable or invalid result file.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	switch {
@@ -58,25 +75,25 @@ func main() {
 
 	case *validate != "":
 		if _, err := bench.ReadFile(*validate); err != nil {
-			fatal(err.Error())
+			fail(exitSchema, err.Error())
 		}
 		fmt.Printf("%s: valid (%s)\n", *validate, bench.SchemaID)
 		return
 
 	case *diff:
 		if flag.NArg() != 2 {
-			fatal("-diff needs exactly two result files")
+			fail(exitUsage, "-diff needs exactly two result files")
 		}
 		a, err := bench.ReadFile(flag.Arg(0))
 		if err != nil {
-			fatal(err.Error())
+			fail(exitSchema, err.Error())
 		}
 		b, err := bench.ReadFile(flag.Arg(1))
 		if err != nil {
-			fatal(err.Error())
+			fail(exitSchema, err.Error())
 		}
 		if d := bench.DeterministicDiff(a, b); d != "" {
-			fatal("results differ: " + d)
+			fail(exitOutcome, "results differ: "+d)
 		}
 		fmt.Println("results match (modulo env/timing)")
 		return
@@ -92,18 +109,18 @@ func main() {
 		Trials: *trials, Parallel: *parallel, Seed: *seed,
 	})
 	if err != nil {
-		fatal(err.Error())
+		fail(exitUsage, err.Error())
 	}
 
 	if *out != "" {
 		if err := bench.WriteFile(*out, res); err != nil {
-			fatal(err.Error())
+			fail(exitUsage, err.Error())
 		}
 		fmt.Fprintf(os.Stderr, "benchsuite: wrote %s\n", *out)
 	} else {
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
-			fatal(err.Error())
+			fail(exitUsage, err.Error())
 		}
 		fmt.Println(string(data))
 	}
@@ -111,24 +128,31 @@ func main() {
 	if *compare != "" {
 		base, err := bench.ReadFile(*compare)
 		if err != nil {
-			fatal(err.Error())
+			fail(exitSchema, err.Error())
 		}
 		regs, err := bench.Compare(base, res, *tolerance)
 		if err != nil {
-			fatal(err.Error())
+			fail(exitSchema, err.Error())
 		}
 		if len(regs) > 0 {
 			for _, r := range regs {
 				fmt.Fprintf(os.Stderr, "benchsuite: REGRESSION %s\n", r)
 			}
-			os.Exit(1)
+			os.Exit(exitOutcome)
 		}
 		fmt.Fprintf(os.Stderr, "benchsuite: no regressions vs %s (tolerance %.0f%%)\n",
 			*compare, *tolerance*100)
 	}
 }
 
-func fatal(msg string) {
+// Exit codes, documented in the command doc and -h output.
+const (
+	exitOutcome = 1 // regression found (-compare) or deterministic mismatch (-diff)
+	exitUsage   = 2 // bad flags, unknown suite, or runtime failure
+	exitSchema  = 3 // result file unreadable or schema-invalid
+)
+
+func fail(code int, msg string) {
 	fmt.Fprintln(os.Stderr, "benchsuite: "+msg)
-	os.Exit(1)
+	os.Exit(code)
 }

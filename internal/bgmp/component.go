@@ -1,6 +1,7 @@
 package bgmp
 
 import (
+	"sort"
 	"sync"
 
 	"mascbgmp/internal/addr"
@@ -131,14 +132,7 @@ func (c *Component) GroupEntry(g addr.Addr) (parent Target, children []Target, o
 	for t := range e.children {
 		children = append(children, t)
 	}
-	sort := func(ts []Target) {
-		for i := 1; i < len(ts); i++ {
-			for j := i; j > 0 && (ts[j].Router < ts[j-1].Router || (ts[j].MIGP && !ts[j-1].MIGP)); j-- {
-				ts[j], ts[j-1] = ts[j-1], ts[j]
-			}
-		}
-	}
-	sort(children)
+	sortTargets(children)
 	return e.parent, children, true
 }
 
@@ -153,7 +147,19 @@ func (c *Component) SourceEntry(s, g addr.Addr) (parent Target, children []Targe
 	for t := range e.children {
 		children = append(children, t)
 	}
+	sortTargets(children)
 	return e.parent, children, true
+}
+
+// sortTargets orders a target list by router ID, MIGP targets first on a
+// tie, so entry listings never depend on map iteration order.
+func sortTargets(ts []Target) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Router != ts[j].Router {
+			return ts[i].Router < ts[j].Router
+		}
+		return ts[i].MIGP && !ts[j].MIGP
+	})
 }
 
 // HasGroupState reports whether the router holds an exact (*,G) entry.

@@ -163,6 +163,7 @@ func (s *Speaker) RemoveNeighbor(id wire.RouterID) {
 		}
 		delete(r.adjOut, id)
 	}
+	sortTablePrefixes(changed)
 	out, notes := s.reselectLocked(changed)
 	s.mu.Unlock()
 	s.deliver(out)
@@ -313,6 +314,7 @@ func (s *Speaker) Sweep() {
 			}
 		}
 	}
+	sortTablePrefixes(changed)
 	out, notes := s.reselectLocked(changed)
 	s.mu.Unlock()
 	s.deliver(out)
@@ -335,6 +337,17 @@ func (s *Speaker) entryOf(sel selected) Entry {
 type tablePrefix struct {
 	table  wire.Table
 	prefix addr.Prefix
+}
+
+// sortTablePrefixes orders re-selection work by (table, prefix) so that
+// update and notification order never depends on map iteration.
+func sortTablePrefixes(ps []tablePrefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].table != ps[j].table {
+			return ps[i].table < ps[j].table
+		}
+		return addr.Compare(ps[i].prefix, ps[j].prefix) < 0
+	})
 }
 
 type outUpdate struct {

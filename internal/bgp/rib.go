@@ -63,6 +63,7 @@ func (r *rib) withdrawPeer(id wire.RouterID) []addr.Prefix {
 			out = append(out, p)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return addr.Compare(out[i], out[j]) < 0 })
 	return out
 }
 

@@ -254,8 +254,8 @@ func runChaosPoint(cfg ChaosConfig, pointSeed int64, loss float64, ob *obs.Obser
 		return ChaosPoint{}, err
 	}
 	pt := ChaosPoint{Loss: loss}
-	downs0 := ob.Snapshot().Total("session.down")
-	ups0 := ob.Snapshot().Total("session.up")
+	downs0 := ob.Snapshot().Total(obs.SessionDown.String())
+	ups0 := ob.Snapshot().Total(obs.SessionUp.String())
 
 	if _, _, ok := cn.probe(); !ok {
 		return ChaosPoint{}, fmt.Errorf("baseline delivery failed before fault injection")
@@ -318,7 +318,7 @@ func runChaosPoint(cfg ChaosConfig, pointSeed int64, loss float64, ob *obs.Obser
 	pt.Recovered = ok && cn.directPath()
 
 	s := ob.Snapshot()
-	pt.SessionDowns = s.Total("session.down") - downs0
-	pt.SessionUps = s.Total("session.up") - ups0
+	pt.SessionDowns = s.Total(obs.SessionDown.String()) - downs0
+	pt.SessionUps = s.Total(obs.SessionUp.String()) - ups0
 	return pt, nil
 }

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// obsNameMethods are the internal/obs methods whose first argument is a
+// metric/event name. Those names are join points between emitters and
+// readers: if one side typos a raw literal the counter silently forks, so
+// both sides must spell the name through a package-level constant (for
+// events, the obs.Kind constants and their String() form).
+var obsNameMethods = map[string]bool{
+	"Counter": true, // (*Metrics).Counter(name, domain, router)
+	"Global":  true, // (*Metrics).Global(name)
+	"Get":     true, // Snapshot.Get(name, ...)
+	"Total":   true, // Snapshot.Total(name)
+}
+
+// ObsDisciplineAnalyzer flags metric/event names passed to the obs bus as
+// inline string literals instead of package-level constants.
+func ObsDisciplineAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "obsdiscipline",
+		Doc:  "obs bus metric/event names must be package-level constants, not inline string literals",
+		Run:  runObsDiscipline,
+	}
+}
+
+func runObsDiscipline(m *Module, p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !obsNameMethods[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/obs") {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := p.Info.Types[arg]
+			if !ok || tv.Value == nil {
+				// Not a compile-time constant (e.g. kind.String(), a
+				// variable, a loop value): nothing to enforce here.
+				return true
+			}
+			if usesPackageLevelConst(p.Info, arg) {
+				return true
+			}
+			out = append(out, Finding{
+				Analyzer: "obsdiscipline",
+				Pos:      m.Position(arg.Pos()),
+				Package:  p.Path,
+				Message: fmt.Sprintf("obs name %s passed to %s as an inline literal; use a package-level constant (e.g. an obs.Kind's String())",
+					tv.Value.ExactString(), sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// usesPackageLevelConst reports whether any identifier inside e resolves
+// to a constant declared at package scope (its own package's or an
+// imported one).
+func usesPackageLevelConst(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		c, ok := info.Uses[id].(*types.Const)
+		if !ok || c.Pkg() == nil {
+			return true
+		}
+		if c.Parent() == c.Pkg().Scope() {
+			found = true
+		}
+		return true
+	})
+	return found
+}

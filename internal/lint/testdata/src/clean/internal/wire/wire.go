@@ -1,0 +1,14 @@
+// Package wire is a lint fixture with no violations.
+package wire
+
+import "sort"
+
+// Keys returns the sorted keys of m.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

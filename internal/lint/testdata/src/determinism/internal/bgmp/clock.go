@@ -1,0 +1,20 @@
+// Package bgmp is a lint fixture: wall-clock and global-rand misuse in a
+// protocol package.
+package bgmp
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws timing from the wall clock and the global rand source;
+// both are determinism violations.
+func Jitter() time.Duration {
+	start := time.Now()          // want: wall clock
+	time.Sleep(time.Millisecond) // want: wall clock
+	r := rand.New(rand.NewSource(1))
+	_ = r.Intn(10) // explicit generator: allowed
+	n := rand.Intn(10)
+	_ = n                    // want: global source
+	return time.Since(start) // want: wall clock
+}

@@ -1,0 +1,8 @@
+// Package bgmp is a lint fixture: it imports simclock, which the layering
+// table does not declare for internal/bgmp.
+package bgmp
+
+import "mascbgmp/internal/simclock"
+
+// C leaks the undeclared dependency.
+var C simclock.Clock

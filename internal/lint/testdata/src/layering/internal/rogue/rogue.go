@@ -1,0 +1,6 @@
+// Package rogue is a lint fixture: an internal package absent from the
+// layering table.
+package rogue
+
+// X exists so the package is non-empty.
+var X int

@@ -1,0 +1,5 @@
+// Package simclock is a lint fixture stand-in for the simulated clock.
+package simclock
+
+// Clock is a placeholder.
+type Clock struct{}

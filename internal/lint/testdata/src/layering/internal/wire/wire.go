@@ -1,0 +1,8 @@
+// Package wire is a lint fixture: it imports bgmp, which sits above it in
+// the DAG.
+package wire
+
+import "mascbgmp/internal/bgmp"
+
+// C is an upward dependency.
+var C = bgmp.C

@@ -1,0 +1,17 @@
+// Package obs is a lint fixture stand-in for the observability bus.
+package obs
+
+// Kind labels an event.
+type Kind int
+
+// String renders the kind.
+func (k Kind) String() string { return "kind" }
+
+// Event is one bus event.
+type Event struct{ Kind Kind }
+
+// Observer receives events.
+type Observer struct{}
+
+// Emit publishes an event.
+func (o *Observer) Emit(e Event) {}

@@ -1,0 +1,13 @@
+// Package core is a lint fixture: obs bus names passed as inline string
+// literals instead of package-level constants.
+package core
+
+import "mascbgmp/internal/obs"
+
+// Report reads counters both ways; the inline literals are findings.
+func Report(m *obs.Metrics, s obs.Snapshot) int {
+	m.Global("conflicts")              // want: inline literal
+	m.Counter("claims", "a", "r1")     // want: inline literal
+	total := s.Total(obs.KindSession)  // clean: package-level constant
+	return total + s.Get("session.up") // want: inline literal
+}

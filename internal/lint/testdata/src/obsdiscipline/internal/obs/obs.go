@@ -1,0 +1,23 @@
+// Package obs is a lint fixture stand-in for the observability bus.
+package obs
+
+// KindSession is the canonical constant callers must use.
+const KindSession = "session.down"
+
+// Metrics counts events.
+type Metrics struct{}
+
+// Counter bumps a per-router counter.
+func (m *Metrics) Counter(name, domain, router string) {}
+
+// Global bumps a module-wide counter.
+func (m *Metrics) Global(name string) {}
+
+// Snapshot is a read-only view of the counters.
+type Snapshot struct{}
+
+// Get reads one counter.
+func (s Snapshot) Get(name string) int { return 0 }
+
+// Total sums a counter across routers.
+func (s Snapshot) Total(name string) int { return 0 }

@@ -248,7 +248,7 @@ func (n *Node) claimLocked(size uint64, lifetime time.Duration, attempts int) bo
 		Prefix:   p,
 		LifeSecs: uint32(lifetime / time.Second),
 	}
-	for s := range n.siblings {
+	for _, s := range n.sortedSiblings() {
 		n.outbox = append(n.outbox, outMsg{s, claim})
 	}
 	if n.hasParent {
@@ -278,10 +278,7 @@ func (n *Node) claimMatured(p addr.Prefix) {
 	n.scheduleExpiry(p, pc.life)
 	n.event(obs.MASCWon, p)
 	ranges := n.rangesLocked()
-	children := make([]wire.DomainID, 0, len(n.children))
-	for c := range n.children {
-		children = append(children, c)
-	}
+	children := n.sortedChildren()
 	msgs, evs := n.drainOutbox()
 	n.mu.Unlock()
 	n.flush(msgs, evs)
@@ -310,7 +307,7 @@ func (n *Node) Release(p addr.Prefix) {
 	if found {
 		n.heard.Release(p)
 		rel := &wire.Release{Claimer: n.cfg.Domain, Prefix: p}
-		for s := range n.siblings {
+		for _, s := range n.sortedSiblings() {
 			n.outbox = append(n.outbox, outMsg{s, rel})
 		}
 		if n.hasParent {
@@ -384,7 +381,7 @@ func (n *Node) handleClaim(from wire.DomainID, m *wire.Claim) {
 		n.childClaims.Record(m.Prefix)
 		// Parent relays child claims to its other children (§4.1: "A then
 		// propagates this claim information to its other children").
-		for c := range n.children {
+		for _, c := range n.sortedChildren() {
 			if c != from {
 				n.outbox = append(n.outbox, outMsg{c, m})
 			}
@@ -559,10 +556,7 @@ func (n *Node) lifetimeDue(p addr.Prefix, life time.Duration) {
 		h.Expires = n.cfg.Clock.Now().Add(life)
 		expires := h.Expires
 		ranges := n.rangesLocked()
-		children := make([]wire.DomainID, 0, len(n.children))
-		for c := range n.children {
-			children = append(children, c)
-		}
+		children := n.sortedChildren()
 		n.scheduleExpiry(p, life)
 		n.event(obs.MASCRenewed, p)
 		_, evs := n.drainOutbox()
@@ -587,7 +581,7 @@ func (n *Node) lifetimeDue(p addr.Prefix, life time.Duration) {
 	}
 	n.heard.Release(p)
 	rel := &wire.Release{Claimer: n.cfg.Domain, Prefix: p}
-	for s := range n.siblings {
+	for _, s := range n.sortedSiblings() {
 		n.outbox = append(n.outbox, outMsg{s, rel})
 	}
 	if n.hasParent {
@@ -630,4 +624,27 @@ func (n *Node) send(to wire.DomainID, msg wire.Message) {
 	if n.cfg.Send != nil {
 		n.cfg.Send(to, msg)
 	}
+}
+
+// sortedSiblings returns the sibling domain IDs in ascending order.
+// Outbound message order is part of the protocol's observable behavior,
+// so it must never depend on map iteration. Caller holds n.mu.
+func (n *Node) sortedSiblings() []wire.DomainID {
+	out := make([]wire.DomainID, 0, len(n.siblings))
+	for s := range n.siblings {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedChildren returns the child domain IDs in ascending order. Caller
+// holds n.mu.
+func (n *Node) sortedChildren() []wire.DomainID {
+	out := make([]wire.DomainID, 0, len(n.children))
+	for c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

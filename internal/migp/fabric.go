@@ -1,6 +1,7 @@
 package migp
 
 import (
+	"sort"
 	"sync"
 
 	"mascbgmp/internal/addr"
@@ -153,10 +154,17 @@ func (f *Fabric) SendFromHost(at Node, d *wire.Data) {
 func (f *Fabric) MemberNodes(g addr.Addr) []Node {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	var out []Node
-	for n := range f.members[g] {
+	return sortedNodeSet(f.members[g])
+}
+
+// sortedNodeSet flattens a node set into an ascending slice; delivery and
+// callback order must not depend on map iteration.
+func sortedNodeSet(set map[Node]int) []Node {
+	out := make([]Node, 0, len(set))
+	for n := range set {
 		out = append(out, n)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -164,10 +172,7 @@ func (f *Fabric) MemberNodes(g addr.Addr) []Node {
 // fromBorder is nonzero when the packet entered through that border router.
 func (f *Fabric) deliver(entry Node, fromBorder wire.RouterID, d *wire.Data) {
 	f.mu.Lock()
-	var memberNodes []Node
-	for n := range f.members[d.Group] {
-		memberNodes = append(memberNodes, n)
-	}
+	memberNodes := sortedNodeSet(f.members[d.Group])
 	hops := f.cfg.Protocol.Deliver(f.cfg.Graph, entry, d.Source, d.Group, memberNodes)
 	f.Stats.Injected++
 	for _, h := range hops {
@@ -180,7 +185,13 @@ func (f *Fabric) deliver(entry Node, fromBorder wire.RouterID, d *wire.Data) {
 		comp *bgmp.Component
 	}
 	var handoffs []handoff
-	for r, comp := range f.comps {
+	routers := make([]wire.RouterID, 0, len(f.comps))
+	for r := range f.comps {
+		routers = append(routers, r)
+	}
+	sort.Slice(routers, func(i, j int) bool { return routers[i] < routers[j] })
+	for _, r := range routers {
+		comp := f.comps[r]
 		if r == fromBorder || comp == nil {
 			continue
 		}
@@ -200,7 +211,12 @@ func (f *Fabric) deliver(entry Node, fromBorder wire.RouterID, d *wire.Data) {
 	f.mu.Unlock()
 
 	if onDeliver != nil {
+		delivered := make([]Node, 0, len(hops))
 		for n := range hops {
+			delivered = append(delivered, n)
+		}
+		sort.Slice(delivered, func(i, j int) bool { return delivered[i] < delivered[j] })
+		for _, n := range delivered {
 			onDeliver(n, d)
 		}
 	}

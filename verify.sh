@@ -1,5 +1,5 @@
 #!/bin/sh
-# Full verification loop: format check, build, vet, test, race-check
+# Full verification loop: format check, build, vet, lint, test, race-check
 # everything, re-run the determinism suites twice so same-seed
 # obs-snapshot diffs (chaos sweeps, session recovery, fig2/fig4 metrics)
 # can't flake past CI, then smoke-run the benchmark suite and assert its
@@ -9,6 +9,7 @@ set -eux
 test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
+go run ./cmd/masclint ./...
 go test ./...
 go test -race ./...
 go test -run Determinism -count=2 ./...
