@@ -10,9 +10,15 @@
 //
 //	benchsuite -list
 //	benchsuite -suite scale-churn [-trials 3] [-parallel 0] [-seed 1998]
+//	           [-backend shared-tree|bier|map-encap]
 //	           [-out BENCH_scale.json] [-compare old.json] [-tolerance 0.10]
 //	benchsuite -validate BENCH_scale.json
 //	benchsuite -diff a.json b.json
+//
+// -backend runs a suite under a specific forwarding data plane; the
+// scale-churn and chaos-recovery suites honor it (dataplane-compare
+// always costs all three backends side by side). Unknown backend names
+// exit with status 2.
 //
 // -compare gates the fresh run against a baseline file: any directional
 // metric moving the wrong way by more than -tolerance (relative) is a
@@ -37,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mascbgmp"
 	"mascbgmp/internal/bench"
@@ -48,6 +55,7 @@ func main() {
 		trials    = flag.Int("trials", 0, "trials to run (0: the scenario's default)")
 		parallel  = flag.Int("parallel", 0, "worker pool size (0: GOMAXPROCS)")
 		seed      = flag.Int64("seed", 1998, "suite seed; per-trial seeds derive from it")
+		backend   = flag.String("backend", "", "forwarding data plane for suites that model one (shared-tree, bier, map-encap; empty: suite default)")
 		out       = flag.String("out", "", "write the result JSON to this file (default: stdout)")
 		compare   = flag.String("compare", "", "baseline result file to gate the run against")
 		tolerance = flag.Float64("tolerance", 0.10, "relative regression tolerance for -compare")
@@ -104,9 +112,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *backend != "" && !mascbgmp.ValidDataPlane(*backend) {
+		fail(exitUsage, fmt.Sprintf("unknown -backend %q (valid: %s)",
+			*backend, strings.Join(mascbgmp.DataPlaneNames(), ", ")))
+	}
 
 	res, err := mascbgmp.RunBenchScenario(*suite, mascbgmp.BenchOptions{
-		Trials: *trials, Parallel: *parallel, Seed: *seed,
+		Trials: *trials, Parallel: *parallel, Seed: *seed, Backend: *backend,
 	})
 	if err != nil {
 		fail(exitUsage, err.Error())

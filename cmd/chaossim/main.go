@@ -15,11 +15,18 @@
 //
 //	chaossim [-seed 1998] [-loss 0,0.05,0.1,0.2] [-hold 30s] [-backoff 15s]
 //	         [-crash 5m] [-groups 3] [-packets 50] [-parallel 1]
-//	         [-metrics] [-trace]
+//	         [-backend shared-tree|bier|map-encap] [-metrics] [-trace]
 //
 // -parallel fans the loss-rate points across a worker pool; each point is
 // an independent seeded trial, so the measurements (and the -metrics
 // counter totals) are identical at any value.
+//
+// -backend selects the forwarding data plane the routers run under fault
+// injection: the default BGMP shared trees repair tree state through the
+// supervised sessions, while the stateless backends (bier, map-encap)
+// recover by following the RIBs — the crashed router's iBGP siblings
+// withdraw its routes immediately, so their reroute time can be zero.
+// Unknown backend names exit with status 2.
 package main
 
 import (
@@ -43,13 +50,21 @@ func main() {
 		groups   = flag.Int("groups", 3, "multicast groups rooted in the source domain")
 		packets  = flag.Int("packets", 50, "probe packets per group during the lossy phase")
 		parallel = flag.Int("parallel", 1, "worker pool size for the loss-rate points (0: GOMAXPROCS); measurements are identical at any value")
+		backend  = flag.String("backend", mascbgmp.DataPlaneSharedTree, "forwarding data plane (shared-tree, bier, map-encap)")
 		metrics  = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
 		trace    = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
 	)
 	flag.Parse()
 
+	if !mascbgmp.ValidDataPlane(*backend) {
+		fmt.Fprintf(os.Stderr, "chaossim: unknown -backend %q (valid: %s)\n",
+			*backend, strings.Join(mascbgmp.DataPlaneNames(), ", "))
+		os.Exit(2)
+	}
+
 	cfg := mascbgmp.DefaultChaosConfig()
 	cfg.Seed = *seed
+	cfg.DataPlane = *backend
 	cfg.HoldTime = *hold
 	cfg.ReconnectBackoff = *backoff
 	cfg.CrashFor = *crash

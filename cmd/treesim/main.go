@@ -11,10 +11,17 @@
 //
 //	treesim [-domains 3326] [-peering 350] [-seed 1998] [-trials 5]
 //	        [-parallel 1] [-sizes 1,2,5,...] [-random-root] [-summary]
+//	        [-backend shared-tree|bier|map-encap]
 //	        [-metrics] [-trace] [-fault-links N] [-fault-loss P]
 //
 // -parallel fans the per-size sweep across a worker pool; each size draws
 // from its own seed-derived rng, so the output is identical at any value.
+//
+// -backend selects a data-plane backend to compare against the default
+// shared trees: after the Figure 4 table, treesim appends a data-plane
+// comparison (state, path stretch, per-packet header overhead) for the
+// chosen backend on the same topology, via the scale-churn workload.
+// Unknown backend names exit with status 2.
 package main
 
 import (
@@ -35,6 +42,7 @@ func main() {
 		trials     = flag.Int("trials", 5, "trials per group size")
 		parallel   = flag.Int("parallel", 1, "worker pool size for the per-size sweep (0: GOMAXPROCS); results are identical at any value")
 		sizes      = flag.String("sizes", "", "comma-separated receiver counts (default: the paper's 1..1000 sweep)")
+		backend    = flag.String("backend", mascbgmp.DataPlaneSharedTree, "data-plane backend to compare against the shared tree (shared-tree, bier, map-encap)")
 		randomRoot = flag.Bool("random-root", false, "ablation: root the bidirectional tree at a random domain instead of the initiator's")
 		summary    = flag.Bool("summary", false, "print only the overall summary")
 		metrics    = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
@@ -55,6 +63,11 @@ func main() {
 	cfg.FaultLoss = *faultLoss
 	if *faultLoss < 0 || *faultLoss >= 1 {
 		fmt.Fprintln(os.Stderr, "treesim: -fault-loss must be in [0, 1)")
+		os.Exit(2)
+	}
+	if !mascbgmp.ValidDataPlane(*backend) {
+		fmt.Fprintf(os.Stderr, "treesim: unknown -backend %q (valid: %s)\n",
+			*backend, strings.Join(mascbgmp.DataPlaneNames(), ", "))
 		os.Exit(2)
 	}
 	if *sizes != "" {
@@ -128,6 +141,31 @@ func main() {
 	fmt.Fprintf(os.Stderr, "unidirectional (PIM-SM model):  %.2fx / %.1fx   (paper: ~2x / <=6x)\n", uni, uniMax)
 	fmt.Fprintf(os.Stderr, "bidirectional  (BGMP):          %.2fx / %.1fx   (paper: <1.3x / <=4.5x)\n", bidir, bidirMax)
 	fmt.Fprintf(os.Stderr, "hybrid (BGMP + src branches):   %.2fx / %.1fx   (paper: <1.2x / <=4x)\n", hybrid, hybridMax)
+
+	// Data-plane comparison: cost the selected backend against the shared
+	// tree on the same topology, via the churn workload (DESIGN.md §11).
+	if *backend != mascbgmp.DataPlaneSharedTree {
+		ccfg := mascbgmp.DefaultChurnConfig()
+		ccfg.Domains = *domains
+		ccfg.ExtraPeering = *peering
+		ccfg.Seed = *seed
+		dres := mascbgmp.RunDataPlane(ccfg)
+		fmt.Fprintf(os.Stderr, "\n# data-plane comparison (%d groups, %d churn events)\n",
+			ccfg.Groups, ccfg.Events)
+		fmt.Fprintf(os.Stderr, "%-12s %14s %15s %13s %12s %14s\n",
+			"backend", "group_entries", "overlay_entries", "hops/pkt", "hdr_B/pkt", "stretch avg/max")
+		pkts := float64(dres.Churn.Packets)
+		for _, name := range []string{mascbgmp.DataPlaneSharedTree, *backend} {
+			c, ok := dres.Cost(name)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "%-12s %14d %15d %13.1f %12.1f %9.2f/%.1f\n",
+				c.Backend, c.GroupEntries, c.OverlayEntries,
+				float64(c.ForwardHops)/pkts, float64(c.HeaderBytes)/pkts,
+				c.MeanStretch, c.MaxStretch)
+		}
+	}
 
 	if *metrics {
 		fmt.Fprintf(os.Stderr, "\n# protocol event counters\n%s", ob.Snapshot().Totals())

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/obs"
 	"mascbgmp/internal/wire"
 )
@@ -164,7 +165,8 @@ func TestCompareFlagsRegressions(t *testing.T) {
 }
 
 func TestBuiltinScenariosRegistered(t *testing.T) {
-	for _, name := range []string{"fig2-alloc", "fig4-trees", "scale-churn", "chaos-recovery"} {
+	for _, name := range []string{"fig2-alloc", "fig4-trees", "scale-churn",
+		"chaos-recovery", "dataplane-compare"} {
 		if _, ok := Lookup(name); !ok {
 			t.Fatalf("suite %q not registered", name)
 		}
@@ -174,6 +176,25 @@ func TestBuiltinScenariosRegistered(t *testing.T) {
 		if names[i-1].Name >= names[i].Name {
 			t.Fatal("Scenarios() not sorted")
 		}
+	}
+}
+
+func TestRunScenarioRejectsUnknownBackend(t *testing.T) {
+	if _, err := RunScenario(synthetic(), Options{Trials: 1, Backend: "flooding"}); err == nil {
+		t.Fatal("unknown backend must error")
+	}
+	// A valid backend reaches the trial context.
+	s := synthetic()
+	var seen string
+	s.Trial = func(ctx TrialContext) (TrialOutput, error) {
+		seen = ctx.Backend
+		return TrialOutput{Values: map[string]float64{"draw": 0, "cost": 0}}, nil
+	}
+	if _, err := RunScenario(s, Options{Trials: 1, Backend: dataplane.BIERName}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != dataplane.BIERName {
+		t.Fatalf("trial saw backend %q, want %q", seen, dataplane.BIERName)
 	}
 }
 

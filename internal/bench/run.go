@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"time"
 
+	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/harness"
 	"mascbgmp/internal/obs"
 )
@@ -18,6 +20,10 @@ type Options struct {
 	Parallel int
 	// Seed is the suite seed every trial's seed derives from.
 	Seed int64
+	// Backend selects the data-plane backend for scenarios that model
+	// forwarding (scale-churn, chaos-recovery). Empty keeps each
+	// scenario's default; otherwise it must be one of dataplane.Names().
+	Backend string
 }
 
 // RunSuite runs a registered scenario by name.
@@ -34,6 +40,10 @@ func RunSuite(name string, opts Options) (SuiteResult, error) {
 // sections are pure functions of (scenario, trials, seed); Env and
 // Timing carry everything host- or wall-clock-dependent.
 func RunScenario(s Scenario, opts Options) (SuiteResult, error) {
+	if opts.Backend != "" && !dataplane.ValidName(opts.Backend) {
+		return SuiteResult{}, fmt.Errorf("bench: unknown backend %q (valid: %s)",
+			opts.Backend, strings.Join(dataplane.Names(), ", "))
+	}
 	trials := opts.Trials
 	if trials <= 0 {
 		trials = s.DefaultTrials
@@ -53,7 +63,10 @@ func RunScenario(s Scenario, opts Options) (SuiteResult, error) {
 		Seed:     opts.Seed,
 		Run: func(t harness.Trial) (any, error) {
 			ob := obs.NewObserver()
-			out, err := s.Trial(TrialContext{Index: t.Index, Seed: t.Seed, Rng: t.Rng, Obs: ob})
+			out, err := s.Trial(TrialContext{
+				Index: t.Index, Seed: t.Seed, Rng: t.Rng, Obs: ob,
+				Backend: opts.Backend,
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -47,11 +47,15 @@ type MetricDef struct {
 // seed and rng derived from (suite seed, index) — so results are
 // bit-identical regardless of worker count — and a fresh per-trial
 // observer whose counter totals are summed into SuiteResult.Counters.
+// Backend carries Options.Backend: the data-plane backend the suite was
+// asked to run under (empty: the scenario's default). Scenarios that
+// model forwarding honor it; others may ignore it.
 type TrialContext struct {
-	Index int
-	Seed  int64
-	Rng   *rand.Rand
-	Obs   *obs.Observer
+	Index   int
+	Seed    int64
+	Rng     *rand.Rand
+	Obs     *obs.Observer
+	Backend string
 }
 
 // TrialOutput is one trial's measurements. Values must contain exactly

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"fmt"
 	"time"
 
 	"mascbgmp/internal/core"
+	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/experiments"
 )
 
@@ -118,6 +120,7 @@ func init() {
 			cfg := experiments.DefaultChurnConfig()
 			cfg.Seed = ctx.Seed
 			cfg.Obs = ctx.Obs
+			cfg.DataPlane = ctx.Backend
 			res := experiments.RunChurn(cfg)
 			return TrialOutput{
 				Values: map[string]float64{
@@ -131,6 +134,77 @@ func init() {
 					"joins":     float64(res.Joins),
 					"forwarded": float64(res.ForwardHops),
 				},
+			}, nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "dataplane-compare",
+		Description: "the three forwarding backends costed side by side on the " +
+			"scale-churn workload: state, path stretch, per-packet header overhead",
+		DefaultTrials: 3,
+		Metrics: []MetricDef{
+			{Name: "shared_entries", Unit: "entries", Better: Lower,
+				Help: "shared-tree per-group forwarding entries across all domains"},
+			{Name: "bier_transit_entries", Unit: "entries", Better: Lower,
+				Help: "BIER per-group entries outside root domains (zero by design)"},
+			{Name: "mapencap_transit_entries", Unit: "entries", Better: Lower,
+				Help: "map-and-encap per-group entries outside root domains (zero by design)"},
+			{Name: "overlay_entries", Unit: "entries", Better: Info,
+				Help: "(group, member-domain) records in the root domains' overlay stores"},
+			{Name: "shared_stretch", Unit: "ratio", Better: Lower,
+				Help: "shared tree: mean delivery path length over shortest path"},
+			{Name: "bier_stretch", Unit: "ratio", Better: Lower,
+				Help: "BIER: mean delivery path length over shortest path (root detour)"},
+			{Name: "mapencap_stretch", Unit: "ratio", Better: Lower,
+				Help: "map-and-encap: mean delivery path length over shortest path"},
+			{Name: "shared_hdr_pkt", Unit: "bytes", Better: Lower,
+				Help: "shared tree: extra header bytes per packet (native forwarding: 0)"},
+			{Name: "bier_hdr_pkt", Unit: "bytes", Better: Lower,
+				Help: "BIER: bitstring plus climb-tunnel header bytes per packet"},
+			{Name: "mapencap_hdr_pkt", Unit: "bytes", Better: Lower,
+				Help: "map-and-encap: outer-header bytes per packet across all tunnels"},
+			{Name: "shared_hops_pkt", Unit: "hops", Better: Info,
+				Help: "shared tree: inter-domain link crossings per packet"},
+			{Name: "bier_hops_pkt", Unit: "hops", Better: Info,
+				Help: "BIER: inter-domain link crossings per packet"},
+			{Name: "mapencap_hops_pkt", Unit: "hops", Better: Info,
+				Help: "map-and-encap: inter-domain link crossings per packet"},
+			{Name: "delivered", Unit: "packets", Better: Info,
+				Help: "member deliveries (identical for every backend by construction)"},
+		},
+		Trial: func(ctx TrialContext) (TrialOutput, error) {
+			cfg := experiments.DefaultChurnConfig()
+			cfg.Seed = ctx.Seed
+			cfg.Obs = ctx.Obs
+			res := experiments.RunDataPlane(cfg)
+			st, _ := res.Cost(dataplane.SharedTreeName)
+			bier, _ := res.Cost(dataplane.BIERName)
+			me, _ := res.Cost(dataplane.MapEncapName)
+			if bier.Delivered != st.Delivered || me.Delivered != st.Delivered {
+				return TrialOutput{}, fmt.Errorf(
+					"delivery equivalence broken: shared=%d bier=%d map-encap=%d",
+					st.Delivered, bier.Delivered, me.Delivered)
+			}
+			pkts := float64(res.Churn.Packets)
+			return TrialOutput{
+				Values: map[string]float64{
+					"shared_entries":           float64(st.GroupEntries),
+					"bier_transit_entries":     float64(bier.TransitEntries + bier.GroupEntries),
+					"mapencap_transit_entries": float64(me.TransitEntries + me.GroupEntries),
+					"overlay_entries":          float64(bier.OverlayEntries),
+					"shared_stretch":           st.MeanStretch,
+					"bier_stretch":             bier.MeanStretch,
+					"mapencap_stretch":         me.MeanStretch,
+					"shared_hdr_pkt":           float64(st.HeaderBytes) / pkts,
+					"bier_hdr_pkt":             float64(bier.HeaderBytes) / pkts,
+					"mapencap_hdr_pkt":         float64(me.HeaderBytes) / pkts,
+					"shared_hops_pkt":          float64(st.ForwardHops) / pkts,
+					"bier_hops_pkt":            float64(bier.ForwardHops) / pkts,
+					"mapencap_hops_pkt":        float64(me.ForwardHops) / pkts,
+					"delivered":                float64(st.Delivered),
+				},
+				Rates: map[string]float64{"packets": pkts},
 			}, nil
 		},
 	})
@@ -157,6 +231,7 @@ func init() {
 			cfg.CrashFor = 3 * time.Minute
 			cfg.Seed = ctx.Seed
 			cfg.Obs = ctx.Obs
+			cfg.DataPlane = ctx.Backend
 			pts, err := core.RunChaos(cfg)
 			if err != nil {
 				return TrialOutput{}, err

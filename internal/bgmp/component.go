@@ -244,7 +244,7 @@ func (c *Component) HandlePeer(from wire.RouterID, msg wire.Message) {
 		out, evs := c.drain()
 		c.mu.Unlock()
 		c.flush(out, evs)
-		c.HandleData(PeerTarget(from), m)
+		c.Deliver(PeerTarget(from), m)
 		return
 	}
 	out, evs := c.drain()
@@ -273,11 +273,7 @@ func (c *Component) HandleFromBorder(from wire.RouterID, msg wire.Message) {
 		out, evs := c.drain()
 		c.mu.Unlock()
 		c.flush(out, evs)
-		if m.Encap {
-			c.handleEncap(from, m)
-		} else {
-			c.HandleData(MIGPToward(from), m)
-		}
+		c.Deliver(MIGPToward(from), m)
 		return
 	}
 	out, evs := c.drain()

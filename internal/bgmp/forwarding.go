@@ -96,16 +96,40 @@ func (c *Component) sourcePruneLocked(s, g addr.Addr, child Target) {
 
 // ----------------------------------------------------------- data plane
 
+// Deliver is the single data-plane ingress: every multicast packet reaching
+// this border router enters here, tagged with where it came from. src is
+// MIGPTarget for interior-origin packets, MIGPToward(r) for packets relayed
+// from sibling border r through the domain, and PeerTarget(r) for packets
+// from external peer r. Encapsulated relays (§5.3) are recognized and
+// decapsulated; everything else follows the (S,G)/(*,G)/off-tree rules.
+//
+// Deliver is the contract the pluggable data-plane backends implement
+// (internal/dataplane); this is the shared-tree implementation.
+func (c *Component) Deliver(src Target, d *wire.Data) {
+	if d.Encap && src.MIGP && src.Router != 0 {
+		c.handleEncap(src.Router, d)
+		return
+	}
+	c.HandleData(src, d)
+}
+
 // HandleDataFromMIGP is called by the MIGP component when a multicast
 // packet from inside the domain reaches this border router.
+//
+// Deprecated: use Deliver(MIGPTarget, d); kept for callers predating the
+// unified dataplane ingress.
 func (c *Component) HandleDataFromMIGP(d *wire.Data) {
-	c.HandleData(MIGPTarget, d)
+	c.Deliver(MIGPTarget, d)
 }
 
 // HandleData forwards one packet according to the (S,G) entry when present,
 // the (*,G) entry otherwise, and — with no state at all — toward the
 // group's root domain ("any router must be able to forward a data packet
 // towards group members", §3).
+//
+// Deprecated: use Deliver, which additionally recognizes encapsulated
+// border-to-border relays and is the entrypoint the dataplane.Backend
+// interface standardizes on.
 func (c *Component) HandleData(from Target, d *wire.Data) {
 	if d.TTL == 0 {
 		return

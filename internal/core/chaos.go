@@ -7,6 +7,7 @@ import (
 
 	"mascbgmp/internal/addr"
 	"mascbgmp/internal/bgmp"
+	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/faultinject"
 	"mascbgmp/internal/harness"
 	"mascbgmp/internal/migp/dvmrp"
@@ -62,6 +63,11 @@ type ChaosConfig struct {
 	// the Obs counter totals are identical at any Parallel value; only
 	// the interleaving of the live event stream changes.
 	Parallel int
+	// DataPlane selects the forwarding backend under test
+	// (core.Config.DataPlane); empty runs the default shared trees. The
+	// stateless backends recover through BGP route withdrawal instead of
+	// BGMP tree repair, so the reconvergence check follows the G-RIB.
+	DataPlane string
 }
 
 // DefaultChaosConfig returns the sweep recorded in EXPERIMENTS.md.
@@ -150,11 +156,12 @@ func RunChaos(cfg ChaosConfig) ([]ChaosPoint, error) {
 // direct link 12–31 and the redundant path 11–21, 22–31. Router 12 is the
 // crash victim; the transit path is what repair falls back on.
 type chaosNet struct {
-	n      *Network
-	clk    *simclock.Sim
-	plane  *faultinject.Plane
-	groups []addr.Addr
-	src    addr.Addr
+	n         *Network
+	clk       *simclock.Sim
+	plane     *faultinject.Plane
+	groups    []addr.Addr
+	src       addr.Addr
+	dataPlane string
 }
 
 func buildChaosNet(cfg ChaosConfig, pointSeed int64, ob *obs.Observer) (*chaosNet, error) {
@@ -176,6 +183,7 @@ func buildChaosNet(cfg ChaosConfig, pointSeed int64, ob *obs.Observer) (*chaosNe
 		Faults:           plane,
 		HoldTime:         cfg.HoldTime,
 		ReconnectBackoff: cfg.ReconnectBackoff,
+		DataPlane:        cfg.DataPlane,
 	})
 	if err != nil {
 		return nil, err
@@ -207,7 +215,7 @@ func buildChaosNet(cfg ChaosConfig, pointSeed int64, ob *obs.Observer) (*chaosNe
 	}
 	clk.RunFor(cfg.MASCWait + time.Hour)
 
-	cn := &chaosNet{n: n, clk: clk, plane: plane, src: n.Domain(1).HostAddr(1)}
+	cn := &chaosNet{n: n, clk: clk, plane: plane, src: n.Domain(1).HostAddr(1), dataPlane: cfg.DataPlane}
 	for g := 0; g < cfg.Groups; g++ {
 		lease, err := n.Domain(1).NewGroup(30 * 24 * time.Hour)
 		if err != nil {
@@ -234,9 +242,21 @@ func (cn *chaosNet) probe() (delivered, sent int, ok bool) {
 }
 
 // directPath reports whether every group is attached to the root domain
-// over the direct link again and the restarted router carries its state.
+// over the direct link again. Under shared trees that means the receiver's
+// tree parent is the direct peer and the restarted router carries its tree
+// state; the stateless backends hold no per-group state, so the equivalent
+// condition is the receiver's G-RIB best route to the group pointing at
+// the direct peer again (tunnels and bitstring copies follow the RIBs).
 func (cn *chaosNet) directPath() bool {
+	stateless := cn.dataPlane != "" && cn.dataPlane != dataplane.SharedTreeName
 	for _, g := range cn.groups {
+		if stateless {
+			e, ok := cn.n.Router(31).BGP().Lookup(wire.TableGRIB, g)
+			if !ok || e.NextHop != 12 {
+				return false
+			}
+			continue
+		}
 		parent, _, ok := cn.n.Router(31).BGMP().GroupEntry(g)
 		if !ok || parent != bgmp.PeerTarget(12) {
 			return false

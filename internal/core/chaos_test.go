@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/obs"
 )
 
@@ -81,6 +82,35 @@ func TestChaosSweepDeterminism(t *testing.T) {
 	for i := range p1 {
 		if p1[i] != p2[i] {
 			t.Fatalf("point %d diverged: %+v vs %+v", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestChaosStatelessBackendsRecover(t *testing.T) {
+	// The stateless data planes ride the RIBs instead of tree state: the
+	// crash must still reroute onto transit (iBGP withdrawal at the
+	// crashed router's siblings) and reconverge onto the direct route
+	// after the restart.
+	for _, backend := range []string{dataplane.BIERName, dataplane.MapEncapName} {
+		cfg := scaledChaos()
+		cfg.LossRates = []float64{0}
+		cfg.DataPlane = backend
+		pts, err := RunChaos(cfg)
+		if err != nil {
+			t.Fatalf("backend %s: %v", backend, err)
+		}
+		pt := pts[0]
+		if pt.DeliveryRatio != 1 {
+			t.Errorf("backend %s: DeliveryRatio = %.3f at zero loss, want 1", backend, pt.DeliveryRatio)
+		}
+		if !pt.Recovered {
+			t.Errorf("backend %s: network did not recover", backend)
+		}
+		// Reroute can be 0: the crashed router's iBGP siblings withdraw
+		// its routes immediately, so the stateless planes swing onto the
+		// transit route without waiting for any remote hold timer.
+		if pt.Reroute < 0 || pt.Reroute > cfg.HoldTime+2*time.Minute {
+			t.Errorf("backend %s: Reroute = %v, want within hold+2m", backend, pt.Reroute)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"mascbgmp/internal/addr"
 	"mascbgmp/internal/migp/dvmrp"
+	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
 	"mascbgmp/internal/wire"
 )
@@ -24,6 +25,12 @@ import (
 // Links: E1–A1, C1–A2, B1–A3, D1–A4, F1–B2, G1–C2, H1–G2, plus the F2–A4
 // link of Fig 3(b) when withF2A4 is set.
 func paperNet(t *testing.T, withF2A4, sourceBranches bool) (*Network, *simclock.Sim) {
+	return paperNetDP(t, withF2A4, sourceBranches, "", nil)
+}
+
+// paperNetDP is paperNet with a selectable forwarding backend and an
+// optional observer (the data-plane comparison tests need both).
+func paperNetDP(t *testing.T, withF2A4, sourceBranches bool, dataPlane string, ob *obs.Observer) (*Network, *simclock.Sim) {
 	t.Helper()
 	clk := simclock.NewSim(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
 	n, err := NewNetwork(Config{
@@ -31,6 +38,8 @@ func paperNet(t *testing.T, withF2A4, sourceBranches bool) (*Network, *simclock.
 		Seed:           42,
 		Synchronous:    true,
 		SourceBranches: sourceBranches,
+		DataPlane:      dataPlane,
+		Observer:       ob,
 	})
 	if err != nil {
 		t.Fatal(err)

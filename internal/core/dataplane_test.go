@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mascbgmp/internal/dataplane"
+	"mascbgmp/internal/obs"
+	"mascbgmp/internal/wire"
+)
+
+func TestConfigRejectsUnknownDataPlane(t *testing.T) {
+	_, err := NewNetwork(Config{DataPlane: "flooding"})
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Field != "DataPlane" {
+		t.Fatalf("NewNetwork(DataPlane: flooding) = %v, want *ConfigError{Field: DataPlane}", err)
+	}
+	for _, name := range dataplane.Names() {
+		if err := (Config{DataPlane: name}).Validate(); err != nil {
+			t.Errorf("Validate(DataPlane: %q) = %v, want nil", name, err)
+		}
+	}
+}
+
+// runPaperNetScenario drives one fixed membership-and-traffic sequence on
+// the Fig 1/3 internetwork under the given backend and returns, per
+// payload, the sorted list of "domain@node" deliveries, plus the obs
+// counter snapshot of the whole run.
+func runPaperNetScenario(t *testing.T, backend string) (map[string][]string, string) {
+	t.Helper()
+	ob := obs.NewObserver()
+	n, clk := paperNetDP(t, false, false, backend, ob)
+	g := establishGroup(t, n, clk) // members in B, C, D, F, H at node 1
+
+	deliveries := map[string][]string{}
+	record := func(payload string) {
+		var got []string
+		for _, id := range []wire.DomainID{1, 2, 3, 4, 5, 6, 7, 8} {
+			for _, dv := range n.Domain(id).Received() {
+				if dv.Payload == payload && dv.Group == g {
+					got = append(got, fmt.Sprintf("%d@%d", id, dv.Node))
+				}
+			}
+			n.Domain(id).ClearReceived()
+		}
+		sort.Strings(got)
+		deliveries[payload] = got
+	}
+
+	n.Domain(4).Send(g, n.Domain(4).HostAddr(1), "from-member", 1)
+	record("from-member")
+	n.Domain(5).Send(g, n.Domain(5).HostAddr(1), "from-nonmember", 1)
+	record("from-nonmember")
+	n.Domain(8).Leave(g, 1)
+	n.Domain(4).Send(g, n.Domain(4).HostAddr(1), "after-leave", 1)
+	record("after-leave")
+	return deliveries, ob.Snapshot().String()
+}
+
+func TestDataPlaneEquivalenceOnPaperNet(t *testing.T) {
+	results := map[string]map[string][]string{}
+	for _, b := range dataplane.Names() {
+		r, snap1 := runPaperNetScenario(t, b)
+		_, snap2 := runPaperNetScenario(t, b)
+		if snap1 != snap2 {
+			t.Errorf("backend %s: same-seed runs produced different obs snapshots", b)
+		}
+		results[b] = r
+	}
+
+	want := results[dataplane.SharedTreeName]
+	for _, payload := range []string{"from-member", "from-nonmember", "after-leave"} {
+		if len(want[payload]) == 0 {
+			t.Fatalf("shared tree delivered %q to nobody", payload)
+		}
+	}
+	for _, b := range []string{dataplane.BIERName, dataplane.MapEncapName} {
+		if !reflect.DeepEqual(results[b], want) {
+			t.Errorf("backend %s receiver sets diverge from shared-tree:\n got %v\nwant %v",
+				b, results[b], want)
+		}
+	}
+}
+
+func TestBIERKeepsZeroTransitGroupState(t *testing.T) {
+	n, clk := paperNetDP(t, false, false, dataplane.BIERName, nil)
+	establishGroup(t, n, clk)
+
+	// Transit domain A carries traffic for every group yet holds no
+	// per-group forwarding entries and no overlay membership (it roots
+	// nothing) — the BIER trade.
+	for _, rid := range []wire.RouterID{11, 12, 13, 14} {
+		st := n.Router(rid).DataPlane().Stats()
+		if st.GroupEntries != 0 || st.OverlayEntries != 0 {
+			t.Errorf("transit router %d: GroupEntries=%d OverlayEntries=%d, want 0/0",
+				rid, st.GroupEntries, st.OverlayEntries)
+		}
+	}
+	// The root domain's borders share the domain-wide overlay store: one
+	// record per member domain (B, C, D, F, H).
+	for _, rid := range []wire.RouterID{21, 22} {
+		st := n.Router(rid).DataPlane().Stats()
+		if st.GroupEntries != 0 || st.OverlayEntries != 5 {
+			t.Errorf("root border %d: GroupEntries=%d OverlayEntries=%d, want 0/5",
+				rid, st.GroupEntries, st.OverlayEntries)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"mascbgmp/internal/addr"
 	"mascbgmp/internal/bgp"
+	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/maas"
 	"mascbgmp/internal/masc"
 	"mascbgmp/internal/migp"
@@ -50,6 +51,11 @@ type Domain struct {
 	maas         *maas.Server
 	mascChildren []wire.DomainID
 	hostPrefix   addr.Prefix
+	// dpStore is the overlay membership shared by the domain's border
+	// routers when an overlay data plane (BIER / map-encap) is selected.
+	// It models group state carried by the domain's routing underlay, so
+	// it survives individual router crashes (dataplane.Backend.Reset).
+	dpStore *dataplane.Store
 	// received logs data deliveries to interior members, newest last.
 	received []Delivery
 }
@@ -78,7 +84,7 @@ func (n *Network) AddDomain(cfg DomainConfig) (*Domain, error) {
 	}
 	n.mu.Unlock()
 
-	d := &Domain{ID: cfg.ID, net: n, hostPrefix: cfg.HostPrefix}
+	d := &Domain{ID: cfg.ID, net: n, hostPrefix: cfg.HostPrefix, dpStore: dataplane.NewStore()}
 
 	// Interior topology: a path graph with borders at the front — small
 	// and deterministic; examples needing richer interiors can grow it.

@@ -11,9 +11,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/faultinject"
 	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
@@ -68,6 +71,13 @@ type Config struct {
 	// ReconnectBackoff is the first retry delay after a session drops;
 	// it doubles per failed attempt up to 8×. Defaults to HoldTime/2.
 	ReconnectBackoff time.Duration
+	// DataPlane selects the forwarding backend every border router runs:
+	// one of dataplane.Names() — "shared-tree" (BGMP shared trees, the
+	// default when empty), "bier" (per-packet domain bitstrings computed
+	// at the root), or "map-encap" (unicast tunnels to the root domain).
+	// Control-plane behavior (MASC, BGP, BGMP joins) is unaffected; only
+	// how data packets travel between domains changes.
+	DataPlane string
 }
 
 // ConfigError reports an invalid Config field combination.
@@ -100,6 +110,10 @@ func (c Config) Validate() error {
 	}
 	if c.ReconnectBackoff > 0 && c.HoldTime == 0 {
 		return &ConfigError{Field: "ReconnectBackoff", Reason: "needs HoldTime to enable session supervision"}
+	}
+	if c.DataPlane != "" && !dataplane.ValidName(c.DataPlane) {
+		return &ConfigError{Field: "DataPlane", Reason: fmt.Sprintf(
+			"unknown backend %q (valid: %s)", c.DataPlane, strings.Join(dataplane.Names(), ", "))}
 	}
 	return nil
 }
@@ -173,6 +187,19 @@ func (n *Network) Router(id wire.RouterID) *Router {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.routers[id]
+}
+
+// domainAddr returns the tunnel anchor address of a domain — the base of
+// its unicast host prefix, which every router can resolve through the
+// unicast RIB. The map-and-encap backend tunnels packets to it; BIER uses
+// it to pick the next hop toward a bitstring member. Domains without a
+// host prefix are unreachable as overlay members.
+func (n *Network) domainAddr(id wire.DomainID) (addr.Addr, bool) {
+	d := n.Domain(id)
+	if d == nil || !d.hostPrefix.Valid() || d.hostPrefix.Len == 0 {
+		return 0, false
+	}
+	return d.hostPrefix.Base, true
 }
 
 // Domains returns all domains in insertion-independent map order.

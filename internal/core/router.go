@@ -8,20 +8,26 @@ import (
 	"mascbgmp/internal/addr"
 	"mascbgmp/internal/bgmp"
 	"mascbgmp/internal/bgp"
+	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/faultinject"
 	"mascbgmp/internal/migp"
 	"mascbgmp/internal/transport"
 	"mascbgmp/internal/wire"
 )
 
-// Router is one border router: a BGP-lite speaker plus a BGMP component,
-// attached to its domain's interior fabric.
+// Router is one border router: a BGP-lite speaker, a BGMP component, and
+// the forwarding backend selected by Config.DataPlane, attached to its
+// domain's interior fabric.
 type Router struct {
 	ID     wire.RouterID
 	domain *Domain
 
 	bgp  *bgp.Speaker
 	bgmp *bgmp.Component
+	// backend is the router's forwarding plane: every data packet and
+	// backend control message goes through it. The default shared-tree
+	// backend delegates straight to bgmp.
+	backend dataplane.Backend
 
 	mu    sync.Mutex
 	peers map[wire.RouterID]sender
@@ -104,8 +110,9 @@ func newRouter(n *Network, d *Domain, id wire.RouterID, at migp.Node, export bgp
 		OnBestChange: func(table wire.Table, p addr.Prefix, lost bool) {
 			if table == wire.TableGRIB {
 				// Re-attach shared trees whose path to the root domain
-				// changed (BGMP tree repair).
-				r.bgmp.RouteChanged(p)
+				// changed (BGMP tree repair), or flush overlay member
+				// reports that were waiting for a route to the root.
+				r.backend.RouteChanged(p)
 			}
 		},
 	})
@@ -130,8 +137,74 @@ func newRouter(n *Network, d *Domain, id wire.RouterID, at migp.Node, export bgp
 		BuildSourceBranches: n.cfg.SourceBranches,
 		Obs:                 n.cfg.Observer,
 	})
-	d.fabric.SetComponent(id, r.bgmp)
+	switch n.cfg.DataPlane {
+	case "", dataplane.SharedTreeName:
+		r.backend = dataplane.NewSharedTree(r.bgmp)
+	default:
+		dcfg := dataplane.Config{
+			Router: id,
+			Domain: d.ID,
+			LookupGroup: func(g addr.Addr) (bgp.Entry, bool) {
+				return r.bgp.Lookup(wire.TableGRIB, g)
+			},
+			LookupUnicast: func(a addr.Addr) (bgp.Entry, bool) {
+				return r.bgp.Lookup(wire.TableUnicast, a)
+			},
+			Internal: r.isInternal,
+			SendPeer: func(to wire.RouterID, msg wire.Message) {
+				r.sendTo(to, msg)
+			},
+			MIGP:       migpAdapter,
+			DomainAddr: n.domainAddr,
+			SourceDomain: func(s addr.Addr) (wire.DomainID, bool) {
+				e, ok := r.bgp.Lookup(wire.TableMRIB, s)
+				if !ok {
+					e, ok = r.bgp.Lookup(wire.TableUnicast, s)
+				}
+				if !ok {
+					return 0, false
+				}
+				return e.Route.Origin, true
+			},
+			Store: d.dpStore,
+			Obs:   n.cfg.Observer,
+		}
+		if n.cfg.DataPlane == dataplane.BIERName {
+			r.backend = dataplane.NewBIER(dcfg)
+		} else {
+			r.backend = dataplane.NewMapEncap(dcfg)
+		}
+	}
+	d.fabric.SetComponent(id, borderFront{r})
 	return r, nil
+}
+
+// borderFront adapts the router's forwarding backend to migp.Border: the
+// fabric's data and relay traffic reaches the selected data plane, while
+// BGMP control messages relayed between sibling borders keep flowing to
+// the BGMP component regardless of backend.
+type borderFront struct{ r *Router }
+
+func (f borderFront) LocalJoin(g addr.Addr)  { f.r.backend.LocalJoin(g) }
+func (f borderFront) LocalLeave(g addr.Addr) { f.r.backend.LocalLeave(g) }
+
+func (f borderFront) Deliver(src bgmp.Target, d *wire.Data) {
+	f.r.backend.Deliver(src, d)
+}
+
+func (f borderFront) HandleFromBorder(from wire.RouterID, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.Data:
+		f.r.backend.Deliver(bgmp.MIGPToward(from), m)
+	case *wire.MemberReport:
+		f.r.backend.HandleControl(bgmp.MIGPToward(from), m)
+	default:
+		f.r.bgmp.HandleFromBorder(from, msg)
+	}
+}
+
+func (f borderFront) HasForwardingState(g addr.Addr) bool {
+	return f.r.backend.HasForwardingState(g)
 }
 
 // BGP returns the router's BGP speaker.
@@ -139,6 +212,9 @@ func (r *Router) BGP() *bgp.Speaker { return r.bgp }
 
 // BGMP returns the router's BGMP component.
 func (r *Router) BGMP() *bgmp.Component { return r.bgmp }
+
+// DataPlane returns the router's forwarding backend.
+func (r *Router) DataPlane() dataplane.Backend { return r.backend }
 
 // Domain returns the owning domain.
 func (r *Router) Domain() *Domain { return r.domain }
@@ -163,8 +239,12 @@ func (r *Router) dispatch(from wire.RouterID, msg wire.Message) {
 	switch m := msg.(type) {
 	case *wire.Update:
 		r.bgp.HandleUpdate(from, m)
-	case *wire.GroupJoin, *wire.GroupPrune, *wire.SourceJoin, *wire.SourcePrune, *wire.Data:
+	case *wire.GroupJoin, *wire.GroupPrune, *wire.SourceJoin, *wire.SourcePrune:
 		r.bgmp.HandlePeer(from, msg)
+	case *wire.Data:
+		r.backend.Deliver(bgmp.PeerTarget(from), m)
+	case *wire.MemberReport:
+		r.backend.HandleControl(bgmp.PeerTarget(from), m)
 	case *wire.Notification:
 		// Session-level; the peer layer already tears down.
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"mascbgmp/internal/bgp"
 	"mascbgmp/internal/faultinject"
 	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
@@ -21,9 +22,10 @@ import (
 // when it succeeds so orphaned groups rejoin through RouteChanged.
 //
 // Peer crashes injected through the fault plane are detected the same way:
-// the crashed router exchanges no traffic, so its peers' hold timers
-// expire. The crash hook only wipes the crashed process's BGMP state
-// (Component.Reset); everything else is relearned on reconnect.
+// the crashed router exchanges no traffic, so its external peers' hold
+// timers expire. The crash hook wipes the crashed process's forwarding
+// state (dataplane.Backend.Reset) and severs its same-domain iBGP
+// peerings (see onPeerCrash); everything else is relearned on reconnect.
 
 // session supervises one supervised external peering.
 type session struct {
@@ -186,19 +188,46 @@ func (s *session) retry() {
 func (n *Network) emit(e obs.Event) { n.cfg.Observer.Emit(e) }
 
 // onPeerCrash is the fault plane's crash hook: the crashed border router's
-// process state is gone, so its BGMP component resets. Its peering
-// sessions are not torn here — the peers notice through their hold timers,
-// exactly as they would a real silent crash.
+// process state is gone, so its forwarding backend resets (overlay
+// membership lives in the domain's shared Store and survives). External
+// peering sessions are not torn here — those peers notice through their
+// hold timers, exactly as they would a real silent crash. Same-domain iBGP
+// peers, whose mesh connections are not hold-timer supervised, see the TCP
+// reset immediately and withdraw the crashed router's routes — without
+// this the stateless data planes would tunnel packets into the dead router
+// for the whole outage.
 func (n *Network) onPeerCrash(id wire.RouterID) {
 	n.mu.Lock()
 	r := n.routers[id]
 	n.mu.Unlock()
-	if r != nil {
-		r.bgmp.Reset()
+	if r == nil {
+		return
+	}
+	r.backend.Reset()
+	for _, p := range r.domain.Routers() {
+		if p != r {
+			p.bgp.RemoveNeighbor(id)
+		}
 	}
 }
 
-// onPeerRestart is the fault plane's restart hook. Nothing to do eagerly:
-// the next backoff-scheduled retry on each affected session will succeed
-// and resynchronize state.
-func (n *Network) onPeerRestart(wire.RouterID) {}
+// onPeerRestart is the fault plane's restart hook. External sessions come
+// back through their backoff-scheduled retries; the internal mesh —
+// severed at crash time by onPeerCrash — reconnects eagerly, as loopback
+// iBGP sessions to a rebooted process would, and resyncs both directions.
+func (n *Network) onPeerRestart(id wire.RouterID) {
+	n.mu.Lock()
+	r := n.routers[id]
+	n.mu.Unlock()
+	if r == nil {
+		return
+	}
+	for _, p := range r.domain.Routers() {
+		if p == r {
+			continue
+		}
+		p.bgp.AddNeighbor(bgp.Neighbor{Router: r.ID, Domain: r.domain.ID, Internal: true})
+		p.bgp.Sync(r.ID)
+		r.bgp.Sync(p.ID)
+	}
+}

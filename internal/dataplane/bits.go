@@ -1,0 +1,76 @@
+package dataplane
+
+import (
+	"math/bits"
+
+	"mascbgmp/internal/wire"
+)
+
+// Bitstring helpers: bit i lives in word i/64, position i%64. Domain IDs
+// index bits directly, so the bitstring length scales with the highest
+// member domain ID rather than the member count — the BIER trade of
+// header bytes for per-group state.
+
+// makeBits builds a bitstring with one bit set per domain in ds.
+func makeBits(ds []wire.DomainID) []uint64 {
+	var out []uint64
+	for _, d := range ds {
+		w := int(d / 64)
+		for len(out) <= w {
+			out = append(out, 0)
+		}
+		out[w] |= 1 << (uint(d) % 64)
+	}
+	return out
+}
+
+// setBit sets bit i, growing nothing: the caller sized the string.
+func setBit(b []uint64, i uint32) {
+	w := int(i / 64)
+	if w < len(b) {
+		b[w] |= 1 << (i % 64)
+	}
+}
+
+// clearBit clears bit i, reporting whether it was set.
+func clearBit(b []uint64, i uint32) bool {
+	w := int(i / 64)
+	if w >= len(b) || b[w]&(1<<(i%64)) == 0 {
+		return false
+	}
+	b[w] &^= 1 << (i % 64)
+	return true
+}
+
+// anyBit reports whether any bit is set.
+func anyBit(b []uint64) bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// setBits returns the set bit indices in ascending order.
+func setBits(b []uint64) []uint32 {
+	var out []uint32
+	for wi, w := range b {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			out = append(out, uint32(wi*64+i))
+			w &^= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// trimBits drops trailing zero words so header accounting reflects the
+// bytes a real encoding would carry.
+func trimBits(b []uint64) []uint64 {
+	n := len(b)
+	for n > 0 && b[n-1] == 0 {
+		n--
+	}
+	return b[:n]
+}

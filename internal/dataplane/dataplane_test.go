@@ -1,0 +1,100 @@
+package dataplane
+
+import (
+	"reflect"
+	"testing"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/wire"
+)
+
+func TestNames(t *testing.T) {
+	want := []string{"shared-tree", "bier", "map-encap"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+	for _, n := range want {
+		if !ValidName(n) {
+			t.Errorf("ValidName(%q) = false", n)
+		}
+	}
+	for _, n := range []string{"", "bgmp", "BIER", "shared"} {
+		if ValidName(n) {
+			t.Errorf("ValidName(%q) = true", n)
+		}
+	}
+}
+
+func TestBitstringHelpers(t *testing.T) {
+	b := makeBits([]wire.DomainID{3, 64, 130})
+	if len(b) != 3 {
+		t.Fatalf("makeBits words = %d, want 3", len(b))
+	}
+	if got, want := setBits(b), []uint32{3, 64, 130}; !reflect.DeepEqual(got, want) {
+		t.Errorf("setBits = %v, want %v", got, want)
+	}
+	if !clearBit(b, 64) || clearBit(b, 64) {
+		t.Error("clearBit must report and clear exactly once")
+	}
+	if clearBit(b, 200) {
+		t.Error("clearBit out of range must report false")
+	}
+	if got, want := setBits(b), []uint32{3, 130}; !reflect.DeepEqual(got, want) {
+		t.Errorf("after clear, setBits = %v, want %v", got, want)
+	}
+	clearBit(b, 130)
+	if got := trimBits(b); len(got) != 1 {
+		t.Errorf("trimBits kept %d words, want 1", len(got))
+	}
+	clearBit(b, 3)
+	if anyBit(b) {
+		t.Error("anyBit on empty string")
+	}
+	if got := trimBits(b); len(got) != 0 {
+		t.Errorf("trimBits on empty kept %d words", len(got))
+	}
+	// setBit must not grow the string (the caller sizes it).
+	s := make([]uint64, 1)
+	setBit(s, 70)
+	if anyBit(s) {
+		t.Error("setBit out of range must be a no-op")
+	}
+}
+
+func TestStoreRefcounts(t *testing.T) {
+	g := addr.MakeAddr(224, 1, 0, 1)
+	g2 := addr.MakeAddr(224, 1, 0, 2)
+	s := NewStore()
+	s.Add(g, 5)
+	s.Add(g, 3)
+	s.Add(g, 5)
+	s.Add(g2, 7)
+	if got, want := s.Members(g), []wire.DomainID{3, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Members = %v, want %v", got, want)
+	}
+	if s.Entries() != 3 {
+		t.Errorf("Entries = %d, want 3", s.Entries())
+	}
+	s.Remove(g, 5)
+	if got, want := s.Members(g), []wire.DomainID{3, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("refcounted Remove dropped the member early: %v, want %v", got, want)
+	}
+	s.Remove(g, 5)
+	s.Remove(g, 3)
+	if got := s.Members(g); len(got) != 0 {
+		t.Errorf("Members after removal = %v, want empty", got)
+	}
+	s.Remove(g, 99) // unknown member: no-op
+	if s.Entries() != 1 {
+		t.Errorf("Entries = %d, want 1", s.Entries())
+	}
+}
+
+func TestHeaderCostModel(t *testing.T) {
+	if BIERHeaderBytes(0) != BIERFixedHeaderBytes {
+		t.Error("empty bitstring must cost only the fixed header")
+	}
+	if BIERHeaderBytes(4) != BIERFixedHeaderBytes+32 {
+		t.Errorf("BIERHeaderBytes(4) = %d", BIERHeaderBytes(4))
+	}
+}

@@ -1,0 +1,463 @@
+package dataplane
+
+import (
+	"sort"
+	"sync"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/bgmp"
+	"mascbgmp/internal/bgp"
+	"mascbgmp/internal/obs"
+	"mascbgmp/internal/wire"
+)
+
+// overlay is the machinery shared by the two stateless backends. Both keep
+// zero per-group forwarding entries at transit domains: membership lives
+// in the root domain's Store (fed by MemberReport messages that transit
+// routers relay without recording), and per-packet headers — a unicast
+// tunnel address or a BIER bitstring — carry the forwarding decision.
+// The backends differ only in how the root fans out: BIER stamps one
+// bitstring and lets transit routers split it per next hop; map-and-encap
+// originates one tunnel per member domain.
+type overlay struct {
+	cfg  Config
+	mode string // BIERName or MapEncapName
+
+	mu sync.Mutex
+	// pending counts interior joins awaiting a G-RIB route toward the
+	// root, flushed by RouteChanged — the analogue of bgmp's orphans.
+	pending map[addr.Addr]int
+	stats   Stats
+}
+
+// NewBIER returns the BIER-style bitstring backend.
+func NewBIER(cfg Config) Backend {
+	return &overlay{cfg: cfg, mode: BIERName, pending: map[addr.Addr]int{}}
+}
+
+// NewMapEncap returns the map-and-encap backend.
+func NewMapEncap(cfg Config) Backend {
+	return &overlay{cfg: cfg, mode: MapEncapName, pending: map[addr.Addr]int{}}
+}
+
+func (o *overlay) Name() string { return o.mode }
+
+// HasForwardingState reports false always: holding no per-group forwarding
+// entries is the point of these backends. (Root-domain overlay membership
+// lives in the Store, not in the routers.)
+func (o *overlay) HasForwardingState(g addr.Addr) bool { return false }
+
+// Reset models a forwarding-process crash. Pending joins and counters are
+// volatile; the Store is overlay state and survives, which is exactly the
+// crash-resilience argument for moving membership out of routers.
+func (o *overlay) Reset() {
+	o.mu.Lock()
+	o.pending = map[addr.Addr]int{}
+	o.stats = Stats{}
+	o.mu.Unlock()
+}
+
+func (o *overlay) Stats() Stats {
+	o.mu.Lock()
+	st := o.stats
+	o.mu.Unlock()
+	st.GroupEntries = 0
+	st.OverlayEntries = o.cfg.Store.Entries()
+	return st
+}
+
+// rootFor resolves g's G-RIB entry and reports whether this router sits in
+// the group's root domain, using the same rule as bgmp.parentForGroup so
+// exactly one border of the source domain exports each packet.
+func (o *overlay) rootFor(g addr.Addr) (bgp.Entry, bool /*inRoot*/, bool /*ok*/) {
+	ent, ok := o.cfg.LookupGroup(g)
+	if !ok {
+		return bgp.Entry{}, false, false
+	}
+	inRoot := wire.DomainID(ent.Route.Origin) == o.cfg.Domain || ent.Local || ent.NextHop == o.cfg.Router
+	return ent, inRoot, true
+}
+
+// ---------------------------------------------------------- control plane
+
+// LocalJoin reports the domain's membership toward the group's root. With
+// no route yet, the join is parked and flushed by RouteChanged.
+func (o *overlay) LocalJoin(g addr.Addr) {
+	if !o.report(g, false) {
+		o.mu.Lock()
+		o.pending[g]++
+		o.mu.Unlock()
+	}
+}
+
+// LocalLeave retracts the membership.
+func (o *overlay) LocalLeave(g addr.Addr) {
+	o.mu.Lock()
+	if o.pending[g] > 0 {
+		o.pending[g]--
+		if o.pending[g] == 0 {
+			delete(o.pending, g)
+		}
+		o.mu.Unlock()
+		return
+	}
+	o.mu.Unlock()
+	o.report(g, true)
+}
+
+// report sends (or locally records) one membership assertion/retraction,
+// returning false when no G-RIB route exists yet.
+func (o *overlay) report(g addr.Addr, leave bool) bool {
+	ent, inRoot, ok := o.rootFor(g)
+	if !ok {
+		return false
+	}
+	if inRoot {
+		if leave {
+			o.cfg.Store.Remove(g, o.cfg.Domain)
+		} else {
+			o.cfg.Store.Add(g, o.cfg.Domain)
+		}
+		return true
+	}
+	m := &wire.MemberReport{Group: g, Domain: o.cfg.Domain, Leave: leave}
+	if o.cfg.Internal(ent.NextHop) {
+		o.cfg.MIGP.RelayToBorder(ent.NextHop, m)
+	} else {
+		o.cfg.SendPeer(ent.NextHop, m)
+	}
+	return true
+}
+
+// HandleControl relays a MemberReport toward the root — statelessly — or
+// records it when this router is a root-domain border.
+func (o *overlay) HandleControl(src bgmp.Target, msg wire.Message) {
+	m, ok := msg.(*wire.MemberReport)
+	if !ok {
+		return
+	}
+	ent, inRoot, ok := o.rootFor(m.Group)
+	if !ok {
+		return // no route toward the root: drop, the member will re-report
+	}
+	if inRoot {
+		if m.Leave {
+			o.cfg.Store.Remove(m.Group, m.Domain)
+		} else {
+			o.cfg.Store.Add(m.Group, m.Domain)
+		}
+		return
+	}
+	if o.cfg.Internal(ent.NextHop) {
+		o.cfg.MIGP.RelayToBorder(ent.NextHop, msg)
+	} else {
+		o.cfg.SendPeer(ent.NextHop, msg)
+	}
+}
+
+// RouteChanged flushes joins that were waiting for a route covered by p.
+func (o *overlay) RouteChanged(p addr.Prefix) {
+	o.mu.Lock()
+	var flush []addr.Addr
+	for g, n := range o.pending {
+		if n > 0 && p.Contains(g) {
+			flush = append(flush, g)
+		}
+	}
+	sort.Slice(flush, func(i, j int) bool { return flush[i] < flush[j] })
+	counts := make([]int, len(flush))
+	for i, g := range flush {
+		counts[i] = o.pending[g]
+	}
+	o.mu.Unlock()
+	for i, g := range flush {
+		for n := 0; n < counts[i]; n++ {
+			if !o.report(g, false) {
+				return // still no route; keep the rest parked too
+			}
+			o.mu.Lock()
+			o.pending[g]--
+			if o.pending[g] == 0 {
+				delete(o.pending, g)
+			}
+			o.mu.Unlock()
+		}
+	}
+}
+
+// ------------------------------------------------------------- data plane
+
+// Deliver dispatches on the packet's headers: bitstring packets and
+// tunnels have their own forwarding rules; plain packets are classified by
+// where they are relative to the group's root domain.
+func (o *overlay) Deliver(src bgmp.Target, d *wire.Data) {
+	if d.TTL == 0 {
+		return
+	}
+	switch {
+	case len(d.Bits) > 0:
+		o.deliverBits(d)
+	case d.TunnelTo != 0:
+		o.deliverTunnel(d)
+	case d.Encap && src.MIGP && src.Router != 0:
+		// Interior-RPF handoff from a sibling border: we are the expected
+		// entry, inject natively.
+		cp := *d
+		cp.Encap = false
+		o.cfg.MIGP.Inject(&cp)
+	default:
+		o.deliverPlain(src, d)
+	}
+}
+
+// deliverPlain handles a packet with no backend header yet: a fresh
+// interior-origin packet, or (defensively) a native packet from a peer.
+func (o *overlay) deliverPlain(src bgmp.Target, d *wire.Data) {
+	ent, inRoot, ok := o.rootFor(d.Group)
+	if !ok {
+		return // no root known: drop
+	}
+	interiorOrigin := src.MIGP && src.Router == 0
+	if inRoot {
+		// Only one border of the root domain may run root replication per
+		// packet. For interior-origin packets every border sees a copy;
+		// the canonical one is the border holding the originated route.
+		if interiorOrigin && !(ent.Local || ent.NextHop == o.cfg.Router) {
+			return
+		}
+		// Interior members (and the source's own domain) already saw the
+		// packet natively when it originated here.
+		o.rootReplicate(d, !interiorOrigin)
+		return
+	}
+	if interiorOrigin {
+		// Only the best exit exports the packet; when the route points at
+		// a sibling border the packet is not ours to forward.
+		if o.cfg.Internal(ent.NextHop) {
+			return
+		}
+		ta, ok := o.cfg.DomainAddr(wire.DomainID(ent.Route.Origin))
+		if !ok {
+			return
+		}
+		cp := *d
+		cp.TunnelTo = ta
+		o.mu.Lock()
+		o.stats.Encaps++
+		o.mu.Unlock()
+		o.deliverTunnel(&cp)
+		return
+	}
+	// A native packet reached a transit domain (possible transiently when
+	// backends are mixed or routes flap): tunnel it toward the root.
+	ta, ok := o.cfg.DomainAddr(wire.DomainID(ent.Route.Origin))
+	if !ok {
+		return
+	}
+	cp := *d
+	cp.TunnelTo = ta
+	o.deliverTunnel(&cp)
+}
+
+// deliverTunnel forwards or terminates a unicast tunnel. Egress copies
+// (root → member, marked Encap) decapsulate where they land; climb copies
+// (source → root, unmarked) may land short of the root when the G-RIB
+// advertised only an aggregate — MASC ancestors aggregate their children's
+// ranges (§4.2), so the tunnel target is re-resolved against this domain's
+// more specific route and the climb continues.
+func (o *overlay) deliverTunnel(d *wire.Data) {
+	ue, ok := o.cfg.LookupUnicast(d.TunnelTo)
+	if !ok {
+		return
+	}
+	if wire.DomainID(ue.Route.Origin) == o.cfg.Domain || ue.Local {
+		cp := *d
+		cp.TunnelTo = 0
+		if d.Encap {
+			// The root's egress copy reached the member domain.
+			o.injectLocal(&cp)
+			return
+		}
+		ent, inRoot, okG := o.rootFor(d.Group)
+		if !okG {
+			return
+		}
+		if inRoot {
+			o.rootReplicate(&cp, true)
+			return
+		}
+		// Aggregation ancestor: continue toward the specific route's origin.
+		ta, okA := o.cfg.DomainAddr(ent.Route.Origin)
+		if !okA || ta == d.TunnelTo {
+			return // no more specific route: drop
+		}
+		cp.TunnelTo = ta
+		o.deliverTunnel(&cp)
+		return
+	}
+	if o.cfg.Internal(ue.NextHop) {
+		o.mu.Lock()
+		o.stats.Relays++
+		o.mu.Unlock()
+		o.cfg.MIGP.RelayToBorder(ue.NextHop, d)
+		return
+	}
+	o.sendPeer(ue.NextHop, d, EncapHeaderBytes)
+}
+
+// rootReplicate is the root domain's fan-out: compute the egress member
+// set from the overlay store and emit per-backend copies. injectLocally
+// controls whether a local membership is served here (false when the
+// packet originated in this domain and the interior already has it).
+func (o *overlay) rootReplicate(d *wire.Data, injectLocally bool) {
+	members := o.cfg.Store.Members(d.Group)
+	srcDom, haveSrcDom := o.cfg.SourceDomain(d.Source)
+	egress := make([]wire.DomainID, 0, len(members))
+	local := false
+	for _, m := range members {
+		switch {
+		case m == o.cfg.Domain:
+			local = true
+		case haveSrcDom && m == srcDom:
+			// The source's own domain delivered natively at origination.
+		default:
+			egress = append(egress, m)
+		}
+	}
+	if local && injectLocally && !(haveSrcDom && srcDom == o.cfg.Domain) {
+		o.injectLocal(d)
+	}
+	if len(egress) == 0 {
+		return
+	}
+	if o.mode == BIERName {
+		cp := *d
+		cp.TunnelTo = 0
+		cp.Bits = makeBits(egress)
+		o.mu.Lock()
+		o.stats.Encaps++
+		o.mu.Unlock()
+		o.forwardBits(&cp)
+		return
+	}
+	for _, m := range egress {
+		ta, ok := o.cfg.DomainAddr(m)
+		if !ok {
+			continue
+		}
+		cp := *d
+		cp.TunnelTo = ta
+		cp.Bits = nil
+		cp.Encap = true // egress copy: decapsulate where the tunnel lands
+		o.mu.Lock()
+		o.stats.Encaps++
+		o.mu.Unlock()
+		o.deliverTunnel(&cp)
+	}
+}
+
+// deliverBits handles a bitstring packet: serve the local bit, then split
+// the remainder across unicast next hops.
+func (o *overlay) deliverBits(d *wire.Data) {
+	bits := append([]uint64(nil), d.Bits...)
+	if clearBit(bits, uint32(o.cfg.Domain)) {
+		cp := *d
+		cp.Bits = nil
+		o.injectLocal(&cp)
+	}
+	if anyBit(bits) {
+		cp := *d
+		cp.Bits = bits
+		o.forwardBits(&cp)
+	}
+}
+
+// forwardBits buckets the set bits by unicast next hop and sends one copy
+// per bucket, each carrying only the bits that hop serves — the BIER
+// forwarding rule, using nothing but the unicast RIB.
+func (o *overlay) forwardBits(d *wire.Data) {
+	type bucket struct {
+		internal bool
+		bits     []uint64
+	}
+	var order []wire.RouterID
+	buckets := map[wire.RouterID]*bucket{}
+	for _, dom := range setBits(d.Bits) {
+		ta, ok := o.cfg.DomainAddr(wire.DomainID(dom))
+		if !ok {
+			continue
+		}
+		ue, ok := o.cfg.LookupUnicast(ta)
+		if !ok {
+			continue
+		}
+		bk := buckets[ue.NextHop]
+		if bk == nil {
+			bk = &bucket{internal: o.cfg.Internal(ue.NextHop), bits: make([]uint64, len(d.Bits))}
+			buckets[ue.NextHop] = bk
+			order = append(order, ue.NextHop)
+		}
+		setBit(bk.bits, dom)
+	}
+	for _, nh := range order {
+		bk := buckets[nh]
+		cp := *d
+		cp.Bits = trimBits(bk.bits)
+		if bk.internal {
+			o.mu.Lock()
+			o.stats.Relays++
+			o.mu.Unlock()
+			o.cfg.MIGP.RelayToBorder(nh, &cp)
+			continue
+		}
+		o.sendPeer(nh, &cp, BIERHeaderBytes(len(cp.Bits)))
+	}
+}
+
+// injectLocal delivers a decapsulated packet to the domain interior,
+// falling back to the §5.3 border-to-border encapsulation when interior
+// RPF rejects this entry point.
+func (o *overlay) injectLocal(d *wire.Data) {
+	cp := *d
+	cp.Bits, cp.TunnelTo, cp.Encap = nil, 0, false
+	if o.cfg.MIGP.Inject(&cp) {
+		return
+	}
+	exp := o.cfg.MIGP.ExpectedEntry(d.Source)
+	if exp == 0 || exp == o.cfg.Router {
+		return
+	}
+	enc := cp
+	enc.Encap = true
+	o.mu.Lock()
+	o.stats.Encaps++
+	o.mu.Unlock()
+	if o.cfg.Obs != nil {
+		o.cfg.Obs.Emit(obs.Event{Kind: obs.DataEncap, Domain: o.cfg.Domain,
+			Router: o.cfg.Router, Peer: exp, Group: d.Group, Source: d.Source})
+	}
+	o.cfg.MIGP.RelayToBorder(exp, &enc)
+}
+
+// sendPeer emits one copy to an external peer, decrementing the TTL and
+// accounting the header cost of this hop.
+func (o *overlay) sendPeer(to wire.RouterID, d *wire.Data, headerBytes int) {
+	if d.TTL <= 1 {
+		return
+	}
+	cp := *d
+	cp.TTL--
+	o.mu.Lock()
+	o.stats.PeerSends++
+	o.stats.HeaderBytes += uint64(headerBytes)
+	o.mu.Unlock()
+	if o.cfg.Obs != nil {
+		o.cfg.Obs.Emit(obs.Event{Kind: obs.DataForwarded, Domain: o.cfg.Domain,
+			Router: o.cfg.Router, Peer: to, Group: d.Group, Source: d.Source})
+	}
+	o.cfg.SendPeer(to, &cp)
+}
+
+var (
+	_ Backend = (*overlay)(nil)
+)

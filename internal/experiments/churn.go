@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mascbgmp/internal/addr"
+	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/masc"
 	"mascbgmp/internal/obs"
 	"mascbgmp/internal/topology"
@@ -55,7 +56,13 @@ type ChurnConfig struct {
 	// SendsPerGroup is the number of steady-state packets sent to each
 	// group after the churn phase.
 	SendsPerGroup int
-	Seed          int64
+	// DataPlane selects the forwarding-phase cost model: one of
+	// dataplane.Names(). Empty (and any unknown value) means the default
+	// shared-tree model; the membership/churn phases are identical for
+	// every backend — only the per-packet hop and header accounting
+	// changes. The cmds validate the name before it gets here.
+	DataPlane string
+	Seed      int64
 	// Obs observes the workload: maas.lease per group, bgmp.join/prune
 	// per membership change, data.forwarded/data.delivered for the
 	// steady-state phase, plus the masc.* events of the block allocators.
@@ -104,6 +111,13 @@ type ChurnResult struct {
 	Packets     int
 	ForwardHops uint64
 	Delivered   uint64
+	// HeaderBytes and Encaps are the per-packet overhead the selected
+	// data plane spent in the forwarding phase: extra header bytes on
+	// inter-domain hops (tunnel outer headers, BIER bitstrings) and
+	// tunnels originated. Always zero for the shared-tree model, which
+	// forwards natively along tree state.
+	HeaderBytes uint64
+	Encaps      uint64
 }
 
 // churnGroup is one group's membership and refcounted shared tree.
@@ -119,18 +133,40 @@ type churnGroup struct {
 // churnRoot is one provider domain running a MASC block allocator.
 type churnRoot struct {
 	id     topology.DomainID
+	dist   []int               // BFS hop distances from id
 	parent []topology.DomainID // BFS parents toward id
 	alloc  *masc.BlockAllocator
 	// next/end walk individual addresses out of the current block.
 	next, end addr.Addr
 }
 
-// RunChurn runs the churn workload. Deterministic for a given config.
-func RunChurn(cfg ChurnConfig) ChurnResult {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	g := topology.ASGraph(cfg.Domains, cfg.ExtraPeering, cfg.Seed)
+// churnState is the workload after the churn phase: the topology, the
+// root allocators, and every group's membership and refcounted tree.
+// buildChurn produces it; RunChurn (one forwarding model) and RunDataPlane
+// (all models side by side) both consume it, so the two entry points share
+// setup and draw from the same rng stream in the same order.
+type churnState struct {
+	cfg    ChurnConfig
+	rng    *rand.Rand
+	g      *topology.Graph
+	roots  []*churnRoot
+	groups []*churnGroup
+	// res has the membership, state-size, and G-RIB fields filled; the
+	// forwarding-phase fields are still zero.
+	res ChurnResult
+}
+
+// buildChurn runs the setup and churn phases: topology, root allocators,
+// group creation, the join/leave event stream, and the steady-state
+// accounting. Deterministic for a given config, and independent of
+// cfg.DataPlane — the backends share the control plane by construction.
+func buildChurn(cfg ChurnConfig) *churnState {
+	st := &churnState{cfg: cfg}
+	st.rng = rand.New(rand.NewSource(cfg.Seed))
+	st.g = topology.ASGraph(cfg.Domains, cfg.ExtraPeering, cfg.Seed)
 	now := time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC)
 	life := 365 * 24 * time.Hour
+	rng, g := st.rng, st.g
 
 	// Root domains: the RootDomains highest-degree domains (ties broken by
 	// ID), modeling the well-connected providers that host group roots.
@@ -138,11 +174,11 @@ func RunChurn(cfg ChurnConfig) ChurnResult {
 	global := masc.NewLedger(addr.MulticastSpace)
 	rootState := make([]*churnRoot, len(roots))
 	for i, id := range roots {
-		_, parent := g.BFS(id)
+		dist, parent := g.BFS(id)
 		ba := masc.NewBlockAllocator(masc.DefaultStrategy(), global,
 			rand.New(rand.NewSource(cfg.Seed+int64(i)+1)))
 		ba.SetObserver(cfg.Obs, wire.DomainID(int(id)+1))
-		rootState[i] = &churnRoot{id: id, parent: parent, alloc: ba}
+		rootState[i] = &churnRoot{id: id, dist: dist, parent: parent, alloc: ba}
 	}
 
 	// Create the groups, leasing each an address from its root's blocks.
@@ -174,8 +210,6 @@ func RunChurn(cfg ChurnConfig) ChurnResult {
 		}
 	}
 
-	res := ChurnResult{}
-
 	// Churn phase: random join/leave events. A domain that is already a
 	// member leaves; anyone else joins — so each group's membership does a
 	// random walk and the trees grow and shrink continuously.
@@ -186,14 +220,14 @@ func RunChurn(cfg ChurnConfig) ChurnResult {
 		}
 		m := topology.DomainID(rng.Intn(cfg.Domains))
 		if _, isMember := gr.mpos[m]; isMember {
-			res.Leaves++
-			res.PruneHops += churnLeave(gr, rootState[gr.root], m)
+			st.res.Leaves++
+			st.res.PruneHops += churnLeave(gr, rootState[gr.root], m)
 			if cfg.Obs != nil {
 				cfg.Obs.Emit(obs.Event{Kind: obs.BGMPPrune, Group: gr.addr})
 			}
 		} else {
-			res.Joins++
-			res.JoinHops += churnJoin(gr, rootState[gr.root], m)
+			st.res.Joins++
+			st.res.JoinHops += churnJoin(gr, rootState[gr.root], m)
 			if cfg.Obs != nil {
 				cfg.Obs.Emit(obs.Event{Kind: obs.BGMPJoin, Group: gr.addr})
 			}
@@ -205,47 +239,166 @@ func RunChurn(cfg ChurnConfig) ChurnResult {
 		if gr == nil {
 			continue
 		}
-		res.ForwardingEntries += gr.size
-		res.MembersFinal += len(gr.members)
+		st.res.ForwardingEntries += gr.size
+		st.res.MembersFinal += len(gr.members)
 	}
 	if cfg.Groups > 0 {
-		res.MeanTreeSize = float64(res.ForwardingEntries) / float64(cfg.Groups)
+		st.res.MeanTreeSize = float64(st.res.ForwardingEntries) / float64(cfg.Groups)
 	}
 	for _, rs := range rootState {
-		res.GRIBSize += len(rs.alloc.Holdings())
+		st.res.GRIBSize += len(rs.alloc.Holdings())
 	}
+	st.roots = rootState
+	st.groups = groups
+	return st
+}
 
-	// Forwarding phase: packets from random senders climb to their attach
-	// point (§5.2: "forward the data packets towards the root domain")
-	// and flood the bidirectional tree, reaching every member.
-	for _, gr := range groups {
+// RunChurn runs the churn workload. Deterministic for a given config.
+func RunChurn(cfg ChurnConfig) ChurnResult {
+	st := buildChurn(cfg)
+	model := forwardModel(cfg.DataPlane)
+
+	// Forwarding phase: packets from random senders. Under the default
+	// shared-tree model each packet climbs to its attach point (§5.2:
+	// "forward the data packets towards the root domain") and floods the
+	// bidirectional tree, reaching every member; the stateless models
+	// tunnel to the root and fan out from there (see the cost functions).
+	for _, gr := range st.groups {
 		if gr == nil {
 			continue
 		}
-		rs := rootState[gr.root]
+		rs := st.roots[gr.root]
 		for s := 0; s < cfg.SendsPerGroup; s++ {
-			src := topology.DomainID(rng.Intn(cfg.Domains))
-			climb := uint64(0)
-			for cur := src; gr.refs[cur] == 0; cur = rs.parent[cur] {
-				climb++
-			}
-			res.Packets++
-			hops := climb + uint64(gr.size-1)
-			res.ForwardHops += hops
-			res.Delivered += uint64(len(gr.members))
-			if cfg.Obs != nil {
-				if hops > 0 {
-					cfg.Obs.Emit(obs.Event{Kind: obs.DataForwarded,
-						Group: gr.addr, Count: hops})
-				}
-				if n := uint64(len(gr.members)); n > 0 {
-					cfg.Obs.Emit(obs.Event{Kind: obs.DataDelivered,
-						Group: gr.addr, Count: n})
-				}
-			}
+			src := topology.DomainID(st.rng.Intn(cfg.Domains))
+			pc := model(gr, rs, src)
+			st.res.Packets++
+			st.res.ForwardHops += pc.Hops
+			st.res.HeaderBytes += pc.HeaderBytes
+			st.res.Encaps += pc.Encaps
+			st.res.Delivered += pc.Delivered
+			emitPacket(cfg.Obs, gr.addr, pc)
 		}
 	}
-	return res
+	return st.res
+}
+
+// packetCost is what one steady-state packet costs under one backend's
+// forwarding model.
+type packetCost struct {
+	// Hops counts inter-domain link crossings (climb plus fan-out).
+	Hops uint64
+	// HeaderBytes is the extra header spend across those crossings.
+	HeaderBytes uint64
+	// Encaps counts tunnels originated for the packet.
+	Encaps uint64
+	// Delivered counts member deliveries — identical for every backend,
+	// which is the delivery-equivalence the tests pin down.
+	Delivered uint64
+}
+
+// forwardModel maps a backend name to its per-packet cost function.
+// Unknown names (including "") fall back to the shared-tree default, the
+// same rule core applies to Config.DataPlane after validation.
+func forwardModel(name string) func(*churnGroup, *churnRoot, topology.DomainID) packetCost {
+	switch name {
+	case dataplane.BIERName:
+		return bierCost
+	case dataplane.MapEncapName:
+		return mapEncapCost
+	default:
+		return sharedTreeCost
+	}
+}
+
+// sharedTreeCost: the packet climbs toward the root until it hits the
+// tree, then floods the bidirectional tree's size-1 links natively — no
+// extra headers, per-group state at every on-tree domain.
+func sharedTreeCost(gr *churnGroup, rs *churnRoot, src topology.DomainID) packetCost {
+	climb := uint64(0)
+	for cur := src; gr.refs[cur] == 0; cur = rs.parent[cur] {
+		climb++
+	}
+	return packetCost{
+		Hops:      climb + uint64(gr.size-1),
+		Delivered: uint64(len(gr.members)),
+	}
+}
+
+// bierCost: the packet is tunneled all the way to the root domain (the
+// overlay membership lives only there), which stamps a bitstring over the
+// member domains and fans out along unicast shortest paths. The copies
+// traverse exactly the union of root→member paths — the same size-1 links
+// as the shared tree — but every fan-out hop carries the bitstring and
+// transit domains keep zero per-group state.
+func bierCost(gr *churnGroup, rs *churnRoot, src topology.DomainID) packetCost {
+	pc := packetCost{Delivered: uint64(len(gr.members))}
+	climb := uint64(rs.dist[src])
+	pc.Hops = climb
+	if climb > 0 {
+		pc.Encaps = 1
+		pc.HeaderBytes = climb * dataplane.EncapHeaderBytes
+	}
+	if fan := uint64(gr.size - 1); fan > 0 {
+		words := int(maxMember(gr))/64 + 1
+		pc.Hops += fan
+		pc.HeaderBytes += fan * uint64(dataplane.BIERHeaderBytes(words))
+	}
+	return pc
+}
+
+// mapEncapCost: the packet is tunneled to the root domain, which
+// originates one unicast tunnel per member domain. No fan-out sharing:
+// hops that BIER and the shared tree traverse once are paid once per
+// member whose path crosses them, and every hop carries the outer header.
+func mapEncapCost(gr *churnGroup, rs *churnRoot, src topology.DomainID) packetCost {
+	pc := packetCost{Delivered: uint64(len(gr.members))}
+	climb := uint64(rs.dist[src])
+	pc.Hops = climb
+	if climb > 0 {
+		pc.Encaps = 1
+		pc.HeaderBytes = climb * dataplane.EncapHeaderBytes
+	}
+	for _, m := range gr.members {
+		d := uint64(rs.dist[m])
+		if d == 0 {
+			// The member is the root domain itself: native delivery.
+			continue
+		}
+		pc.Hops += d
+		pc.HeaderBytes += d * dataplane.EncapHeaderBytes
+		pc.Encaps++
+	}
+	return pc
+}
+
+// maxMember returns the highest member domain ID, sizing the BIER
+// bitstring. Only called with at least one member (fan-out > 0).
+func maxMember(gr *churnGroup) topology.DomainID {
+	max := gr.members[0]
+	for _, m := range gr.members[1:] {
+		if m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// emitPacket reports one forwarding-phase packet to the observer using
+// the same event kinds (and, for the default model, the same sequence)
+// the data plane itself emits.
+func emitPacket(ob *obs.Observer, g addr.Addr, pc packetCost) {
+	if ob == nil {
+		return
+	}
+	if pc.Hops > 0 {
+		ob.Emit(obs.Event{Kind: obs.DataForwarded, Group: g, Count: pc.Hops})
+	}
+	if pc.Encaps > 0 {
+		ob.Emit(obs.Event{Kind: obs.DataEncap, Group: g, Count: pc.Encaps})
+	}
+	if pc.Delivered > 0 {
+		ob.Emit(obs.Event{Kind: obs.DataDelivered, Group: g, Count: pc.Delivered})
+	}
 }
 
 // churnJoin adds member m, refcounting its path toward the root, and

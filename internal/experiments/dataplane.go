@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"mascbgmp/internal/dataplane"
+	"mascbgmp/internal/topology"
+)
+
+// Data-plane comparison: the three forwarding backends (shared-tree, BIER
+// bitstrings, map-and-encap) evaluated side by side on the scale-churn
+// workload. One churn run builds the topology, the MASC allocations, and
+// every group's membership; then each steady-state packet is costed under
+// all three models at once, so the comparison is apples-to-apples — same
+// groups, same members, same senders — and delivery equivalence holds by
+// construction (every backend reaches exactly the member set).
+//
+// The axes the backends trade against each other (DESIGN.md §11):
+//
+//   - State: the shared tree holds a per-group forwarding entry at every
+//     on-tree domain; the stateless backends hold zero per-group entries
+//     at transit domains and move membership into the root domains'
+//     overlay stores (one record per (group, member domain)).
+//   - Path stretch: the shared tree enters at the sender's attach point;
+//     the stateless backends detour every packet through the root, the
+//     same root-rendezvous stretch the paper measures for unidirectional
+//     trees (Fig 4).
+//   - Header overhead: the shared tree forwards natively; BIER pays a
+//     bitstring on every fan-out hop plus a unicast tunnel for the climb;
+//     map-and-encap pays an outer header on every hop of every per-member
+//     tunnel.
+
+// BackendCost is one backend's totals over the comparison workload.
+type BackendCost struct {
+	// Backend is the dataplane backend name.
+	Backend string
+	// GroupEntries is the total per-group forwarding state across all
+	// domains (shared-tree: Σ tree sizes; stateless backends: 0).
+	GroupEntries int
+	// TransitEntries is the subset of GroupEntries held outside the
+	// group's root domain — the state the stateless backends eliminate.
+	TransitEntries int
+	// OverlayEntries counts (group, member-domain) records in the root
+	// domains' overlay membership stores (stateless backends only).
+	OverlayEntries int
+	// ForwardHops counts inter-domain link crossings in the forwarding
+	// phase; HeaderBytes the extra header spend across them; Encaps the
+	// tunnels originated; Delivered the member deliveries (identical
+	// across backends).
+	ForwardHops uint64
+	HeaderBytes uint64
+	Encaps      uint64
+	Delivered   uint64
+	// MeanStretch and MaxStretch compare each delivery's path length to
+	// the sender→member shortest path (deliveries with the sender inside
+	// the member domain are skipped — stretch is undefined at distance 0).
+	MeanStretch float64
+	MaxStretch  float64
+}
+
+// DataPlaneResult is the deterministic outcome of RunDataPlane.
+type DataPlaneResult struct {
+	// Churn is the workload outcome under the default shared-tree model —
+	// field for field what RunChurn returns for the same config with
+	// DataPlane unset, including the obs event stream.
+	Churn ChurnResult
+	// Backends holds one row per backend, in dataplane.Names() order.
+	Backends []BackendCost
+}
+
+// Cost returns the named backend's row.
+func (r DataPlaneResult) Cost(backend string) (BackendCost, bool) {
+	for _, c := range r.Backends {
+		if c.Backend == backend {
+			return c, true
+		}
+	}
+	return BackendCost{}, false
+}
+
+// RunDataPlane runs the comparison. cfg.DataPlane is ignored — every
+// backend is evaluated. Deterministic for a given config; the observer
+// sees the same event stream as RunChurn with the default model.
+func RunDataPlane(cfg ChurnConfig) DataPlaneResult {
+	st := buildChurn(cfg)
+
+	liveGroups := 0
+	for _, gr := range st.groups {
+		if gr != nil {
+			liveGroups++
+		}
+	}
+
+	names := dataplane.Names()
+	costs := make([]BackendCost, len(names))
+	stretchSum := make([]float64, len(names))
+	stretchN := make([]uint64, len(names))
+	for i, name := range names {
+		costs[i].Backend = name
+		if name == dataplane.SharedTreeName {
+			// Every on-tree domain holds an entry; the root domain's is
+			// the one entry per live group that is not transit state.
+			costs[i].GroupEntries = st.res.ForwardingEntries
+			costs[i].TransitEntries = st.res.ForwardingEntries - liveGroups
+		} else {
+			costs[i].OverlayEntries = st.res.MembersFinal
+		}
+	}
+
+	models := make([]func(*churnGroup, *churnRoot, topology.DomainID) packetCost, len(names))
+	for i, name := range names {
+		models[i] = forwardModel(name)
+	}
+
+	for _, gr := range st.groups {
+		if gr == nil {
+			continue
+		}
+		rs := st.roots[gr.root]
+		for s := 0; s < cfg.SendsPerGroup; s++ {
+			src := topology.DomainID(st.rng.Intn(cfg.Domains))
+			st.res.Packets++
+
+			// Shortest-path distances from this sender, the stretch
+			// denominators shared by every backend.
+			sd, _ := st.g.BFS(src)
+
+			// The shared tree's entry point: the first on-tree domain on
+			// the sender's path toward the root.
+			climb, attach := 0, src
+			for gr.refs[attach] == 0 {
+				attach = rs.parent[attach]
+				climb++
+			}
+
+			for i, name := range names {
+				pc := models[i](gr, rs, src)
+				costs[i].ForwardHops += pc.Hops
+				costs[i].HeaderBytes += pc.HeaderBytes
+				costs[i].Encaps += pc.Encaps
+				costs[i].Delivered += pc.Delivered
+				if name == dataplane.SharedTreeName {
+					st.res.ForwardHops += pc.Hops
+					st.res.Delivered += pc.Delivered
+					emitPacket(cfg.Obs, gr.addr, pc)
+				}
+
+				// Per-delivery stretch: path length under this backend
+				// over the direct shortest path.
+				shared := name == dataplane.SharedTreeName
+				for _, m := range gr.members {
+					if sd[m] <= 0 {
+						continue
+					}
+					var plen int
+					if shared {
+						plen = climb + treeDist(rs, attach, m)
+					} else {
+						// Through the root: climb to it, then out along
+						// its shortest-path tree.
+						plen = rs.dist[src] + rs.dist[m]
+					}
+					ratio := float64(plen) / float64(sd[m])
+					stretchSum[i] += ratio
+					stretchN[i]++
+					if ratio > costs[i].MaxStretch {
+						costs[i].MaxStretch = ratio
+					}
+				}
+			}
+		}
+	}
+
+	for i := range costs {
+		if stretchN[i] > 0 {
+			costs[i].MeanStretch = stretchSum[i] / float64(stretchN[i])
+		}
+	}
+	return DataPlaneResult{Churn: st.res, Backends: costs}
+}
+
+// treeDist is the hop distance between two domains of the root's BFS
+// tree, via their lowest common ancestor.
+func treeDist(rs *churnRoot, a, b topology.DomainID) int {
+	x, y := a, b
+	for rs.dist[x] > rs.dist[y] {
+		x = rs.parent[x]
+	}
+	for rs.dist[y] > rs.dist[x] {
+		y = rs.parent[y]
+	}
+	for x != y {
+		x, y = rs.parent[x], rs.parent[y]
+	}
+	return rs.dist[a] + rs.dist[b] - 2*rs.dist[x]
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"mascbgmp/internal/dataplane"
+	"mascbgmp/internal/obs"
+)
+
+func TestDataPlaneComparisonDeterministic(t *testing.T) {
+	cfg := scaledChurn()
+	a, b := RunDataPlane(cfg), RunDataPlane(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config diverged:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed++
+	if c := RunDataPlane(cfg); reflect.DeepEqual(c, a) {
+		t.Fatal("different seed did not perturb the comparison")
+	}
+}
+
+func TestDataPlaneSharedRowMatchesChurn(t *testing.T) {
+	// The comparison's shared-tree row and Churn section are the same
+	// workload RunChurn measures — results and obs stream included — so
+	// the dataplane-compare suite extends scale-churn rather than forking
+	// it.
+	cfg := scaledChurn()
+	obChurn, obCmp := obs.NewObserver(), obs.NewObserver()
+
+	cfg.Obs = obChurn
+	churn := RunChurn(cfg)
+	cfg.Obs = obCmp
+	cmp := RunDataPlane(cfg)
+
+	if cmp.Churn != churn {
+		t.Fatalf("Churn section diverged from RunChurn:\n%+v\n%+v", cmp.Churn, churn)
+	}
+	if s1, s2 := obChurn.Snapshot().String(), obCmp.Snapshot().String(); s1 != s2 {
+		t.Fatalf("obs streams diverged:\n--- RunChurn\n%s--- RunDataPlane\n%s", s1, s2)
+	}
+	st, ok := cmp.Cost(dataplane.SharedTreeName)
+	if !ok {
+		t.Fatal("no shared-tree row")
+	}
+	if st.ForwardHops != churn.ForwardHops || st.Delivered != churn.Delivered {
+		t.Fatalf("shared-tree row %+v does not match churn result %+v", st, churn)
+	}
+}
+
+func TestDataPlaneBackendTradeoffs(t *testing.T) {
+	cfg := scaledChurn()
+	res := RunDataPlane(cfg)
+	if len(res.Backends) != len(dataplane.Names()) {
+		t.Fatalf("got %d backend rows, want %d", len(res.Backends), len(dataplane.Names()))
+	}
+	st, _ := res.Cost(dataplane.SharedTreeName)
+	bier, _ := res.Cost(dataplane.BIERName)
+	me, _ := res.Cost(dataplane.MapEncapName)
+
+	// Delivery equivalence: every backend reaches exactly the member set.
+	if st.Delivered == 0 || bier.Delivered != st.Delivered || me.Delivered != st.Delivered {
+		t.Fatalf("deliveries diverge: shared=%d bier=%d map-encap=%d",
+			st.Delivered, bier.Delivered, me.Delivered)
+	}
+
+	// State: the shared tree pays per-group entries everywhere; the
+	// stateless backends pay zero group entries (none at transit, by
+	// design) and overlay records at the roots instead.
+	if st.GroupEntries == 0 || st.TransitEntries == 0 || st.OverlayEntries != 0 {
+		t.Fatalf("shared-tree state row wrong: %+v", st)
+	}
+	for _, c := range []BackendCost{bier, me} {
+		if c.GroupEntries != 0 || c.TransitEntries != 0 {
+			t.Fatalf("%s holds per-group entries: %+v", c.Backend, c)
+		}
+		if c.OverlayEntries != res.Churn.MembersFinal {
+			t.Fatalf("%s overlay entries = %d, want members %d",
+				c.Backend, c.OverlayEntries, res.Churn.MembersFinal)
+		}
+	}
+
+	// Hops: the shared tree attaches short of the root, BIER detours via
+	// the root but shares fan-out links, map-and-encap shares nothing.
+	if !(st.ForwardHops <= bier.ForwardHops && bier.ForwardHops <= me.ForwardHops) {
+		t.Fatalf("hop ordering violated: shared=%d bier=%d map-encap=%d",
+			st.ForwardHops, bier.ForwardHops, me.ForwardHops)
+	}
+	// Headers: native forwarding pays none; both stateless planes do.
+	if st.HeaderBytes != 0 || st.Encaps != 0 {
+		t.Fatalf("shared tree spent headers: %+v", st)
+	}
+	if bier.HeaderBytes == 0 || me.HeaderBytes == 0 {
+		t.Fatalf("stateless planes spent no headers: bier=%+v map-encap=%+v", bier, me)
+	}
+	// Stretch: root detours can only lengthen delivery paths, and BIER
+	// and map-and-encap traverse the same src→root→member routes.
+	if st.MeanStretch < 1 || bier.MeanStretch < st.MeanStretch {
+		t.Fatalf("stretch ordering violated: shared=%.3f bier=%.3f",
+			st.MeanStretch, bier.MeanStretch)
+	}
+	if bier.MeanStretch != me.MeanStretch || bier.MaxStretch != me.MaxStretch {
+		t.Fatalf("bier and map-encap stretch diverge: %.3f/%.3f vs %.3f/%.3f",
+			bier.MeanStretch, bier.MaxStretch, me.MeanStretch, me.MaxStretch)
+	}
+}
+
+func TestChurnBackendModels(t *testing.T) {
+	// RunChurn with a backend set swaps only the forwarding-phase cost
+	// model: the membership, state, and G-RIB outcome — and the member
+	// deliveries — are identical for every backend.
+	base := RunChurn(scaledChurn())
+	for _, backend := range []string{dataplane.BIERName, dataplane.MapEncapName} {
+		cfg := scaledChurn()
+		cfg.DataPlane = backend
+		res := RunChurn(cfg)
+		if res.Joins != base.Joins || res.Leaves != base.Leaves ||
+			res.GRIBSize != base.GRIBSize || res.ForwardingEntries != base.ForwardingEntries ||
+			res.MembersFinal != base.MembersFinal {
+			t.Fatalf("%s perturbed the control plane:\n%+v\n%+v", backend, res, base)
+		}
+		if res.Delivered != base.Delivered {
+			t.Fatalf("%s delivered %d, want %d", backend, res.Delivered, base.Delivered)
+		}
+		if res.HeaderBytes == 0 || res.Encaps == 0 {
+			t.Fatalf("%s spent no headers: %+v", backend, res)
+		}
+		if res.ForwardHops < base.ForwardHops {
+			t.Fatalf("%s hops %d below shared-tree %d", backend, res.ForwardHops, base.ForwardHops)
+		}
+	}
+}

@@ -42,6 +42,12 @@ var layerTable = map[string]layerSpec{
 
 	"internal/migp": {layer: 5, imports: []string{"internal/addr", "internal/bgmp", "internal/topology", "internal/wire"}},
 
+	// The pluggable forwarding planes sit beside migp: they build on bgmp
+	// (shared-tree delegate, Target model) and the RIB types, and are wired
+	// to the MIGP by core through migp's structural Border interface.
+	"internal/dataplane": {layer: 5, imports: []string{
+		"internal/addr", "internal/bgmp", "internal/bgp", "internal/obs", "internal/wire"}},
+
 	"internal/migp/cbt":   {layer: 6, imports: []string{"internal/addr", "internal/migp", "internal/topology"}},
 	"internal/migp/dvmrp": {layer: 6, imports: []string{"internal/addr", "internal/migp", "internal/topology"}},
 	"internal/migp/mospf": {layer: 6, imports: []string{"internal/addr", "internal/migp", "internal/topology"}},
@@ -51,17 +57,19 @@ var layerTable = map[string]layerSpec{
 	"internal/trees": {layer: 7, imports: []string{"internal/topology"}},
 
 	"internal/experiments": {layer: 8, imports: []string{
-		"internal/addr", "internal/harness", "internal/masc", "internal/migp",
-		"internal/obs", "internal/topology", "internal/trees", "internal/wire"}},
+		"internal/addr", "internal/dataplane", "internal/harness", "internal/masc",
+		"internal/migp", "internal/obs", "internal/topology", "internal/trees",
+		"internal/wire"}},
 
 	"internal/core": {layer: 9, imports: []string{
-		"internal/addr", "internal/bgmp", "internal/bgp", "internal/faultinject",
-		"internal/harness", "internal/maas", "internal/masc", "internal/migp",
-		"internal/migp/dvmrp", "internal/obs", "internal/simclock",
+		"internal/addr", "internal/bgmp", "internal/bgp", "internal/dataplane",
+		"internal/faultinject", "internal/harness", "internal/maas", "internal/masc",
+		"internal/migp", "internal/migp/dvmrp", "internal/obs", "internal/simclock",
 		"internal/topology", "internal/transport", "internal/wire"}},
 
 	"internal/bench": {layer: 10, imports: []string{
-		"internal/core", "internal/experiments", "internal/harness", "internal/obs"}},
+		"internal/core", "internal/dataplane", "internal/experiments",
+		"internal/harness", "internal/obs"}},
 }
 
 // LayeringAnalyzer enforces the documented internal import DAG: every

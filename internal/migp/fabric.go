@@ -40,16 +40,38 @@ type FabricConfig struct {
 	OnHostDeliver func(member Node, d *wire.Data)
 }
 
+// Border is the fabric's view of one border router's forwarding plane.
+// *bgmp.Component satisfies it directly (the shared-tree default); the
+// pluggable backends in internal/dataplane satisfy it through core's
+// adapter, so the fabric never depends on which data plane is running.
+type Border interface {
+	// LocalJoin reports the domain's first interior member of g; the
+	// fabric calls it on the group's best exit border.
+	LocalJoin(g addr.Addr)
+	// LocalLeave undoes LocalJoin when the last interior member leaves.
+	LocalLeave(g addr.Addr)
+	// Deliver hands the border a packet from the domain interior
+	// (bgmp.MIGPTarget) — the single data ingress of the forwarding API.
+	Deliver(src bgmp.Target, d *wire.Data)
+	// HandleFromBorder processes a message relayed from a sibling border
+	// router through the domain.
+	HandleFromBorder(from wire.RouterID, msg wire.Message)
+	// HasForwardingState reports whether the border holds per-group
+	// forwarding state for g (used to route border-entered packets only
+	// to interested borders).
+	HasForwardingState(g addr.Addr) bool
+}
+
 // Fabric is one domain's interior: the glue between its border routers'
-// BGMP components and the interior protocol. Safe for concurrent use.
+// forwarding planes and the interior protocol. Safe for concurrent use.
 type Fabric struct {
 	cfg FabricConfig
 
 	mu sync.Mutex
 	// borders maps border router IDs to their interior attachment node.
 	borders map[wire.RouterID]Node
-	// comps holds the BGMP component of each border router.
-	comps map[wire.RouterID]*bgmp.Component
+	// comps holds the forwarding plane of each border router.
+	comps map[wire.RouterID]Border
 	// members tracks interior host membership per group, by node.
 	members map[addr.Addr]map[Node]int
 	// borderJoined tracks which border routers joined a group via BGMP.
@@ -65,7 +87,7 @@ func NewFabric(cfg FabricConfig) *Fabric {
 	return &Fabric{
 		cfg:          cfg,
 		borders:      map[wire.RouterID]Node{},
-		comps:        map[wire.RouterID]*bgmp.Component{},
+		comps:        map[wire.RouterID]Border{},
 		members:      map[addr.Addr]map[Node]int{},
 		borderJoined: map[addr.Addr]map[wire.RouterID]bool{},
 	}
@@ -81,8 +103,8 @@ func (f *Fabric) AttachBorder(r wire.RouterID, at Node) bgmp.MIGP {
 	return &borderAdapter{fabric: f, router: r}
 }
 
-// SetComponent binds the BGMP component of a previously attached border.
-func (f *Fabric) SetComponent(r wire.RouterID, c *bgmp.Component) {
+// SetComponent binds the forwarding plane of a previously attached border.
+func (f *Fabric) SetComponent(r wire.RouterID, c Border) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.comps[r] = c
@@ -100,7 +122,7 @@ func (f *Fabric) HostJoin(g addr.Addr, at Node) {
 	}
 	m[at]++
 	first := len(m) == 1 && m[at] == 1
-	var exit *bgmp.Component
+	var exit Border
 	if first && f.cfg.BestExit != nil {
 		if r := f.cfg.BestExit(g); r != 0 {
 			exit = f.comps[r]
@@ -129,7 +151,7 @@ func (f *Fabric) HostLeave(g addr.Addr, at Node) {
 	if empty {
 		delete(f.members, g)
 	}
-	var exit *bgmp.Component
+	var exit Border
 	if empty && f.cfg.BestExit != nil {
 		if r := f.cfg.BestExit(g); r != 0 {
 			exit = f.comps[r]
@@ -182,7 +204,7 @@ func (f *Fabric) deliver(entry Node, fromBorder wire.RouterID, d *wire.Data) {
 	// Border routers that joined the group (or that must see interior-
 	// origin traffic to forward it off-domain) receive the packet too.
 	type handoff struct {
-		comp *bgmp.Component
+		comp Border
 	}
 	var handoffs []handoff
 	routers := make([]wire.RouterID, 0, len(f.comps))
@@ -221,7 +243,7 @@ func (f *Fabric) deliver(entry Node, fromBorder wire.RouterID, d *wire.Data) {
 		}
 	}
 	for _, h := range handoffs {
-		h.comp.HandleDataFromMIGP(d)
+		h.comp.Deliver(bgmp.MIGPTarget, d)
 	}
 }
 

@@ -453,14 +453,34 @@ func (m *SourcePrune) DecodePayload(b []byte) error {
 	return r.done()
 }
 
-// Data carries one multicast datagram between BGMP peers.
+// Data flag bits (see Data.AppendPayload).
+const (
+	dataFlagEncap  uint8 = 1 << 0
+	dataFlagTunnel uint8 = 1 << 1
+	dataFlagBits   uint8 = 1 << 2
+	dataFlagKnown        = dataFlagEncap | dataFlagTunnel | dataFlagBits
+)
+
+// Data carries one multicast datagram between BGMP peers. The optional
+// TunnelTo and Bits headers serve the alternative data-plane backends
+// (internal/dataplane): both are absent on classic shared-tree frames,
+// which keeps the original encoding byte-for-byte unchanged.
 type Data struct {
 	Group  addr.Addr
 	Source addr.Addr
 	TTL    uint8
 	// Encap marks a unicast-encapsulated copy sent between border routers
 	// of one domain to dodge intra-domain RPF failures (paper §5.3).
-	Encap   bool
+	Encap bool
+	// TunnelTo, when nonzero, marks a map-and-encap outer header: the
+	// packet is unicast-tunneled to the domain owning this address (the
+	// group's root domain, or a member domain on the way back down) and
+	// decapsulated there.
+	TunnelTo addr.Addr
+	// Bits, when non-nil, is a BIER-style bitstring: bit i (word i/64, bit
+	// i%64) set means the packet must still reach domain i. Transit
+	// routers forward per set bit with no per-group state.
+	Bits    []uint64
 	Payload []byte
 }
 
@@ -474,9 +494,24 @@ func (m *Data) AppendPayload(b []byte) []byte {
 	b = append(b, m.TTL)
 	var flags uint8
 	if m.Encap {
-		flags |= 1
+		flags |= dataFlagEncap
+	}
+	if m.TunnelTo != 0 {
+		flags |= dataFlagTunnel
+	}
+	if m.Bits != nil {
+		flags |= dataFlagBits
 	}
 	b = append(b, flags)
+	if flags&dataFlagTunnel != 0 {
+		b = appendAddr(b, m.TunnelTo)
+	}
+	if flags&dataFlagBits != 0 {
+		b = appendU16(b, uint16(len(m.Bits)))
+		for _, w := range m.Bits {
+			b = appendU64(b, w)
+		}
+	}
 	return appendBytes(b, m.Payload)
 }
 
@@ -487,10 +522,65 @@ func (m *Data) DecodePayload(b []byte) error {
 	m.Source = r.addr()
 	m.TTL = r.u8()
 	flags := r.u8()
-	if r.err == nil && flags&^uint8(1) != 0 {
+	if r.err == nil && flags&^dataFlagKnown != 0 {
 		return fmt.Errorf("wire: data frame with undefined flag bits 0x%02x", flags)
 	}
-	m.Encap = flags&1 != 0
+	m.Encap = flags&dataFlagEncap != 0
+	m.TunnelTo = 0
+	if flags&dataFlagTunnel != 0 {
+		m.TunnelTo = r.addr()
+	}
+	m.Bits = nil
+	if flags&dataFlagBits != 0 {
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			m.Bits = append(m.Bits, r.u64())
+		}
+		if m.Bits == nil {
+			// A present-but-empty bitstring keeps flag round-trip fidelity.
+			m.Bits = []uint64{}
+		}
+	}
 	m.Payload = r.bytes()
+	return r.done()
+}
+
+// MemberReport carries domain-level group membership toward the group's
+// root domain for the stateless data-plane backends (BIER, map-and-encap):
+// instead of per-hop join state, the root learns which domains are members
+// and transit routers stay group-stateless. It is the inter-domain analogue
+// of an IGMP report / BIER overlay signal.
+type MemberReport struct {
+	Group addr.Addr
+	// Domain is the member domain the report speaks for.
+	Domain DomainID
+	// Leave retracts the membership instead of asserting it.
+	Leave bool
+}
+
+// Type implements Message.
+func (*MemberReport) Type() MsgType { return TypeMemberReport }
+
+// AppendPayload implements Message.
+func (m *MemberReport) AppendPayload(b []byte) []byte {
+	b = appendAddr(b, m.Group)
+	b = appendU32(b, uint32(m.Domain))
+	var flags uint8
+	if m.Leave {
+		flags |= 1
+	}
+	return append(b, flags)
+}
+
+// DecodePayload implements Message.
+func (m *MemberReport) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.Group = r.addr()
+	m.Domain = DomainID(r.u32())
+	flags := r.u8()
+	if r.err == nil && flags&^uint8(1) != 0 {
+		return fmt.Errorf("wire: member report with undefined flag bits 0x%02x", flags)
+	}
+	m.Leave = flags&1 != 0
 	return r.done()
 }

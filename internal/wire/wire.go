@@ -55,6 +55,7 @@ const (
 	TypeSourceJoin   MsgType = 0x32
 	TypeSourcePrune  MsgType = 0x33
 	TypeData         MsgType = 0x34
+	TypeMemberReport MsgType = 0x35
 )
 
 // String implements fmt.Stringer.
@@ -86,6 +87,8 @@ func (t MsgType) String() string {
 		return "SOURCE-PRUNE"
 	case TypeData:
 		return "DATA"
+	case TypeMemberReport:
+		return "MEMBER-REPORT"
 	}
 	return fmt.Sprintf("MsgType(0x%02x)", uint8(t))
 }
@@ -198,6 +201,8 @@ func newMessage(t MsgType) Message {
 		return &SourcePrune{}
 	case TypeData:
 		return &Data{}
+	case TypeMemberReport:
+		return &MemberReport{}
 	}
 	return nil
 }

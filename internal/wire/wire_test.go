@@ -46,6 +46,12 @@ func allMessages() []Message {
 		&SourcePrune{Group: addr.MakeAddr(224, 0, 128, 1), Source: addr.MakeAddr(10, 1, 2, 3)},
 		&Data{Group: addr.MakeAddr(224, 0, 128, 1), Source: addr.MakeAddr(10, 1, 2, 3),
 			TTL: 32, Encap: true, Payload: []byte("hello multicast")},
+		&Data{Group: addr.MakeAddr(224, 0, 128, 1), Source: addr.MakeAddr(10, 1, 2, 3),
+			TTL: 16, TunnelTo: addr.MakeAddr(10, 9, 0, 0), Payload: []byte("tunneled")},
+		&Data{Group: addr.MakeAddr(224, 0, 128, 1), Source: addr.MakeAddr(10, 1, 2, 3),
+			TTL: 16, Bits: []uint64{0x14, 1}, Payload: []byte("bier")},
+		&MemberReport{Group: addr.MakeAddr(224, 0, 128, 1), Domain: 6},
+		&MemberReport{Group: addr.MakeAddr(224, 0, 128, 1), Domain: 6, Leave: true},
 	}
 }
 
@@ -75,6 +81,46 @@ func TestEmptyCollectionsRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(got, msg) {
 			t.Errorf("%v:\n got %#v\nwant %#v", msg.Type(), got, msg)
 		}
+	}
+}
+
+// The data-plane header extensions must not disturb the classic encoding:
+// a frame without TunnelTo/Bits carries only the original fields, and
+// undefined flag bits are still rejected.
+func TestDataFlagCompatibility(t *testing.T) {
+	classic := &Data{Group: addr.MakeAddr(224, 1, 1, 1), Source: addr.MakeAddr(10, 0, 0, 1),
+		TTL: 8, Payload: []byte("x")}
+	payload := classic.AppendPayload(nil)
+	// group(4) + source(4) + ttl(1) + flags(1) + len(4) + payload(1)
+	if len(payload) != 15 {
+		t.Errorf("classic data payload is %d bytes, want 15", len(payload))
+	}
+	if payload[9] != 0 {
+		t.Errorf("classic data flags byte = 0x%02x, want 0", payload[9])
+	}
+
+	bad := bytes.Clone(payload)
+	bad[9] = 0x08 // first undefined flag bit
+	var m Data
+	if err := m.DecodePayload(bad); err == nil {
+		t.Error("undefined data flag bits must fail decode")
+	}
+
+	// An explicitly empty (non-nil) bitstring survives a round trip.
+	empty := &Data{Group: addr.MakeAddr(224, 1, 1, 1), TTL: 4, Bits: []uint64{}}
+	got, err := Decode(Encode(empty))
+	if err != nil {
+		t.Fatalf("empty bits: %v", err)
+	}
+	if !reflect.DeepEqual(got, empty) {
+		t.Errorf("empty bits round trip:\n got %#v\nwant %#v", got, empty)
+	}
+
+	badReport := (&MemberReport{Group: addr.MakeAddr(224, 1, 1, 1), Domain: 3}).AppendPayload(nil)
+	badReport[len(badReport)-1] = 0x02
+	var mr MemberReport
+	if err := mr.DecodePayload(badReport); err == nil {
+		t.Error("undefined member-report flag bits must fail decode")
 	}
 }
 
@@ -210,13 +256,13 @@ func TestRouteHelpers(t *testing.T) {
 }
 
 func TestMsgTypeStrings(t *testing.T) {
-	seen := map[string]bool{}
+	seen := map[string]MsgType{}
 	for _, m := range allMessages() {
 		s := m.Type().String()
-		if s == "" || seen[s] {
+		if prev, dup := seen[s]; s == "" || (dup && prev != m.Type()) {
 			t.Errorf("bad or duplicate MsgType string %q", s)
 		}
-		seen[s] = true
+		seen[s] = m.Type()
 	}
 	if MsgType(0xEE).String() != "MsgType(0xee)" {
 		t.Errorf("unknown type formatting: %s", MsgType(0xEE))

@@ -15,6 +15,9 @@
 //     G-RIB) and provides the M-RIB for incongruent multicast topologies.
 //   - MAAS servers lease individual group addresses to applications.
 //   - MIGPs (DVMRP, PIM-SM, PIM-DM, CBT, MOSPF) run inside each domain.
+//   - Pluggable data planes let the same control plane forward through
+//     BGMP shared trees (default), BIER-style bitstrings, or map-and-encap
+//     tunnels (Config.DataPlane; see DESIGN.md §11).
 //
 // This package is the public facade: it re-exports the network-assembly
 // API (build domains, link border routers, run the protocols in process —
@@ -43,6 +46,7 @@ import (
 	"mascbgmp/internal/bench"
 	"mascbgmp/internal/bgp"
 	"mascbgmp/internal/core"
+	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/experiments"
 	"mascbgmp/internal/faultinject"
 	"mascbgmp/internal/masc"
@@ -231,6 +235,46 @@ type (
 	// ChurnResult is its outcome.
 	ChurnResult = experiments.ChurnResult
 )
+
+// Pluggable data-plane backends (DESIGN.md §11). Config.DataPlane selects
+// the forwarding plane every border router runs: the default BGMP shared
+// trees, BIER-style bitstring forwarding, or map-and-encap tunneling to
+// the MASC-derived root domain. All three share the control plane (BGP-lite
+// RIBs, MASC allocation, MIGP interiors) and deliver to identical receiver
+// sets; they trade per-router state against path stretch and per-packet
+// header overhead.
+type (
+	// DataPlaneBackend is the forwarding plane of one border router
+	// (Router.DataPlane()).
+	DataPlaneBackend = dataplane.Backend
+	// DataPlaneStats are a backend's per-router comparison counters.
+	DataPlaneStats = dataplane.Stats
+	// DataPlaneResult is the outcome of RunDataPlane: the churn workload
+	// plus one cost row per backend.
+	DataPlaneResult = experiments.DataPlaneResult
+	// DataPlaneBackendCost is one backend's row in a DataPlaneResult.
+	DataPlaneBackendCost = experiments.BackendCost
+)
+
+// Data-plane backend names — the valid Config.DataPlane values and the
+// cmds' -backend arguments.
+const (
+	DataPlaneSharedTree = dataplane.SharedTreeName
+	DataPlaneBIER       = dataplane.BIERName
+	DataPlaneMapEncap   = dataplane.MapEncapName
+)
+
+// DataPlaneNames returns the valid backend names in presentation order.
+func DataPlaneNames() []string { return dataplane.Names() }
+
+// ValidDataPlane reports whether name identifies a data-plane backend.
+func ValidDataPlane(name string) bool { return dataplane.ValidName(name) }
+
+// RunDataPlane costs the three forwarding backends side by side on the
+// churn workload — state, path stretch, per-packet header overhead — from
+// the same membership and the same senders (the dataplane-compare suite).
+// Deterministic for a given config; cfg.DataPlane is ignored.
+func RunDataPlane(cfg ChurnConfig) DataPlaneResult { return experiments.RunDataPlane(cfg) }
 
 // Benchmark suite layer (cmd/benchsuite): named scenarios run through the
 // parallel deterministic trial runner and reported as machine-readable

@@ -22,3 +22,11 @@ go run ./cmd/benchsuite -suite fig2-alloc -trials 2 -parallel 1 -out "$BENCH_TMP
 go run ./cmd/benchsuite -suite fig2-alloc -trials 2 -parallel 2 -out "$BENCH_TMP/b.json"
 go run ./cmd/benchsuite -validate "$BENCH_TMP/a.json"
 go run ./cmd/benchsuite -diff "$BENCH_TMP/a.json" "$BENCH_TMP/b.json"
+
+# dataplane-compare smoke: the three-backend comparison must stay
+# deterministic at any parallelism (delivery equivalence is asserted
+# inside the trial itself).
+go run ./cmd/benchsuite -suite dataplane-compare -trials 2 -parallel 1 -out "$BENCH_TMP/dp1.json"
+go run ./cmd/benchsuite -suite dataplane-compare -trials 2 -parallel 2 -out "$BENCH_TMP/dp2.json"
+go run ./cmd/benchsuite -validate "$BENCH_TMP/dp1.json"
+go run ./cmd/benchsuite -diff "$BENCH_TMP/dp1.json" "$BENCH_TMP/dp2.json"
