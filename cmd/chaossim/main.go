@@ -3,10 +3,10 @@
 // supervision (hold timers, exponential-backoff reconnect) while the fault
 // plane drops data and keepalives at a swept loss rate and crashes the
 // direct-path border router. For each loss rate it reports the delivery
-// ratio during the lossy steady state, the sim-time to reroute onto the
-// surviving path after the crash, and the sim-time to reconverge onto the
-// direct path after the restart. Expected bands are recorded in
-// EXPERIMENTS.md.
+// ratio during the lossy steady state, the sim-time to detect the crash
+// (first SessionDown for the victim), the sim-time to reroute onto the
+// surviving path, and the sim-time to reconverge onto the direct path
+// after the restart. Expected bands are recorded in EXPERIMENTS.md.
 //
 // The sweep is fully deterministic: a fixed -seed yields byte-identical
 // event snapshots (-metrics) across runs.
@@ -15,7 +15,18 @@
 //
 //	chaossim [-seed 1998] [-loss 0,0.05,0.1,0.2] [-hold 30s] [-backoff 15s]
 //	         [-crash 5m] [-groups 3] [-packets 50] [-parallel 1]
-//	         [-backend shared-tree|bier|map-encap] [-metrics] [-trace]
+//	         [-backend shared-tree|bier|map-encap] [-liveness]
+//	         [-liveness-floor 100ms] [-liveness-mult 3] [-metrics] [-trace]
+//
+// -liveness arms the BFD-style fast detector on every supervised session:
+// probe intervals ramp from hold/3 down to -liveness-floor, detection
+// fires after -liveness-mult consecutive missed intervals, and stable
+// sessions quiesce into demand mode (probing at 10× the floor) until a
+// miss re-arms fast probing. Hold timers keep running as the fallback.
+// Paired with BGMP's precomputed backup parents, detection — not repair —
+// is the only latency left, so time-to-reroute drops by an order of
+// magnitude; the recovery probes step at 250ms instead of 5s so that
+// resolves.
 //
 // -parallel fans the loss-rate points across a worker pool; each point is
 // an independent seeded trial, so the measurements (and the -metrics
@@ -51,6 +62,9 @@ func main() {
 		packets  = flag.Int("packets", 50, "probe packets per group during the lossy phase")
 		parallel = flag.Int("parallel", 1, "worker pool size for the loss-rate points (0: GOMAXPROCS); measurements are identical at any value")
 		backend  = flag.String("backend", mascbgmp.DataPlaneSharedTree, "forwarding data plane (shared-tree, bier, map-encap)")
+		liveness = flag.Bool("liveness", false, "arm the BFD-style fast-liveness detector beside the hold timers")
+		lvFloor  = flag.Duration("liveness-floor", 0, "liveness probe-interval floor (0: the 100ms default)")
+		lvMult   = flag.Int("liveness-mult", 0, "missed intervals before liveness declares a session dead (0: the ×3 default)")
 		metrics  = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
 		trace    = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
 	)
@@ -71,6 +85,9 @@ func main() {
 	cfg.Groups = *groups
 	cfg.Packets = *packets
 	cfg.Parallel = *parallel
+	cfg.Liveness = *liveness
+	cfg.LivenessFloor = *lvFloor
+	cfg.LivenessMultiplier = *lvMult
 	if *loss != "" {
 		cfg.LossRates = nil
 		for _, f := range strings.Split(*loss, ",") {
@@ -98,21 +115,26 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Println("loss,delivery_ratio,reroute_s,reconverge_s,session_downs,session_ups,recovered")
+	fmt.Println("loss,delivery_ratio,detect_s,reroute_s,reconverge_s,session_downs,session_ups,recovered")
 	for _, p := range pts {
-		fmt.Printf("%.2f,%.3f,%.0f,%.0f,%d,%d,%t\n",
-			p.Loss, p.DeliveryRatio, p.Reroute.Seconds(), p.Reconverge.Seconds(),
+		fmt.Printf("%.2f,%.3f,%.2f,%.2f,%.2f,%d,%d,%t\n",
+			p.Loss, p.DeliveryRatio, p.Detect.Seconds(), p.Reroute.Seconds(), p.Reconverge.Seconds(),
 			p.SessionDowns, p.SessionUps, p.Recovered)
 	}
 
-	fmt.Fprintf(os.Stderr, "\n# recovery vs loss rate (hold %v, backoff %v, crash %v)\n", *hold, *backoff, *crash)
+	detector := "hold-timer"
+	if *liveness {
+		detector = "liveness"
+	}
+	fmt.Fprintf(os.Stderr, "\n# recovery vs loss rate (hold %v, backoff %v, crash %v, detector %s)\n",
+		*hold, *backoff, *crash, detector)
 	for _, p := range pts {
 		state := "recovered"
 		if !p.Recovered {
 			state = "DEGRADED"
 		}
-		fmt.Fprintf(os.Stderr, "loss %4.0f%%: delivery %5.1f%%, reroute %3.0fs after crash, reconverge %3.0fs after restart, %s\n",
-			p.Loss*100, p.DeliveryRatio*100, p.Reroute.Seconds(), p.Reconverge.Seconds(), state)
+		fmt.Fprintf(os.Stderr, "loss %4.0f%%: delivery %5.1f%%, detect %5.2fs, reroute %5.2fs after crash, reconverge %5.2fs after restart, %s\n",
+			p.Loss*100, p.DeliveryRatio*100, p.Detect.Seconds(), p.Reroute.Seconds(), p.Reconverge.Seconds(), state)
 	}
 
 	if *metrics {

@@ -166,7 +166,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 
 func TestBuiltinScenariosRegistered(t *testing.T) {
 	for _, name := range []string{"fig2-alloc", "fig4-trees", "scale-churn",
-		"chaos-recovery", "dataplane-compare"} {
+		"chaos-recovery", "chaos-detectors", "dataplane-compare"} {
 		if _, ok := Lookup(name); !ok {
 			t.Fatalf("suite %q not registered", name)
 		}

@@ -215,6 +215,8 @@ func init() {
 			"onto the surviving path and to reconverge after restart",
 		DefaultTrials: 5,
 		Metrics: []MetricDef{
+			{Name: "detect_s", Unit: "sim-seconds", Better: Lower,
+				Help: "crash to the first SessionDown for the crashed router"},
 			{Name: "reroute_s", Unit: "sim-seconds", Better: Lower,
 				Help: "crash to all groups delivering over the transit path"},
 			{Name: "reconverge_s", Unit: "sim-seconds", Better: Lower,
@@ -243,10 +245,81 @@ func init() {
 			}
 			return TrialOutput{
 				Values: map[string]float64{
+					"detect_s":       pt.Detect.Seconds(),
 					"reroute_s":      pt.Reroute.Seconds(),
 					"reconverge_s":   pt.Reconverge.Seconds(),
 					"delivery_ratio": pt.DeliveryRatio,
 					"recovered":      recovered,
+				},
+			}, nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "chaos-detectors",
+		Description: "the chaos-recovery crash measured under both failure detectors: " +
+			"hold timers alone vs the BFD-style liveness plane with precomputed " +
+			"backup parents (shared-tree plane; detection/reroute/reconverge split)",
+		DefaultTrials: 5,
+		Metrics: []MetricDef{
+			{Name: "hold_detect_s", Unit: "sim-seconds", Better: Lower,
+				Help: "hold-timer detector: crash to the first SessionDown"},
+			{Name: "hold_reroute_s", Unit: "sim-seconds", Better: Lower,
+				Help: "hold-timer detector: crash to all groups delivering over transit"},
+			{Name: "hold_reconverge_s", Unit: "sim-seconds", Better: Lower,
+				Help: "hold-timer detector: restart to all groups back on the direct path"},
+			{Name: "live_detect_s", Unit: "sim-seconds", Better: Lower,
+				Help: "liveness detector: crash to the first SessionDown"},
+			{Name: "live_reroute_s", Unit: "sim-seconds", Better: Lower,
+				Help: "liveness detector: crash to all groups delivering over transit"},
+			{Name: "live_reconverge_s", Unit: "sim-seconds", Better: Lower,
+				Help: "liveness detector: restart to all groups back on the direct path"},
+			{Name: "reroute_speedup", Unit: "ratio", Better: Higher,
+				Help: "hold_reroute_s / live_reroute_s — the time-to-reroute gain"},
+		},
+		Trial: func(ctx TrialContext) (TrialOutput, error) {
+			// Both runs share the trial seed so the only difference is the
+			// detector. The data plane stays shared-tree: the stateless
+			// backends reroute on the iBGP withdrawal regardless of the
+			// detector, which is not the comparison being made here.
+			run := func(live bool) (core.ChaosPoint, error) {
+				cfg := core.DefaultChaosConfig()
+				cfg.LossRates = []float64{0.10}
+				cfg.Packets = 15
+				cfg.CrashFor = 3 * time.Minute
+				cfg.Seed = ctx.Seed
+				cfg.Obs = ctx.Obs
+				cfg.Liveness = live
+				pts, err := core.RunChaos(cfg)
+				if err != nil {
+					return core.ChaosPoint{}, err
+				}
+				return pts[0], nil
+			}
+			hold, err := run(false)
+			if err != nil {
+				return TrialOutput{}, fmt.Errorf("hold-timer run: %w", err)
+			}
+			live, err := run(true)
+			if err != nil {
+				return TrialOutput{}, fmt.Errorf("liveness run: %w", err)
+			}
+			if !hold.Recovered || !live.Recovered {
+				return TrialOutput{}, fmt.Errorf(
+					"trial did not recover: hold=%t live=%t", hold.Recovered, live.Recovered)
+			}
+			if live.Reroute <= 0 {
+				return TrialOutput{}, fmt.Errorf("liveness reroute time %v, want > 0", live.Reroute)
+			}
+			return TrialOutput{
+				Values: map[string]float64{
+					"hold_detect_s":     hold.Detect.Seconds(),
+					"hold_reroute_s":    hold.Reroute.Seconds(),
+					"hold_reconverge_s": hold.Reconverge.Seconds(),
+					"live_detect_s":     live.Detect.Seconds(),
+					"live_reroute_s":    live.Reroute.Seconds(),
+					"live_reconverge_s": live.Reconverge.Seconds(),
+					"reroute_speedup":   hold.Reroute.Seconds() / live.Reroute.Seconds(),
 				},
 			}, nil
 		},

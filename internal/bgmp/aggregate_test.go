@@ -41,7 +41,7 @@ func TestCompressStateMergesIdenticalEntries(t *testing.T) {
 	// Forwarding still works for every covered group via the prefix entry.
 	for _, g := range gs {
 		rig.sent = nil
-		rig.comp.HandleData(PeerTarget(7), &wire.Data{Group: g, Source: sourceS, TTL: 16})
+		rig.comp.Deliver(PeerTarget(7), &wire.Data{Group: g, Source: sourceS, TTL: 16})
 		found := false
 		for _, s := range rig.sent {
 			if d, ok := s.msg.(*wire.Data); ok && s.to == 8 && d.Group == g {
@@ -72,7 +72,7 @@ func TestCompressStateSkipsDifferingTargets(t *testing.T) {
 	}
 	// The odd group keeps its own entry and forwarding.
 	rig.sent = nil
-	rig.comp.HandleData(PeerTarget(7), &wire.Data{Group: odd, Source: sourceS, TTL: 16})
+	rig.comp.Deliver(PeerTarget(7), &wire.Data{Group: odd, Source: sourceS, TTL: 16})
 	found := false
 	for _, s := range rig.sent {
 		if _, ok := s.msg.(*wire.Data); ok && s.to == 9 {
@@ -119,7 +119,7 @@ func TestJoinMaterializesFromPrefixState(t *testing.T) {
 	// Data to that group now reaches both children; sibling groups are
 	// unaffected (still prefix-served, child 8 only).
 	rig.sent = nil
-	rig.comp.HandleData(PeerTarget(7), &wire.Data{Group: gs[2], Source: sourceS, TTL: 16})
+	rig.comp.Deliver(PeerTarget(7), &wire.Data{Group: gs[2], Source: sourceS, TTL: 16})
 	got := map[wire.RouterID]bool{}
 	for _, s := range rig.sent {
 		if _, ok := s.msg.(*wire.Data); ok {
@@ -130,7 +130,7 @@ func TestJoinMaterializesFromPrefixState(t *testing.T) {
 		t.Fatalf("materialized forwarding peers = %v", got)
 	}
 	rig.sent = nil
-	rig.comp.HandleData(PeerTarget(7), &wire.Data{Group: gs[3], Source: sourceS, TTL: 16})
+	rig.comp.Deliver(PeerTarget(7), &wire.Data{Group: gs[3], Source: sourceS, TTL: 16})
 	for _, s := range rig.sent {
 		if s.to == 9 {
 			t.Fatal("sibling group leaked to the new child")
@@ -162,7 +162,7 @@ func TestPruneMaterializesFromPrefixState(t *testing.T) {
 	}
 	// Other groups still forward via the prefix entry.
 	rig.sent = nil
-	rig.comp.HandleData(PeerTarget(7), &wire.Data{Group: gs[1], Source: sourceS, TTL: 16})
+	rig.comp.Deliver(PeerTarget(7), &wire.Data{Group: gs[1], Source: sourceS, TTL: 16})
 	if len(rig.sent) == 0 {
 		t.Fatal("sibling group lost forwarding after prune")
 	}
@@ -176,7 +176,7 @@ func BenchmarkStateLookupExact(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rig.sent = rig.sent[:0]
-		rig.comp.HandleData(PeerTarget(7), d)
+		rig.comp.Deliver(PeerTarget(7), d)
 	}
 }
 
@@ -189,7 +189,7 @@ func BenchmarkStateLookupCompressed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rig.sent = rig.sent[:0]
-		rig.comp.HandleData(PeerTarget(7), d)
+		rig.comp.Deliver(PeerTarget(7), d)
 	}
 }
 

@@ -47,6 +47,12 @@ type Config struct {
 	Domain wire.DomainID
 	// LookupGroup resolves a group address in the G-RIB.
 	LookupGroup func(g addr.Addr) (bgp.Entry, bool)
+	// LookupGroupBackup resolves the runner-up G-RIB candidate for a
+	// group — the route the decision process would pick if the current
+	// best's peer vanished. Set, it arms precomputed backup parents so
+	// PeerDown can switch a tree over without re-querying the G-RIB; nil
+	// disables them (repair then waits for the BGP withdrawal).
+	LookupGroupBackup func(g addr.Addr) (bgp.Entry, bool)
 	// LookupSource resolves a source address for RPF-style forwarding
 	// (the M-RIB view, falling back to unicast).
 	LookupSource func(s addr.Addr) (bgp.Entry, bool)
@@ -308,6 +314,7 @@ func (c *Component) joinLocked(g addr.Addr, child Target) {
 			return
 		}
 		e = newEntry(parent, root)
+		e.backup, e.hasBackup = c.backupForGroup(g)
 		c.groups[g] = e
 		switch {
 		case root:
@@ -384,6 +391,39 @@ func (c *Component) parentForGroup(g addr.Addr) (Target, bool, bool) {
 		return MIGPToward(ent.NextHop), false, true
 	}
 	return PeerTarget(ent.NextHop), false, true
+}
+
+// backupForGroup resolves the precomputed fallback parent for g: the
+// runner-up G-RIB candidate, mapped through the same target rules as
+// parentForGroup. ok is false when backups are disabled or no second
+// candidate exists.
+func (c *Component) backupForGroup(g addr.Addr) (Target, bool) {
+	if c.cfg.LookupGroupBackup == nil {
+		return Target{}, false
+	}
+	ent, ok := c.cfg.LookupGroupBackup(g)
+	if !ok {
+		return Target{}, false
+	}
+	if wire.DomainID(ent.Route.Origin) == c.cfg.Domain || ent.Local || ent.NextHop == c.cfg.Router {
+		return MIGPTarget, true
+	}
+	if c.cfg.Internal != nil && c.cfg.Internal(ent.NextHop) {
+		return MIGPToward(ent.NextHop), true
+	}
+	return PeerTarget(ent.NextHop), true
+}
+
+// BackupParent exposes g's precomputed fallback parent; ok is false when
+// none is armed.
+func (c *Component) BackupParent(g addr.Addr) (Target, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.groups[g]
+	if !ok || !e.hasBackup {
+		return Target{}, false
+	}
+	return e.backup, true
 }
 
 // parentForSource resolves the next hop toward a source for (S,G) branches.

@@ -217,7 +217,7 @@ func TestBidirectionalForwarding(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			rig := newRig(1, 5, false)
 			buildTree(rig)
-			rig.comp.HandleData(tc.from, data(16))
+			rig.comp.Deliver(tc.from, data(16))
 			var peers []wire.RouterID
 			for _, s := range rig.sent {
 				if d, ok := s.msg.(*wire.Data); ok {
@@ -240,7 +240,7 @@ func TestBidirectionalForwarding(t *testing.T) {
 func TestDataNeverEchoesToSender(t *testing.T) {
 	rig := newRig(1, 5, false)
 	buildTree(rig)
-	rig.comp.HandleData(PeerTarget(8), data(16))
+	rig.comp.Deliver(PeerTarget(8), data(16))
 	for _, s := range rig.sent {
 		if s.to == 8 {
 			t.Fatal("data echoed to the target it came from")
@@ -253,7 +253,7 @@ func TestOffTreeDataFromPeerTransitsDomain(t *testing.T) {
 	// the packet crosses the domain toward the best exit.
 	rig := newRig(1, 5, false)
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 103} // best exit is internal 103
-	rig.comp.HandleData(PeerTarget(7), data(16))
+	rig.comp.Deliver(PeerTarget(7), data(16))
 	if len(rig.migp.injected) != 1 {
 		t.Fatalf("injections = %d, want 1 (transit)", len(rig.migp.injected))
 	}
@@ -265,7 +265,7 @@ func TestOffTreeDataFromPeerTransitsDomain(t *testing.T) {
 func TestOffTreeDataFromPeerForwardsTowardRoot(t *testing.T) {
 	rig := newRig(1, 5, false)
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
-	rig.comp.HandleData(PeerTarget(3), data(16))
+	rig.comp.Deliver(PeerTarget(3), data(16))
 	if len(rig.sent) != 1 || rig.sent[0].to != 7 {
 		t.Fatalf("sent = %v, want data to 7", rig.sent)
 	}
@@ -275,14 +275,14 @@ func TestOffTreeInteriorDataOnlyBestExitForwards(t *testing.T) {
 	// Best exit (external next hop): forward.
 	rig := newRig(1, 5, false)
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
-	rig.comp.HandleDataFromMIGP(data(16))
+	rig.comp.Deliver(MIGPTarget, data(16))
 	if len(rig.sent) != 1 || rig.sent[0].to != 7 {
 		t.Fatalf("best exit: sent = %v", rig.sent)
 	}
 	// Not best exit (internal next hop): drop.
 	rig2 := newRig(1, 5, false)
 	rig2.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 103}
-	rig2.comp.HandleDataFromMIGP(data(16))
+	rig2.comp.Deliver(MIGPTarget, data(16))
 	if len(rig2.sent) != 0 || len(rig2.migp.injected) != 0 {
 		t.Fatal("non-best-exit stateless border must drop interior data")
 	}
@@ -291,7 +291,7 @@ func TestOffTreeInteriorDataOnlyBestExitForwards(t *testing.T) {
 func TestOffTreeDataAtRootDomainInjected(t *testing.T) {
 	rig := newRig(1, 5, false)
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 5}}
-	rig.comp.HandleData(PeerTarget(3), data(16))
+	rig.comp.Deliver(PeerTarget(3), data(16))
 	if len(rig.migp.injected) != 1 {
 		t.Fatal("root-domain border should hand off-tree data to the interior")
 	}
@@ -299,7 +299,7 @@ func TestOffTreeDataAtRootDomainInjected(t *testing.T) {
 
 func TestDataWithoutRouteDropped(t *testing.T) {
 	rig := newRig(1, 5, false)
-	rig.comp.HandleData(PeerTarget(3), data(16))
+	rig.comp.Deliver(PeerTarget(3), data(16))
 	if len(rig.sent) != 0 || len(rig.migp.injected) != 0 {
 		t.Fatal("data without G-RIB route must be dropped")
 	}
@@ -308,7 +308,7 @@ func TestDataWithoutRouteDropped(t *testing.T) {
 func TestTTLExpiry(t *testing.T) {
 	rig := newRig(1, 5, false)
 	buildTree(rig)
-	rig.comp.HandleData(PeerTarget(8), data(1)) // TTL 1: still injectable interior, no peer hop
+	rig.comp.Deliver(PeerTarget(8), data(1)) // TTL 1: still injectable interior, no peer hop
 	for _, s := range rig.sent {
 		if _, ok := s.msg.(*wire.Data); ok {
 			t.Fatal("TTL 1 packet must not cross another inter-domain hop")
@@ -317,7 +317,7 @@ func TestTTLExpiry(t *testing.T) {
 	if len(rig.migp.injected) != 1 {
 		t.Fatal("TTL 1 packet may still be delivered into the domain")
 	}
-	rig.comp.HandleData(PeerTarget(8), data(0))
+	rig.comp.Deliver(PeerTarget(8), data(0))
 	if len(rig.migp.injected) != 1 {
 		t.Fatal("TTL 0 packet must be dropped entirely")
 	}
@@ -383,7 +383,7 @@ func TestSGDataPrefersSourceEntry(t *testing.T) {
 	// now also reach 9.
 	rig.comp.HandlePeer(9, &wire.SourceJoin{Group: groupG, Source: sourceS})
 	rig.sent = nil
-	rig.comp.HandleData(PeerTarget(7), data(16))
+	rig.comp.Deliver(PeerTarget(7), data(16))
 	got := map[wire.RouterID]bool{}
 	for _, s := range rig.sent {
 		if _, ok := s.msg.(*wire.Data); ok {
@@ -401,7 +401,7 @@ func TestSourcePruneStopsDuplicates(t *testing.T) {
 	// Child 8 prunes source S (it gets S via its own branch now).
 	rig.comp.HandlePeer(8, &wire.SourcePrune{Group: groupG, Source: sourceS})
 	rig.sent = nil
-	rig.comp.HandleData(PeerTarget(7), data(16))
+	rig.comp.Deliver(PeerTarget(7), data(16))
 	for _, s := range rig.sent {
 		if d, ok := s.msg.(*wire.Data); ok && s.to == 8 && d.Source == sourceS {
 			t.Fatal("pruned child still received S's data")
@@ -410,7 +410,7 @@ func TestSourcePruneStopsDuplicates(t *testing.T) {
 	// Other sources still flow to 8 via the (*,G) entry.
 	rig.sent = nil
 	other := &wire.Data{Group: groupG, Source: addr.MakeAddr(10, 9, 9, 9), TTL: 16}
-	rig.comp.HandleData(PeerTarget(7), other)
+	rig.comp.Deliver(PeerTarget(7), other)
 	found := false
 	for _, s := range rig.sent {
 		if _, ok := s.msg.(*wire.Data); ok && s.to == 8 {
@@ -446,7 +446,7 @@ func TestRPFFailureEncapsulates(t *testing.T) {
 	buildTree(rig)
 	rig.migp.injectOK = false
 	rig.migp.expectedEntry = 103
-	rig.comp.HandleData(PeerTarget(7), data(16))
+	rig.comp.Deliver(PeerTarget(7), data(16))
 	found := false
 	for _, r := range rig.migp.relays {
 		if d, ok := r.msg.(*wire.Data); ok && d.Encap && r.to == 103 {
@@ -484,7 +484,7 @@ func TestEncapReceiverBuildsBranchAndPrunesEncapsulator(t *testing.T) {
 	// Native data arrives along the branch (from parent 4): F1 gets a
 	// source prune via the MIGP relay.
 	rig.migp.relays = nil
-	rig.comp.HandleData(PeerTarget(4), data(16))
+	rig.comp.Deliver(PeerTarget(4), data(16))
 	foundPrune := false
 	for _, r := range rig.migp.relays {
 		if _, ok := r.msg.(*wire.SourcePrune); ok && r.to == 101 {

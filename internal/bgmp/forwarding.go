@@ -110,27 +110,14 @@ func (c *Component) Deliver(src Target, d *wire.Data) {
 		c.handleEncap(src.Router, d)
 		return
 	}
-	c.HandleData(src, d)
+	c.handleData(src, d)
 }
 
-// HandleDataFromMIGP is called by the MIGP component when a multicast
-// packet from inside the domain reaches this border router.
-//
-// Deprecated: use Deliver(MIGPTarget, d); kept for callers predating the
-// unified dataplane ingress.
-func (c *Component) HandleDataFromMIGP(d *wire.Data) {
-	c.Deliver(MIGPTarget, d)
-}
-
-// HandleData forwards one packet according to the (S,G) entry when present,
+// handleData forwards one packet according to the (S,G) entry when present,
 // the (*,G) entry otherwise, and — with no state at all — toward the
 // group's root domain ("any router must be able to forward a data packet
 // towards group members", §3).
-//
-// Deprecated: use Deliver, which additionally recognizes encapsulated
-// border-to-border relays and is the entrypoint the dataplane.Backend
-// interface standardizes on.
-func (c *Component) HandleData(from Target, d *wire.Data) {
+func (c *Component) handleData(from Target, d *wire.Data) {
 	if d.TTL == 0 {
 		return
 	}

@@ -92,7 +92,10 @@ func (c *Component) RouteChanged(prefix addr.Prefix) {
 			continue
 		}
 		if parent.key() == e.parent.key() && root == e.root {
-			continue // path unchanged
+			// Path unchanged; the runner-up candidate set may still have
+			// rotated, so refresh the precomputed backup incrementally.
+			e.backup, e.hasBackup = c.backupForGroup(g)
+			continue
 		}
 		changes = append(changes, change{
 			g: g, oldParent: e.parent, oldRoot: e.root,
@@ -100,6 +103,7 @@ func (c *Component) RouteChanged(prefix addr.Prefix) {
 		})
 		e.parent = parent
 		e.root = root
+		e.backup, e.hasBackup = c.backupForGroup(g)
 		// Dependent shared-clone (S,G) state inherited the old parent;
 		// rebuild it lazily (drop it — prunes re-establish if needed).
 		c.dropSharedClonesLocked(g)
@@ -116,6 +120,7 @@ func (c *Component) RouteChanged(prefix addr.Prefix) {
 		e := c.orphans[g]
 		delete(c.orphans, g)
 		e.parent, e.root = parent, root
+		e.backup, e.hasBackup = c.backupForGroup(g)
 		c.groups[g] = e
 		changes = append(changes, change{g: g, newParent: parent, newRoot: root, rejoined: true})
 	}
@@ -169,6 +174,34 @@ func (c *Component) PeerDown(peer wire.RouterID) {
 			c.out = append(c.out, outItem{target: MIGPTarget, msg: migpLeave{group: g}})
 		} else {
 			c.out = append(c.out, outItem{target: e.parent, msg: &wire.GroupPrune{Group: g}})
+		}
+	}
+	// Precomputed 1:1 protection: surviving entries whose parent died
+	// switch to their backup target immediately, without re-querying the
+	// G-RIB — the withdrawal-driven RouteChanged later confirms the new
+	// parent (a no-op when it matches) and re-arms a fresh backup.
+	for _, g := range sortedGroups(c.groups) {
+		e := c.groups[g]
+		if e.root || e.parent.key() != t {
+			continue
+		}
+		if !e.hasBackup || e.backup.key() == t {
+			// No precomputed alternative: the entry waits for RouteChanged
+			// to re-resolve (or orphan) it.
+			continue
+		}
+		bk := e.backup
+		e.backup, e.hasBackup = Target{}, false
+		e.parent = bk
+		c.dropSharedClonesLocked(g)
+		c.event(obs.Event{Kind: obs.BGMPFailover, Group: g, Peer: peer})
+		if bk.MIGP && bk.Router == 0 {
+			// The runner-up route makes this domain the best exit: the
+			// entry becomes root and the interior supplies the tree.
+			e.root = true
+			c.out = append(c.out, outItem{target: MIGPTarget, msg: migpJoin{group: g}})
+		} else {
+			c.out = append(c.out, outItem{target: bk, msg: &wire.GroupJoin{Group: g}})
 		}
 	}
 	for _, k := range sortedSGKeys(c.srcs) {

@@ -75,6 +75,12 @@ type entry struct {
 	// its child list empties it becomes a negative cache (drop S's
 	// packets here) instead of being torn down.
 	sharedClone bool
+	// backup is the precomputed fallback parent for a (*,G) entry — the
+	// runner-up G-RIB candidate, resolved at join time and refreshed on
+	// every RouteChanged — valid when hasBackup. PeerDown switches the
+	// parent to it without re-querying the G-RIB (1:1 protection).
+	backup    Target
+	hasBackup bool
 }
 
 func newEntry(parent Target, root bool) *entry {

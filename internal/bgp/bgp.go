@@ -262,6 +262,61 @@ func (s *Speaker) Lookup(table wire.Table, a addr.Addr) (Entry, bool) {
 	return s.entryOf(*best), true
 }
 
+// LookupBackup longest-prefix-matches like Lookup, then returns the
+// runner-up candidate for the matched prefix — the route the decision
+// process would select if the current best's source vanished. BGMP uses it
+// to precompute a backup parent target per (*,G) so a peer failure can
+// switch the tree over without waiting for the withdrawal to propagate.
+// ok is false when the best route has no independent alternative.
+func (s *Speaker) LookupBackup(table wire.Table, a addr.Addr) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.tables[table]
+	var cur *selected
+	var bestPrefix addr.Prefix
+	for p, sel := range r.best {
+		if !p.Contains(a) || s.expired(sel.route) {
+			continue
+		}
+		if cur == nil || p.Len > bestPrefix.Len {
+			sel := sel
+			cur, bestPrefix = &sel, p
+		}
+	}
+	if cur == nil {
+		return Entry{}, false
+	}
+	var second selected
+	found := false
+	consider := func(cand selected) {
+		if !found || cand.better(second) {
+			second = cand
+			found = true
+		}
+	}
+	if rt, ok := r.local[bestPrefix]; ok && !cur.local && !s.expired(rt) {
+		consider(selected{route: rt, local: true})
+	}
+	peers := r.adjIn[bestPrefix]
+	ids := make([]wire.RouterID, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !cur.local && id == cur.from {
+			continue
+		}
+		if rt := peers[id]; !s.expired(rt) {
+			consider(selected{route: rt, from: id})
+		}
+	}
+	if !found {
+		return Entry{}, false
+	}
+	return s.entryOf(second), true
+}
+
 // LookupPrefix returns the best route for an exact prefix.
 func (s *Speaker) LookupPrefix(table wire.Table, p addr.Prefix) (Entry, bool) {
 	s.mu.Lock()

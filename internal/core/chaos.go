@@ -10,6 +10,7 @@ import (
 	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/faultinject"
 	"mascbgmp/internal/harness"
+	"mascbgmp/internal/liveness"
 	"mascbgmp/internal/migp/dvmrp"
 	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
@@ -42,6 +43,23 @@ type ChaosConfig struct {
 	// (Config.HoldTime, Config.ReconnectBackoff).
 	HoldTime         time.Duration
 	ReconnectBackoff time.Duration
+	// Liveness enables the BFD-style fast detector (Config.Liveness) on
+	// the supervised sessions; hold timers stay the fallback. The loss
+	// sweep does not drop liveness probes (only data and keepalives), so
+	// the fast detector measures pure detection latency, not loss
+	// robustness.
+	Liveness bool
+	// LivenessFloor / LivenessMultiplier / LivenessDemandAfter tune the
+	// detector; zero values take the liveness package defaults (100ms
+	// floor, ×3 multiplier) and a DemandAfter of 10 stable rounds, so the
+	// quiesced demand path is what the crash actually exercises.
+	LivenessFloor       time.Duration
+	LivenessMultiplier  int
+	LivenessDemandAfter int
+	// ProbeStep overrides the reroute/reconverge probing granularity;
+	// zero uses the recorded 5s default, or 250ms when Liveness is on so
+	// sub-second recovery resolves.
+	ProbeStep time.Duration
 	// CrashFor is how long the crashed border router stays down.
 	CrashFor time.Duration
 	// Groups is the number of multicast groups rooted in the source
@@ -92,9 +110,13 @@ type ChaosPoint struct {
 	// quotient.
 	Sent, Delivered int
 	DeliveryRatio   float64
+	// Detect is the sim-time from the border-router crash until a
+	// supervised session involving it was declared down (the first
+	// SessionDown, whichever detector fired).
+	Detect time.Duration
 	// Reroute is the sim-time from the border-router crash until every
-	// group delivers over the surviving transit path again (hold-timer
-	// expiry + BGMP repair).
+	// group delivers over the surviving transit path again (detection +
+	// BGMP repair).
 	Reroute time.Duration
 	// Reconverge is the sim-time from the router's restart until every
 	// group is re-attached on the direct path and the restarted router
@@ -174,6 +196,17 @@ func buildChaosNet(cfg ChaosConfig, pointSeed int64, ob *obs.Observer) (*chaosNe
 	if err != nil {
 		return nil, err
 	}
+	var lv *liveness.Params
+	if cfg.Liveness {
+		lv = &liveness.Params{
+			Floor:       cfg.LivenessFloor,
+			Multiplier:  cfg.LivenessMultiplier,
+			DemandAfter: cfg.LivenessDemandAfter,
+		}
+		if lv.DemandAfter == 0 {
+			lv.DemandAfter = 10
+		}
+	}
 	n, err := NewNetwork(Config{
 		Clock:            clk,
 		Seed:             cfg.Seed,
@@ -183,6 +216,7 @@ func buildChaosNet(cfg ChaosConfig, pointSeed int64, ob *obs.Observer) (*chaosNe
 		Faults:           plane,
 		HoldTime:         cfg.HoldTime,
 		ReconnectBackoff: cfg.ReconnectBackoff,
+		Liveness:         lv,
 		DataPlane:        cfg.DataPlane,
 	})
 	if err != nil {
@@ -297,11 +331,28 @@ func runChaosPoint(cfg ChaosConfig, pointSeed int64, loss float64, ob *obs.Obser
 		pt.DeliveryRatio = float64(pt.Delivered) / float64(pt.Sent)
 	}
 
-	// Phase 2 — crash the direct-path border router; measure time until
-	// delivery works again over transit (hold expiry + repair). Probes
-	// themselves are lossy, so a step may fail on drops alone — the clock
-	// keeps stepping until one full round gets through.
+	// Phase 2 — crash the direct-path border router; measure the time to
+	// detection (first SessionDown involving the victim, whichever
+	// detector fired) and the time until delivery works again over
+	// transit (detection + repair). Probes themselves are lossy, so a
+	// step may fail on drops alone — the clock keeps stepping until one
+	// full round gets through.
+	step := cfg.ProbeStep
+	if step <= 0 {
+		step = chaosStep
+		if cfg.Liveness {
+			step = 250 * time.Millisecond
+		}
+	}
 	crashAt := cn.clk.Now()
+	detected := false
+	cancel := ob.Subscribe(func(e obs.Event) {
+		if !detected && e.Kind == obs.SessionDown && (e.Router == 12 || e.Peer == 12) {
+			detected = true
+			pt.Detect = cn.clk.Now().Sub(crashAt)
+		}
+	})
+	defer cancel()
 	cn.plane.CrashPeerFor(12, cfg.CrashFor)
 	rerouteBudget := cfg.HoldTime + 2*time.Minute
 	for {
@@ -312,7 +363,7 @@ func runChaosPoint(cfg ChaosConfig, pointSeed int64, loss float64, ob *obs.Obser
 		if cn.clk.Now().Sub(crashAt) > rerouteBudget {
 			return ChaosPoint{}, fmt.Errorf("no reroute within %v of crash", rerouteBudget)
 		}
-		cn.clk.RunFor(chaosStep)
+		cn.clk.RunFor(step)
 	}
 
 	// Phase 3 — run past the restart; measure time from restart until all
@@ -327,7 +378,7 @@ func runChaosPoint(cfg ChaosConfig, pointSeed int64, loss float64, ob *obs.Obser
 		if cn.clk.Now().Sub(restartAt) > reconvergeBudget {
 			return ChaosPoint{}, fmt.Errorf("no reconvergence within %v of restart", reconvergeBudget)
 		}
-		cn.clk.RunFor(chaosStep)
+		cn.clk.RunFor(step)
 	}
 	pt.Reconverge = cn.clk.Now().Sub(restartAt)
 
@@ -336,6 +387,13 @@ func runChaosPoint(cfg ChaosConfig, pointSeed int64, loss float64, ob *obs.Obser
 	cn.clk.RunFor(time.Minute)
 	_, _, ok := cn.probe()
 	pt.Recovered = ok && cn.directPath()
+
+	if !detected {
+		// Even the stateless backends (which reroute on the iBGP
+		// withdrawal before any session expires) must have detected the
+		// dead session by the end of the outage.
+		return ChaosPoint{}, fmt.Errorf("no SessionDown for the crashed router during the outage")
+	}
 
 	s := ob.Snapshot()
 	pt.SessionDowns = s.Total(obs.SessionDown.String()) - downs0

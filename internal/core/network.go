@@ -18,6 +18,7 @@ import (
 	"mascbgmp/internal/addr"
 	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/faultinject"
+	"mascbgmp/internal/liveness"
 	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
 	"mascbgmp/internal/transport"
@@ -71,6 +72,13 @@ type Config struct {
 	// ReconnectBackoff is the first retry delay after a session drops;
 	// it doubles per failed attempt up to 8×. Defaults to HoldTime/2.
 	ReconnectBackoff time.Duration
+	// Liveness, when set, additionally runs a BFD-style fast detector
+	// (internal/liveness) on every supervised session: probe intervals
+	// ramp from HoldTime/3 down to Params.Floor, detection fires after
+	// Params.Multiplier missed intervals, and stable sessions quiesce
+	// into demand mode. Hold timers keep running as the fallback
+	// detector. Requires HoldTime (session supervision).
+	Liveness *liveness.Params
 	// DataPlane selects the forwarding backend every border router runs:
 	// one of dataplane.Names() — "shared-tree" (BGMP shared trees, the
 	// default when empty), "bier" (per-packet domain bitstrings computed
@@ -110,6 +118,15 @@ func (c Config) Validate() error {
 	}
 	if c.ReconnectBackoff > 0 && c.HoldTime == 0 {
 		return &ConfigError{Field: "ReconnectBackoff", Reason: "needs HoldTime to enable session supervision"}
+	}
+	if c.Liveness != nil {
+		if c.HoldTime == 0 {
+			return &ConfigError{Field: "Liveness", Reason: "needs HoldTime to enable session supervision"}
+		}
+		if c.Liveness.Floor < 0 || c.Liveness.Multiplier < 0 ||
+			c.Liveness.DemandAfter < 0 || c.Liveness.DemandInterval < 0 {
+			return &ConfigError{Field: "Liveness", Reason: "parameters must not be negative"}
+		}
 	}
 	if c.DataPlane != "" && !dataplane.ValidName(c.DataPlane) {
 		return &ConfigError{Field: "DataPlane", Reason: fmt.Sprintf(

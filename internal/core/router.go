@@ -123,6 +123,9 @@ func newRouter(n *Network, d *Domain, id wire.RouterID, at migp.Node, export bgp
 		LookupGroup: func(g addr.Addr) (bgp.Entry, bool) {
 			return r.bgp.Lookup(wire.TableGRIB, g)
 		},
+		LookupGroupBackup: func(g addr.Addr) (bgp.Entry, bool) {
+			return r.bgp.LookupBackup(wire.TableGRIB, g)
+		},
 		LookupSource: func(s addr.Addr) (bgp.Entry, bool) {
 			if e, ok := r.bgp.Lookup(wire.TableMRIB, s); ok {
 				return e, true

@@ -6,6 +6,7 @@ import (
 
 	"mascbgmp/internal/bgp"
 	"mascbgmp/internal/faultinject"
+	"mascbgmp/internal/liveness"
 	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
 	"mascbgmp/internal/wire"
@@ -31,12 +32,19 @@ import (
 type session struct {
 	n    *Network
 	a, b *Router
+	// lv is the optional BFD-style fast detector (Config.Liveness); it
+	// reports through down(), so hold timers stay the fallback.
+	lv *liveness.Monitor
 
 	// The session's own lock; never held while calling into routers or
 	// the fault plane (both cascade into protocol handlers).
 	mu      sync.Mutex
 	up      bool
 	stopped bool
+	// gen counts session incarnations: keepalives delivered late carry
+	// the generation they were sent under, so a delivery that straddles a
+	// down()/retry() cycle cannot touch the new incarnation's timers.
+	gen uint64
 	// heardA/heardB are the last instants a (resp. b) heard a keepalive
 	// from the other end.
 	heardA, heardB time.Time
@@ -45,20 +53,39 @@ type session struct {
 }
 
 func newSession(n *Network, a, b *Router) *session {
-	return &session{n: n, a: a, b: b}
+	s := &session{n: n, a: a, b: b}
+	if p := n.cfg.Liveness; p != nil {
+		s.lv = liveness.New(liveness.Config{
+			Clock:   n.cfg.Clock,
+			Initial: n.cfg.HoldTime / 3,
+			Params:  *p,
+			Domain:  a.domain.ID,
+			A:       a.ID,
+			B:       b.ID,
+			Faults:  n.cfg.Faults,
+			OnDown:  s.down,
+			Obs:     n.cfg.Observer,
+		})
+	}
+	return s
 }
 
 func (s *session) interval() time.Duration { return s.n.cfg.HoldTime / 3 }
 
-// start arms the keepalive tick on a freshly connected session.
+// start arms the keepalive tick (and the fast-liveness monitor, when
+// configured) on a freshly connected session.
 func (s *session) start() {
 	now := s.n.cfg.Clock.Now()
 	s.mu.Lock()
 	s.up = true
+	s.gen++
 	s.heardA, s.heardB = now, now
 	s.backoff = s.n.cfg.ReconnectBackoff
 	s.timer = s.n.cfg.Clock.AfterFunc(s.interval(), s.onTick)
 	s.mu.Unlock()
+	if s.lv != nil {
+		s.lv.Start()
+	}
 }
 
 // stop cancels all supervision (Unlink).
@@ -69,6 +96,9 @@ func (s *session) stop() {
 		s.timer.Stop()
 	}
 	s.mu.Unlock()
+	if s.lv != nil {
+		s.lv.Stop()
+	}
 }
 
 // onTick exchanges keepalives in both directions and checks both hold
@@ -79,11 +109,12 @@ func (s *session) onTick() {
 		s.mu.Unlock()
 		return
 	}
+	gen := s.gen
 	s.mu.Unlock()
 
 	now := s.n.cfg.Clock.Now()
-	s.keepalive(s.a, s.b, now)
-	s.keepalive(s.b, s.a, now)
+	s.keepalive(s.a, s.b, gen)
+	s.keepalive(s.b, s.a, gen)
 
 	s.mu.Lock()
 	if s.stopped || !s.up {
@@ -103,9 +134,19 @@ func (s *session) onTick() {
 // keepalive sends one keepalive from -> to through the fault plane; on
 // delivery the receiver's hold timer is touched. Without a plane the
 // keepalive always arrives.
-func (s *session) keepalive(from, to *Router, now time.Time) {
+func (s *session) keepalive(from, to *Router, gen uint64) {
 	touch := func() {
+		// Credit the receiver as of delivery time, not transmit time: the
+		// plane may delay the callback, and near the HoldTime boundary the
+		// difference decides expiry. A delivery straddling a down()/retry()
+		// cycle carries a stale generation and must not touch the new
+		// incarnation's timers.
+		now := s.n.cfg.Clock.Now()
 		s.mu.Lock()
+		if gen != s.gen {
+			s.mu.Unlock()
+			return
+		}
 		if to == s.a {
 			if now.After(s.heardA) {
 				s.heardA = now
@@ -131,11 +172,15 @@ func (s *session) down() {
 		return
 	}
 	s.up = false
+	s.gen++ // in-flight keepalive credits die with the incarnation
 	if s.timer != nil {
 		s.timer.Stop()
 	}
 	backoff := s.backoff
 	s.mu.Unlock()
+	if s.lv != nil {
+		s.lv.Stop()
+	}
 
 	s.n.emit(obs.Event{Kind: obs.SessionDown, Domain: s.a.domain.ID, Router: s.a.ID, Peer: s.b.ID})
 	s.a.dropPeer(s.b.ID)

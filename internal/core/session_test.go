@@ -8,6 +8,7 @@ import (
 	"mascbgmp/internal/addr"
 	"mascbgmp/internal/bgmp"
 	"mascbgmp/internal/faultinject"
+	"mascbgmp/internal/liveness"
 	"mascbgmp/internal/migp/dvmrp"
 	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
@@ -19,6 +20,13 @@ import (
 // 30s (10s keepalives) and a 15s initial reconnect backoff.
 func faultNet(t *testing.T, seed int64) (*Network, *simclock.Sim, *faultinject.Plane, *obs.Observer) {
 	t.Helper()
+	return faultNetCfg(t, seed, nil)
+}
+
+// faultNetCfg is faultNet with a Config hook applied before NewNetwork —
+// the liveness tests use it to arm the fast detector.
+func faultNetCfg(t *testing.T, seed int64, mutate func(*Config)) (*Network, *simclock.Sim, *faultinject.Plane, *obs.Observer) {
+	t.Helper()
 	clk := simclock.NewSim(time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC))
 	ob := obs.NewObserver()
 	plane, err := faultinject.New(faultinject.Config{
@@ -29,7 +37,7 @@ func faultNet(t *testing.T, seed int64) (*Network, *simclock.Sim, *faultinject.P
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := NewNetwork(Config{
+	cfg := Config{
 		Clock:            clk,
 		Seed:             seed,
 		Synchronous:      true,
@@ -37,7 +45,11 @@ func faultNet(t *testing.T, seed int64) (*Network, *simclock.Sim, *faultinject.P
 		Faults:           plane,
 		HoldTime:         30 * time.Second,
 		ReconnectBackoff: 15 * time.Second,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n, err := NewNetwork(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,6 +193,183 @@ func TestDataLossDoesNotDropSessions(t *testing.T) {
 	clk.RunFor(10 * time.Minute)
 	if got := ob.Snapshot().Total("session.down"); got != 0 {
 		t.Fatalf("session.down = %d under data-only loss, want 0", got)
+	}
+}
+
+// TestDelayedKeepalivesDoNotExpireSession is the regression test for the
+// transmit-time stamping bug: keepalives used to credit the receiver with
+// the clock reading at *send* time, so a delivery delayed close to the
+// hold time recorded a stale instant and the session flapped even though
+// keepalives were arriving steadily. With delivery-time crediting, a
+// steady 28s-delayed stream keeps the receiver at most ~interval behind.
+func TestDelayedKeepalivesDoNotExpireSession(t *testing.T) {
+	n, clk, plane, ob := faultNet(t, 5)
+	lease, err := n.Domain(1).NewGroup(24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Domain(3).Join(lease.Addr, 0)
+
+	// Ramp the delay in two steps so no *transition* gap exceeds the hold
+	// time (jumping 0→28s would silence the link for interval+28s ≥ 30s
+	// and legitimately expire the session); each steady state then lags
+	// deliveries by only (delay mod interval) + interval.
+	plane.SetLink(12, 31, faultinject.LinkFaults{Delay: 15 * time.Second, Classes: faultinject.MaskKeepalive})
+	clk.RunFor(40 * time.Second)
+	plane.SetLink(12, 31, faultinject.LinkFaults{Delay: 28 * time.Second, Classes: faultinject.MaskKeepalive})
+	clk.RunFor(5 * time.Minute)
+
+	if got := ob.Snapshot().Total("session.down"); got != 0 {
+		t.Fatalf("session.down = %d under delayed-but-steady keepalives, want 0", got)
+	}
+	if parent, _, ok := n.Router(31).BGMP().GroupEntry(lease.Addr); !ok || parent != bgmp.PeerTarget(12) {
+		t.Fatalf("parent = %v ok=%v, want direct peer 12 (session must have stayed up)", parent, ok)
+	}
+}
+
+// TestStaleKeepalivesDoNotTouchNextIncarnation is the regression test for
+// cross-incarnation touches: keepalives still in flight when a session
+// goes down used to credit the *next* incarnation on delivery, postponing
+// its (legitimate) hold expiry. With generation checking the reconnected
+// incarnation hears nothing once the link eats all new keepalives, so its
+// second down lands one hold time after the reconnect — not later.
+func TestStaleKeepalivesDoNotTouchNextIncarnation(t *testing.T) {
+	n, clk, plane, ob := faultNet(t, 5)
+	_ = n
+
+	// 40s-delayed keepalives silence the link past the hold time: the
+	// session drops (down #1) while several old-incarnation keepalives are
+	// still queued for delivery inside the next incarnation's lifetime.
+	plane.SetLink(12, 31, faultinject.LinkFaults{Delay: 40 * time.Second, Classes: faultinject.MaskKeepalive})
+	deadline := clk.Now().Add(time.Minute)
+	for ob.Snapshot().Total("session.down") == 0 {
+		if !clk.Now().Before(deadline) {
+			t.Fatal("session never dropped under 40s keepalive delay")
+		}
+		clk.RunFor(time.Second)
+	}
+
+	// From now on every fresh keepalive is lost (the delayed ones already
+	// in flight still arrive). The reconnect at +15s starts an incarnation
+	// that must expire exactly one hold time later: down #2 at ~+45s. If
+	// the stale deliveries (arriving up to +40s after down #1) credited
+	// the new incarnation, the second down would slip past +50s.
+	plane.SetLink(12, 31, faultinject.LinkFaults{Drop: 1, Classes: faultinject.MaskKeepalive})
+	clk.RunFor(50 * time.Second)
+	if got := ob.Snapshot().Total("session.down"); got != 2 {
+		t.Fatalf("session.down = %d within 50s of the first drop, want 2 (stale keepalives must not feed the new incarnation)", got)
+	}
+}
+
+// TestAsymmetricKeepaliveLossConvergesBothEnds starves exactly one
+// direction (12→31) of keepalives and liveness probes: the end that stops
+// hearing must expire, and — because the supervisor tears both sides of
+// the peering down together — both ends converge to SessionDown within
+// the detector's bound. Runs under both detectors: hold timers alone
+// (HoldTime + an interval ≈ 40s) and the fast-liveness plane (a couple of
+// demand polls plus Multiplier floor rounds ≈ 2.2s).
+func TestAsymmetricKeepaliveLossConvergesBothEnds(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		lv    *liveness.Params
+		bound time.Duration
+	}{
+		{"hold-timer", nil, 45 * time.Second},
+		{"liveness", &liveness.Params{Floor: 100 * time.Millisecond, Multiplier: 3, DemandAfter: 10}, 5 * time.Second},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n, clk, plane, ob := faultNetCfg(t, 7, func(c *Config) { c.Liveness = tc.lv })
+			lease, err := n.Domain(1).NewGroup(24 * time.Hour)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n.Domain(3).Join(lease.Addr, 0)
+
+			start := clk.Now()
+			var downAt time.Time
+			var downEvt obs.Event
+			cancel := ob.Subscribe(func(e obs.Event) {
+				if e.Kind == obs.SessionDown && downAt.IsZero() {
+					downAt = clk.Now()
+					downEvt = e
+				}
+			})
+			defer cancel()
+
+			plane.SetLinkDirected(12, 31, faultinject.LinkFaults{
+				Drop:    1,
+				Classes: faultinject.MaskKeepalive | faultinject.MaskLiveness,
+			})
+			clk.RunFor(time.Minute)
+
+			if downAt.IsZero() {
+				t.Fatal("one-way keepalive loss never dropped the session")
+			}
+			if d := downAt.Sub(start); d > tc.bound {
+				t.Fatalf("detection took %v, want ≤ %v", d, tc.bound)
+			}
+			if !(downEvt.Router == 12 && downEvt.Peer == 31) && !(downEvt.Router == 31 && downEvt.Peer == 12) {
+				t.Fatalf("first session.down was %v, want the 12–31 peering", downEvt)
+			}
+			if tc.lv != nil && ob.Snapshot().Total("liveness.detect") == 0 {
+				t.Fatal("liveness detector configured but hold timer made the detection")
+			}
+
+			// Heal the direction and let the backoff retries reconnect: both
+			// ends must return to the direct path.
+			plane.ClearLinkDirected(12, 31)
+			clk.RunFor(5 * time.Minute)
+			if ob.Snapshot().Total("session.up") == 0 {
+				t.Fatal("session never re-established after heal")
+			}
+			if parent, _, ok := n.Router(31).BGMP().GroupEntry(lease.Addr); !ok || parent != bgmp.PeerTarget(12) {
+				t.Fatalf("post-heal parent = %v ok=%v, want direct peer 12", parent, ok)
+			}
+		})
+	}
+}
+
+// TestLivenessCrashFailsOverToBackupParent is the end-to-end fast-reroute
+// path: with the liveness detector armed and BGMP's precomputed backup
+// parents in place, a silent crash of the direct border router reroutes
+// the tree onto transit within seconds — detection is the only latency,
+// repair is a single precomputed switchover (bgmp.failover).
+func TestLivenessCrashFailsOverToBackupParent(t *testing.T) {
+	n, clk, plane, ob := faultNetCfg(t, 9, func(c *Config) {
+		c.Liveness = &liveness.Params{Floor: 100 * time.Millisecond, Multiplier: 3, DemandAfter: 10}
+	})
+	lease, err := n.Domain(1).NewGroup(24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Domain(3).Join(lease.Addr, 0)
+	if parent, _, _ := n.Router(31).BGMP().GroupEntry(lease.Addr); parent != bgmp.PeerTarget(12) {
+		t.Fatalf("pre-crash parent = %v, want 12", parent)
+	}
+	if backup, ok := n.Router(31).BGMP().BackupParent(lease.Addr); !ok || backup != bgmp.PeerTarget(22) {
+		t.Fatalf("precomputed backup = %v ok=%v, want transit peer 22", backup, ok)
+	}
+
+	plane.CrashPeerFor(12, 10*time.Minute)
+	clk.RunFor(5 * time.Second)
+
+	s := ob.Snapshot()
+	if s.Total("liveness.detect") == 0 {
+		t.Fatal("liveness never detected the silent crash")
+	}
+	if s.Total("session.down") == 0 {
+		t.Fatal("detection did not reach the session supervisor")
+	}
+	if s.Total("bgmp.failover") == 0 {
+		t.Fatal("no precomputed failover happened")
+	}
+	if parent, _, ok := n.Router(31).BGMP().GroupEntry(lease.Addr); !ok || parent != bgmp.PeerTarget(22) {
+		t.Fatalf("post-crash parent = %v ok=%v, want transit peer 22", parent, ok)
+	}
+	src := n.Domain(1).HostAddr(1)
+	n.Domain(1).Send(lease.Addr, src, "fast", 0)
+	if len(n.Domain(3).Received()) != 1 {
+		t.Fatal("delivery failed after fast reroute")
 	}
 }
 

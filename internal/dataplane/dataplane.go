@@ -68,8 +68,7 @@ func BIERHeaderBytes(words int) int { return BIERFixedHeaderBytes + 8*words }
 // Backend is the forwarding plane of one border router. Exactly one
 // backend runs per router; core selects it from Config.DataPlane.
 //
-// Deliver is the single data ingress (the contract formerly split across
-// bgmp's HandleDataFromMIGP/HandleData): src is bgmp.MIGPTarget for
+// Deliver is the single data ingress: src is bgmp.MIGPTarget for
 // interior-origin packets, bgmp.MIGPToward(r) for packets relayed from
 // sibling border r, and bgmp.PeerTarget(r) for packets from external peer
 // r. Implementations must be safe for concurrent use and deterministic:

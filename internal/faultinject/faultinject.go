@@ -44,6 +44,10 @@ const (
 	Data
 	// Keepalive is session-liveness traffic (core's session supervision).
 	Keepalive
+	// Liveness is BFD-style fast-liveness probe traffic (internal/liveness).
+	// It is classed apart from keepalives so experiments can fail the two
+	// detectors independently.
+	Liveness
 )
 
 // ClassMask selects which classes a link's faults apply to.
@@ -56,9 +60,11 @@ const (
 	MaskData
 	// MaskKeepalive selects session keepalives.
 	MaskKeepalive
+	// MaskLiveness selects fast-liveness probes.
+	MaskLiveness
 	// MaskAll selects every class. A zero ClassMask in LinkFaults is
 	// treated as MaskAll.
-	MaskAll = MaskControl | MaskData | MaskKeepalive
+	MaskAll = MaskControl | MaskData | MaskKeepalive | MaskLiveness
 )
 
 func (m ClassMask) has(c Class) bool {
@@ -70,6 +76,8 @@ func (m ClassMask) has(c Class) bool {
 		return m&MaskData != 0
 	case Keepalive:
 		return m&MaskKeepalive != 0
+	case Liveness:
+		return m&MaskLiveness != 0
 	default:
 		return m&MaskControl != 0
 	}
@@ -138,9 +146,13 @@ func keyOf(a, b wire.RouterID) linkKey {
 type Plane struct {
 	cfg Config
 
-	mu          sync.Mutex
-	seedBase    int64
-	links       map[linkKey]LinkFaults
+	mu       sync.Mutex
+	seedBase int64
+	links    map[linkKey]LinkFaults
+	// linksDir holds one-direction overrides (SetLinkDirected); they take
+	// precedence over the bidirectional profile for their direction only,
+	// so asymmetric failures (A hears B, B never hears A) are expressible.
+	linksDir    map[directedKey]LinkFaults
 	partitioned map[linkKey]bool
 	crashed     map[wire.RouterID]bool
 	// rngs holds one rand stream per directed link, lazily seeded from
@@ -168,6 +180,7 @@ func New(cfg Config) (*Plane, error) {
 		cfg:         cfg,
 		seedBase:    cfg.Rand.Int63(),
 		links:       map[linkKey]LinkFaults{},
+		linksDir:    map[directedKey]LinkFaults{},
 		partitioned: map[linkKey]bool{},
 		crashed:     map[wire.RouterID]bool{},
 		rngs:        map[directedKey]*rand.Rand{},
@@ -204,6 +217,21 @@ func (p *Plane) SetLink(a, b wire.RouterID, f LinkFaults) {
 func (p *Plane) ClearLink(a, b wire.RouterID) {
 	p.mu.Lock()
 	delete(p.links, keyOf(a, b))
+	p.mu.Unlock()
+}
+
+// SetLinkDirected sets the fault profile of the from→to direction only;
+// the reverse direction keeps its bidirectional (or default) profile.
+func (p *Plane) SetLinkDirected(from, to wire.RouterID, f LinkFaults) {
+	p.mu.Lock()
+	p.linksDir[directedKey{from, to}] = f
+	p.mu.Unlock()
+}
+
+// ClearLinkDirected removes the from→to directed override.
+func (p *Plane) ClearLinkDirected(from, to wire.RouterID) {
+	p.mu.Lock()
+	delete(p.linksDir, directedKey{from, to})
 	p.mu.Unlock()
 }
 
@@ -319,9 +347,11 @@ func (p *Plane) Deliver(from, to wire.RouterID, class Class, deliver func()) boo
 		p.emit(obs.Event{Kind: obs.FaultDrop, Router: from, Peer: to})
 		return false
 	}
-	f, ok := p.links[k]
+	f, ok := p.linksDir[directedKey{from, to}]
 	if !ok {
-		f = p.cfg.Default
+		if f, ok = p.links[k]; !ok {
+			f = p.cfg.Default
+		}
 	}
 	if f.zero() || !f.Classes.has(class) {
 		p.stats.Delivered++

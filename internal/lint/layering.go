@@ -17,7 +17,7 @@ type layerSpec struct {
 
 // layerTable is the machine-readable form of the CLAUDE.md layering rule
 // (low → high): addr, simclock, harness, topology, wire → obs → transport,
-// bgp, masc, maas, faultinject → bgmp → migp (+ subpackages) → trees,
+// bgp, masc, maas, faultinject → bgmp, liveness → migp (+ subpackages) → trees,
 // experiments → core → bench → facade. Every internal package and every
 // internal import edge must be declared here; adding a package or an edge
 // is a deliberate one-line change reviewed with the code that needs it.
@@ -39,6 +39,11 @@ var layerTable = map[string]layerSpec{
 	"internal/faultinject": {layer: 3, imports: []string{"internal/obs", "internal/simclock", "internal/wire"}},
 
 	"internal/bgmp": {layer: 4, imports: []string{"internal/addr", "internal/bgp", "internal/obs", "internal/wire"}},
+
+	// The fast-liveness detector sits beside bgmp: it rides the fault
+	// plane (its own message class) and feeds core's session supervisor.
+	"internal/liveness": {layer: 4, imports: []string{
+		"internal/faultinject", "internal/obs", "internal/simclock", "internal/wire"}},
 
 	"internal/migp": {layer: 5, imports: []string{"internal/addr", "internal/bgmp", "internal/topology", "internal/wire"}},
 
@@ -63,9 +68,9 @@ var layerTable = map[string]layerSpec{
 
 	"internal/core": {layer: 9, imports: []string{
 		"internal/addr", "internal/bgmp", "internal/bgp", "internal/dataplane",
-		"internal/faultinject", "internal/harness", "internal/maas", "internal/masc",
-		"internal/migp", "internal/migp/dvmrp", "internal/obs", "internal/simclock",
-		"internal/topology", "internal/transport", "internal/wire"}},
+		"internal/faultinject", "internal/harness", "internal/liveness", "internal/maas",
+		"internal/masc", "internal/migp", "internal/migp/dvmrp", "internal/obs",
+		"internal/simclock", "internal/topology", "internal/transport", "internal/wire"}},
 
 	"internal/bench": {layer: 10, imports: []string{
 		"internal/core", "internal/dataplane", "internal/experiments",

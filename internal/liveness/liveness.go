@@ -1,0 +1,289 @@
+// Package liveness is a BFD-style fast failure detector (RFC 5880 in
+// spirit) for supervised peering sessions: each monitored peering
+// exchanges small liveness probes at an adaptive transmit interval that
+// ramps down from the session's keepalive cadence (HoldTime/3) toward a
+// configured floor, declares the peering dead after a multiplier of
+// consecutive missed intervals, and — once the session has proven stable
+// at the floor — quiesces into demand mode, probing at a slow poll
+// interval until the first missed round re-arms fast probing.
+//
+// The monitor is driven entirely by the configured simclock.Clock and
+// routes every probe through the fault plane as its own message class
+// (faultinject.Liveness), so partitions, crashes, directed loss, and
+// delay all apply to it exactly as to real traffic. It is a detector,
+// not a supervisor: a detection is reported once through OnDown and the
+// owning session supervisor (internal/core) tears the peering down; hold
+// timers remain the fallback when no monitor is configured.
+//
+// Layering: liveness sits beside bgmp — it imports wire, obs, simclock,
+// faultinject, and the standard library only.
+package liveness
+
+import (
+	"sync"
+	"time"
+
+	"mascbgmp/internal/faultinject"
+	"mascbgmp/internal/obs"
+	"mascbgmp/internal/simclock"
+	"mascbgmp/internal/wire"
+)
+
+// Params tunes the detector. The zero value takes defaults suitable for
+// the chaos experiments; see the field comments.
+type Params struct {
+	// Floor is the minimum transmit interval the adaptive ramp converges
+	// to. Defaults to 100ms.
+	Floor time.Duration
+	// Multiplier is the number of consecutive missed intervals in either
+	// direction before the peering is declared dead. Defaults to 3.
+	Multiplier int
+	// DemandAfter is the number of consecutive clean rounds at the floor
+	// before the monitor quiesces into demand mode; zero disables demand
+	// mode (the monitor probes at the floor forever).
+	DemandAfter int
+	// DemandInterval is the slow poll cadence in demand mode. Defaults to
+	// 10× the floor.
+	DemandInterval time.Duration
+}
+
+// normalized fills defaulted fields.
+func (p Params) normalized() Params {
+	if p.Floor <= 0 {
+		p.Floor = 100 * time.Millisecond
+	}
+	if p.Multiplier <= 0 {
+		p.Multiplier = 3
+	}
+	if p.DemandInterval <= 0 {
+		p.DemandInterval = 10 * p.Floor
+	}
+	return p
+}
+
+// Config parameterizes a Monitor. One Monitor supervises one peering and
+// probes both directions, mirroring the session supervisor it feeds.
+type Config struct {
+	// Clock drives the probe timers. Required.
+	Clock simclock.Clock
+	// Initial is the starting transmit interval, conventionally the
+	// session's keepalive cadence (HoldTime/3); the ramp negotiates it
+	// down to Params.Floor. Values below the floor are clamped up.
+	Initial time.Duration
+	// Params tunes detection; zero fields take defaults.
+	Params Params
+	// Domain and A, B scope the monitored peering for events: A and B are
+	// the two session endpoints, probed in both directions.
+	Domain wire.DomainID
+	A, B   wire.RouterID
+	// Faults, when non-nil, carries every probe as its own message class
+	// (faultinject.Liveness). Nil delivers probes synchronously unharmed.
+	Faults *faultinject.Plane
+	// OnDown fires once per Start when detection trips, with no monitor
+	// lock held. The monitor disarms itself first, so OnDown may call
+	// back into Stop or Start freely.
+	OnDown func()
+	// Obs observes liveness.detect / liveness.demand / liveness.resume.
+	Obs *obs.Observer
+}
+
+// Monitor is one peering's fast-liveness detector. Safe for concurrent
+// use; deterministic when driven from a simulated clock.
+type Monitor struct {
+	cfg Config
+	prm Params
+
+	mu      sync.Mutex
+	running bool
+	// gen is the monitoring incarnation; probes stamped with an earlier
+	// generation (delayed past a Stop/Start cycle) are discarded on
+	// receipt rather than crediting the new incarnation.
+	gen      uint32
+	interval time.Duration
+	demand   bool
+	stable   int // consecutive clean rounds at the floor
+	rounds   uint64
+	// gotA/gotB record a probe received this round by A (from B) and by
+	// B (from A); missA/missB count consecutive missed rounds per
+	// direction.
+	gotA, gotB   bool
+	missA, missB int
+	timer        simclock.Timer
+}
+
+// New returns a Monitor for the configured peering. Start arms it.
+func New(cfg Config) *Monitor {
+	return &Monitor{cfg: cfg, prm: cfg.Params.normalized()}
+}
+
+// Start (re-)arms the monitor for a fresh session incarnation: the ramp
+// restarts from Config.Initial and a new probe generation begins.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	m.gen++
+	m.running = true
+	m.interval = m.cfg.Initial
+	if m.interval < m.prm.Floor {
+		m.interval = m.prm.Floor
+	}
+	m.demand = false
+	m.stable = 0
+	m.rounds = 0
+	m.gotA, m.gotB = false, false
+	m.missA, m.missB = 0, 0
+	if m.timer != nil {
+		m.timer.Stop()
+	}
+	m.timer = m.cfg.Clock.AfterFunc(m.interval, m.onTick)
+	m.mu.Unlock()
+}
+
+// Stop disarms the monitor. Idempotent; a later Start re-arms it.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	m.running = false
+	if m.timer != nil {
+		m.timer.Stop()
+	}
+	m.mu.Unlock()
+}
+
+// State is a snapshot of the monitor's detector state, for tests and
+// introspection.
+type State struct {
+	Running  bool
+	Interval time.Duration
+	Demand   bool
+	Stable   int
+}
+
+// State returns a snapshot of the detector state.
+func (m *Monitor) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return State{Running: m.running, Interval: m.interval, Demand: m.demand, Stable: m.stable}
+}
+
+// onTick closes the previous probe round and opens the next: evaluate
+// which directions heard a probe, detect or adapt, then probe again.
+func (m *Monitor) onTick() {
+	m.mu.Lock()
+	if !m.running {
+		m.mu.Unlock()
+		return
+	}
+	var detect, resumed, quiesced bool
+	if m.rounds > 0 {
+		missed := false
+		if m.gotA {
+			m.missA = 0
+		} else {
+			m.missA++
+			missed = true
+		}
+		if m.gotB {
+			m.missB = 0
+		} else {
+			m.missB++
+			missed = true
+		}
+		detect = m.missA >= m.prm.Multiplier || m.missB >= m.prm.Multiplier
+		switch {
+		case detect:
+			// Disarm before reporting: the supervisor restarts us on
+			// reconnect with a fresh generation.
+			m.running = false
+		case missed && m.demand:
+			// First miss ends the quiesce: return to fast probing so the
+			// multiplier counts floor intervals, not poll intervals.
+			m.demand = false
+			m.stable = 0
+			m.interval = m.prm.Floor
+			resumed = true
+		case !missed && !m.demand:
+			// Clean round: ramp the interval down toward the floor, and
+			// after enough stable floor rounds, quiesce.
+			if m.interval > m.prm.Floor {
+				m.interval /= 2
+				if m.interval < m.prm.Floor {
+					m.interval = m.prm.Floor
+				}
+			} else if m.prm.DemandAfter > 0 {
+				m.stable++
+				if m.stable >= m.prm.DemandAfter {
+					m.demand = true
+					quiesced = true
+				}
+			}
+		}
+	}
+	m.gotA, m.gotB = false, false
+	m.rounds++
+	gen, interval, demand := m.gen, m.interval, m.demand
+	if !detect {
+		next := interval
+		if demand {
+			next = m.prm.DemandInterval
+		}
+		m.timer = m.cfg.Clock.AfterFunc(next, m.onTick)
+	}
+	m.mu.Unlock()
+
+	switch {
+	case detect:
+		m.emit(obs.LivenessDetect)
+		if m.cfg.OnDown != nil {
+			m.cfg.OnDown()
+		}
+		return
+	case quiesced:
+		m.emit(obs.LivenessDemand)
+	case resumed:
+		m.emit(obs.LivenessResume)
+	}
+	m.probe(m.cfg.A, m.cfg.B, gen, interval, demand)
+	m.probe(m.cfg.B, m.cfg.A, gen, interval, demand)
+}
+
+// probe sends one liveness control packet from→to through the fault
+// plane, round-tripping it through the wire codec like real traffic.
+func (m *Monitor) probe(from, to wire.RouterID, gen uint32, interval time.Duration, demand bool) {
+	frame := wire.Encode(&wire.LivenessCtl{
+		Generation: gen,
+		IntervalUS: uint32(interval / time.Microsecond),
+		Multiplier: uint8(m.prm.Multiplier),
+		Demand:     demand,
+	})
+	deliver := func() {
+		msg, err := wire.Decode(frame)
+		if err != nil {
+			return
+		}
+		if ctl, ok := msg.(*wire.LivenessCtl); ok {
+			m.rx(to, ctl)
+		}
+	}
+	if p := m.cfg.Faults; p != nil {
+		p.Deliver(from, to, faultinject.Liveness, deliver)
+		return
+	}
+	deliver()
+}
+
+// rx credits the receiving end's current round. Probes from an earlier
+// monitoring incarnation (delayed past a Stop/Start cycle) are discarded.
+func (m *Monitor) rx(at wire.RouterID, ctl *wire.LivenessCtl) {
+	m.mu.Lock()
+	if m.running && ctl.Generation == m.gen {
+		if at == m.cfg.A {
+			m.gotA = true
+		} else if at == m.cfg.B {
+			m.gotB = true
+		}
+	}
+	m.mu.Unlock()
+}
+
+func (m *Monitor) emit(k obs.Kind) {
+	m.cfg.Obs.Emit(obs.Event{Kind: k, Domain: m.cfg.Domain, Router: m.cfg.A, Peer: m.cfg.B})
+}

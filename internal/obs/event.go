@@ -79,6 +79,15 @@ const (
 	// a restart (holdings and pending claims survived).
 	MASCRestored
 
+	// Fast-liveness detector events (internal/liveness).
+	LivenessDetect // the liveness monitor declared a peering dead
+	LivenessDemand // a stable session quiesced into demand mode
+	LivenessResume // a missed probe pulled a session out of demand mode
+
+	// BGMPFailover marks a (*,G) parent switched to its precomputed backup
+	// target on peer death, without re-querying the G-RIB.
+	BGMPFailover
+
 	kindCount // sentinel; keep last
 )
 
@@ -113,6 +122,10 @@ var kindNames = [kindCount]string{
 	SessionRetry:   "session.retry",
 	SessionUp:      "session.up",
 	MASCRestored:   "masc.restored",
+	LivenessDetect: "liveness.detect",
+	LivenessDemand: "liveness.demand",
+	LivenessResume: "liveness.resume",
+	BGMPFailover:   "bgmp.failover",
 }
 
 // String returns the event kind's counter name, e.g. "masc.claim".

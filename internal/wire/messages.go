@@ -92,6 +92,53 @@ func (m *Notification) DecodePayload(b []byte) error {
 	return r.done()
 }
 
+// LivenessCtl is a BFD-style liveness probe (RFC 5880 in spirit). It rides
+// its own fault-plane class, separate from session keepalives, so the
+// fast-liveness detector and the hold-timer fallback fail independently.
+type LivenessCtl struct {
+	// Generation is the sender's session incarnation; probes from an
+	// earlier incarnation are discarded on receipt.
+	Generation uint32
+	// IntervalUS advertises the sender's current transmit interval in
+	// microseconds (the adaptive ramp from HoldTime/3 down to the floor).
+	IntervalUS uint32
+	// Multiplier is the sender's detect multiplier: the peer declares the
+	// session dead after this many consecutive missed intervals.
+	Multiplier uint8
+	// Demand indicates the sender has quiesced to demand mode and probes
+	// at the slow poll interval.
+	Demand bool
+}
+
+// Type implements Message.
+func (*LivenessCtl) Type() MsgType { return TypeLiveness }
+
+// AppendPayload implements Message.
+func (m *LivenessCtl) AppendPayload(b []byte) []byte {
+	b = appendU32(b, m.Generation)
+	b = appendU32(b, m.IntervalUS)
+	b = append(b, m.Multiplier)
+	var flags uint8
+	if m.Demand {
+		flags |= 0x01
+	}
+	return append(b, flags)
+}
+
+// DecodePayload implements Message.
+func (m *LivenessCtl) DecodePayload(b []byte) error {
+	r := reader{b: b}
+	m.Generation = r.u32()
+	m.IntervalUS = r.u32()
+	m.Multiplier = r.u8()
+	flags := r.u8()
+	if r.err == nil && flags&^uint8(0x01) != 0 {
+		return fmt.Errorf("wire: undefined liveness flags 0x%02x", flags)
+	}
+	m.Demand = flags&0x01 != 0
+	return r.done()
+}
+
 // Table selects which logical routing table an Update affects — BGP-lite
 // carries multiple route types per the multiprotocol extensions the paper
 // builds on (§2).

@@ -46,6 +46,7 @@ const (
 	TypeKeepalive    MsgType = 0x11
 	TypeUpdate       MsgType = 0x12
 	TypeNotification MsgType = 0x13
+	TypeLiveness     MsgType = 0x14
 	TypeClaim        MsgType = 0x20
 	TypeCollision    MsgType = 0x21
 	TypeRelease      MsgType = 0x22
@@ -69,6 +70,8 @@ func (t MsgType) String() string {
 		return "UPDATE"
 	case TypeNotification:
 		return "NOTIFICATION"
+	case TypeLiveness:
+		return "LIVENESS"
 	case TypeClaim:
 		return "CLAIM"
 	case TypeCollision:
@@ -183,6 +186,8 @@ func newMessage(t MsgType) Message {
 		return &Update{}
 	case TypeNotification:
 		return &Notification{}
+	case TypeLiveness:
+		return &LivenessCtl{}
 	case TypeClaim:
 		return &Claim{}
 	case TypeCollision:

@@ -16,6 +16,8 @@ func allMessages() []Message {
 		&Open{Router: 7, Domain: 3, HoldSecs: 90},
 		&Keepalive{},
 		&Notification{Code: NoteHoldExpired, Reason: "hold timer expired"},
+		&LivenessCtl{Generation: 3, IntervalUS: 100_000, Multiplier: 3, Demand: true},
+		&LivenessCtl{Generation: 1, IntervalUS: 10_000_000},
 		&Update{
 			Table:     TableGRIB,
 			Withdrawn: []addr.Prefix{addr.MustParsePrefix("224.0.1.0/24")},

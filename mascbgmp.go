@@ -49,6 +49,7 @@ import (
 	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/experiments"
 	"mascbgmp/internal/faultinject"
+	"mascbgmp/internal/liveness"
 	"mascbgmp/internal/masc"
 	"mascbgmp/internal/migp"
 	"mascbgmp/internal/migp/cbt"
@@ -134,6 +135,10 @@ const (
 	EventSessionRetry   = obs.SessionRetry
 	EventSessionUp      = obs.SessionUp
 	EventMASCRestored   = obs.MASCRestored
+	EventLivenessDetect = obs.LivenessDetect
+	EventLivenessDemand = obs.LivenessDemand
+	EventLivenessResume = obs.LivenessResume
+	EventBGMPFailover   = obs.BGMPFailover
 )
 
 // NewObserver returns an Observer backed by a fresh Metrics registry.
@@ -327,6 +332,10 @@ type (
 	ChaosConfig = core.ChaosConfig
 	// ChaosPoint is one loss rate's recovery measurements.
 	ChaosPoint = core.ChaosPoint
+	// LivenessParams tunes the BFD-style fast failure detector enabled
+	// via Config.Liveness: probe-interval floor, miss multiplier, and
+	// demand-mode quiesce. Hold timers remain the fallback.
+	LivenessParams = liveness.Params
 )
 
 // Fault message classes and masks.
@@ -334,10 +343,12 @@ const (
 	FaultControl   = faultinject.Control
 	FaultData      = faultinject.Data
 	FaultKeepalive = faultinject.Keepalive
+	FaultLiveness  = faultinject.Liveness
 
 	FaultMaskControl   = faultinject.MaskControl
 	FaultMaskData      = faultinject.MaskData
 	FaultMaskKeepalive = faultinject.MaskKeepalive
+	FaultMaskLiveness  = faultinject.MaskLiveness
 	FaultMaskAll       = faultinject.MaskAll
 )
 

@@ -30,3 +30,13 @@ go run ./cmd/benchsuite -suite dataplane-compare -trials 2 -parallel 1 -out "$BE
 go run ./cmd/benchsuite -suite dataplane-compare -trials 2 -parallel 2 -out "$BENCH_TMP/dp2.json"
 go run ./cmd/benchsuite -validate "$BENCH_TMP/dp1.json"
 go run ./cmd/benchsuite -diff "$BENCH_TMP/dp1.json" "$BENCH_TMP/dp2.json"
+
+# chaos-recovery determinism smoke: two same-seed chaossim runs must be
+# byte-identical, under both failure detectors (hold timers alone, and
+# the fast-liveness plane with its sub-second probe cadence).
+go run ./cmd/chaossim -loss 0.1 -packets 5 -crash 90s >"$BENCH_TMP/ch1.csv" 2>/dev/null
+go run ./cmd/chaossim -loss 0.1 -packets 5 -crash 90s >"$BENCH_TMP/ch2.csv" 2>/dev/null
+cmp "$BENCH_TMP/ch1.csv" "$BENCH_TMP/ch2.csv"
+go run ./cmd/chaossim -liveness -loss 0.1 -packets 5 -crash 90s >"$BENCH_TMP/lv1.csv" 2>/dev/null
+go run ./cmd/chaossim -liveness -loss 0.1 -packets 5 -crash 90s >"$BENCH_TMP/lv2.csv" 2>/dev/null
+cmp "$BENCH_TMP/lv1.csv" "$BENCH_TMP/lv2.csv"
