@@ -12,8 +12,16 @@
 //	benchsuite -suite scale-churn [-trials 3] [-parallel 0] [-seed 1998]
 //	           [-backend shared-tree|bier|map-encap]
 //	           [-out BENCH_scale.json] [-compare old.json] [-tolerance 0.10]
+//	           [-trace-out spans.json] [-metrics-out metrics.prom]
 //	benchsuite -validate BENCH_scale.json
 //	benchsuite -diff a.json b.json
+//
+// -trace-out attaches a deterministic tracer to every trial's observer
+// and writes the recorded causal spans (trial order) as Chrome
+// trace-event JSON. -metrics-out writes the deterministic counter and
+// histogram totals in Prometheus text exposition format. Both files are
+// byte-identical for the same (suite, trials, seed) at -parallel 1;
+// histogram and counter sections stay identical at any parallelism.
 //
 // -backend runs a suite under a specific forwarding data plane; the
 // scale-churn and chaos-recovery suites honor it (dataplane-compare
@@ -51,17 +59,19 @@ import (
 
 func main() {
 	var (
-		suite     = flag.String("suite", "", "scenario to run (see -list)")
-		trials    = flag.Int("trials", 0, "trials to run (0: the scenario's default)")
-		parallel  = flag.Int("parallel", 0, "worker pool size (0: GOMAXPROCS)")
-		seed      = flag.Int64("seed", 1998, "suite seed; per-trial seeds derive from it")
-		backend   = flag.String("backend", "", "forwarding data plane for suites that model one (shared-tree, bier, map-encap; empty: suite default)")
-		out       = flag.String("out", "", "write the result JSON to this file (default: stdout)")
-		compare   = flag.String("compare", "", "baseline result file to gate the run against")
-		tolerance = flag.Float64("tolerance", 0.10, "relative regression tolerance for -compare")
-		list      = flag.Bool("list", false, "list the registered scenarios and exit")
-		validate  = flag.String("validate", "", "validate a result file against the schema and exit")
-		diff      = flag.Bool("diff", false, "compare two result files (args) modulo env/timing and exit")
+		suite      = flag.String("suite", "", "scenario to run (see -list)")
+		trials     = flag.Int("trials", 0, "trials to run (0: the scenario's default)")
+		parallel   = flag.Int("parallel", 0, "worker pool size (0: GOMAXPROCS)")
+		seed       = flag.Int64("seed", 1998, "suite seed; per-trial seeds derive from it")
+		backend    = flag.String("backend", "", "forwarding data plane for suites that model one (shared-tree, bier, map-encap; empty: suite default)")
+		out        = flag.String("out", "", "write the result JSON to this file (default: stdout)")
+		traceOut   = flag.String("trace-out", "", "record causal spans per trial and write Chrome trace-event JSON to this file")
+		metricsOut = flag.String("metrics-out", "", "write counter and histogram totals to this file in Prometheus text exposition format")
+		compare    = flag.String("compare", "", "baseline result file to gate the run against")
+		tolerance  = flag.Float64("tolerance", 0.10, "relative regression tolerance for -compare")
+		list       = flag.Bool("list", false, "list the registered scenarios and exit")
+		validate   = flag.String("validate", "", "validate a result file against the schema and exit")
+		diff       = flag.Bool("diff", false, "compare two result files (args) modulo env/timing and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchsuite [flags]\n\n"+
@@ -119,9 +129,21 @@ func main() {
 
 	res, err := mascbgmp.RunBenchScenario(*suite, mascbgmp.BenchOptions{
 		Trials: *trials, Parallel: *parallel, Seed: *seed, Backend: *backend,
+		Trace: *traceOut != "",
 	})
 	if err != nil {
 		fail(exitUsage, err.Error())
+	}
+
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(res.PrometheusText()), 0o644); err != nil {
+			fail(exitUsage, err.Error())
+		}
+	}
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, mascbgmp.ChromeTrace(res.Spans), 0o644); err != nil {
+			fail(exitUsage, err.Error())
+		}
 	}
 
 	if *out != "" {

@@ -17,6 +17,15 @@
 //	         [-crash 5m] [-groups 3] [-packets 50] [-parallel 1]
 //	         [-backend shared-tree|bier|map-encap] [-liveness]
 //	         [-liveness-floor 100ms] [-liveness-mult 3] [-metrics] [-trace]
+//	         [-trace-out spans.json] [-metrics-out metrics.prom]
+//
+// -trace-out arms the causal trace plane: every point records its
+// detect→failover→reroute chain as a span tree (trace IDs from the
+// deterministic seed stream, timestamps from the sim clock) and the file
+// gets Chrome trace-event JSON — load it in chrome://tracing or Perfetto.
+// Same seed, byte-identical file. -metrics-out writes the final counter
+// and histogram state in Prometheus text exposition format, also sorted
+// and byte-deterministic.
 //
 // -liveness arms the BFD-style fast detector on every supervised session:
 // probe intervals ramp from hold/3 down to -liveness-floor, detection
@@ -53,20 +62,22 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1998, "random seed")
-		loss     = flag.String("loss", "", "comma-separated loss rates in [0,1) (default: the recorded 0,0.05,0.1,0.2 sweep)")
-		hold     = flag.Duration("hold", 30*time.Second, "session hold time (keepalives every third)")
-		backoff  = flag.Duration("backoff", 15*time.Second, "initial reconnect backoff (doubles per failure)")
-		crash    = flag.Duration("crash", 5*time.Minute, "how long the crashed border router stays down")
-		groups   = flag.Int("groups", 3, "multicast groups rooted in the source domain")
-		packets  = flag.Int("packets", 50, "probe packets per group during the lossy phase")
-		parallel = flag.Int("parallel", 1, "worker pool size for the loss-rate points (0: GOMAXPROCS); measurements are identical at any value")
-		backend  = flag.String("backend", mascbgmp.DataPlaneSharedTree, "forwarding data plane (shared-tree, bier, map-encap)")
-		liveness = flag.Bool("liveness", false, "arm the BFD-style fast-liveness detector beside the hold timers")
-		lvFloor  = flag.Duration("liveness-floor", 0, "liveness probe-interval floor (0: the 100ms default)")
-		lvMult   = flag.Int("liveness-mult", 0, "missed intervals before liveness declares a session dead (0: the ×3 default)")
-		metrics  = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
-		trace    = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
+		seed       = flag.Int64("seed", 1998, "random seed")
+		loss       = flag.String("loss", "", "comma-separated loss rates in [0,1) (default: the recorded 0,0.05,0.1,0.2 sweep)")
+		hold       = flag.Duration("hold", 30*time.Second, "session hold time (keepalives every third)")
+		backoff    = flag.Duration("backoff", 15*time.Second, "initial reconnect backoff (doubles per failure)")
+		crash      = flag.Duration("crash", 5*time.Minute, "how long the crashed border router stays down")
+		groups     = flag.Int("groups", 3, "multicast groups rooted in the source domain")
+		packets    = flag.Int("packets", 50, "probe packets per group during the lossy phase")
+		parallel   = flag.Int("parallel", 1, "worker pool size for the loss-rate points (0: GOMAXPROCS); measurements are identical at any value")
+		backend    = flag.String("backend", mascbgmp.DataPlaneSharedTree, "forwarding data plane (shared-tree, bier, map-encap)")
+		liveness   = flag.Bool("liveness", false, "arm the BFD-style fast-liveness detector beside the hold timers")
+		lvFloor    = flag.Duration("liveness-floor", 0, "liveness probe-interval floor (0: the 100ms default)")
+		lvMult     = flag.Int("liveness-mult", 0, "missed intervals before liveness declares a session dead (0: the ×3 default)")
+		metrics    = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
+		trace      = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
+		traceOut   = flag.String("trace-out", "", "record causal span trees and write Chrome trace-event JSON to this file")
+		metricsOut = flag.String("metrics-out", "", "write counters and latency histograms to this file in Prometheus text exposition format")
 	)
 	flag.Parse()
 
@@ -100,13 +111,13 @@ func main() {
 		}
 	}
 
-	var ob *mascbgmp.Observer
-	if *metrics || *trace {
-		ob = mascbgmp.NewObserver()
-		cfg.Obs = ob
-		if *trace {
-			ob.Subscribe(func(e mascbgmp.Event) { fmt.Fprintln(os.Stderr, e) })
-		}
+	// The observer is always on: the recovery-latency summary below reads
+	// its histograms (RunChaos observes detect/reroute/reconverge there).
+	ob := mascbgmp.NewObserver()
+	cfg.Obs = ob
+	cfg.Trace = *traceOut != ""
+	if *trace {
+		ob.Subscribe(func(e mascbgmp.Event) { fmt.Fprintln(os.Stderr, e) })
 	}
 
 	pts, err := mascbgmp.RunChaos(cfg)
@@ -137,7 +148,38 @@ func main() {
 			p.Loss*100, p.DeliveryRatio*100, p.Detect.Seconds(), p.Reroute.Seconds(), p.Reconverge.Seconds(), state)
 	}
 
+	// Recovery-latency distributions come from the obs histograms rather
+	// than ad-hoc per-point aggregation: RunChaos observes every point's
+	// detect/reroute/reconverge durations, so the percentiles here match
+	// the histograms benchsuite serializes into BENCH_chaos.json.
+	hists := ob.Snapshot().HistTotals()
+	fmt.Fprintf(os.Stderr, "\n# recovery latency distributions (histogram p50/p95/p99 over %d points)\n", len(pts))
+	for _, name := range []string{mascbgmp.HistDetect, mascbgmp.HistReroute, mascbgmp.HistReconverge} {
+		h := hists[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%-14s n=%d p50=%.2fs p95=%.2fs p99=%.2fs\n", name, h.Count,
+			float64(h.Quantile(0.50))/1e9, float64(h.Quantile(0.95))/1e9, float64(h.Quantile(0.99))/1e9)
+	}
+
 	if *metrics {
 		fmt.Fprintf(os.Stderr, "\n# protocol event counters\n%s", ob.Snapshot().Totals())
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(ob.Snapshot().Prometheus()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "chaossim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *traceOut != "" {
+		var recs []mascbgmp.SpanRecord
+		for _, p := range pts {
+			recs = append(recs, p.Spans...)
+		}
+		if err := os.WriteFile(*traceOut, mascbgmp.ChromeTrace(recs), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "chaossim: %v\n", err)
+			os.Exit(2)
+		}
 	}
 }

@@ -58,8 +58,8 @@ func TestJSONOutput(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &fs); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, out)
 	}
-	if len(fs) != 3 {
-		t.Fatalf("got %d findings, want 3", len(fs))
+	if len(fs) != 7 {
+		t.Fatalf("got %d findings, want 7", len(fs))
 	}
 	for _, f := range fs {
 		if f.Analyzer != "obsdiscipline" || f.Pos == "" || f.Package == "" || f.Message == "" {

@@ -11,7 +11,15 @@
 //
 //	mascsim [-top 50] [-children 50] [-days 800] [-seed 1998]
 //	        [-fig 2a|2b|csv] [-summary] [-metrics] [-trace]
+//	        [-trace-out spans.json] [-metrics-out metrics.prom]
 //	        [-trials 1] [-parallel 1]
+//
+// -trace-out records every claim round as a span timestamped from the
+// simulation's event clock and writes Chrome trace-event JSON
+// (single-run mode only — replicated trials share one observer, so span
+// order would depend on scheduling). -metrics-out writes the final
+// counter state in Prometheus text exposition format. Both files are
+// byte-identical for the same seed.
 //
 // With -trials N > 1 the simulation is replicated N times across a worker
 // pool, each replica with a seed derived from (-seed, trial index); the
@@ -31,19 +39,28 @@ import (
 
 func main() {
 	var (
-		top      = flag.Int("top", 50, "number of top-level domains")
-		children = flag.Int("children", 50, "children per top-level domain")
-		days     = flag.Int("days", 800, "simulated days")
-		seed     = flag.Int64("seed", 1998, "random seed")
-		fig      = flag.String("fig", "csv", `output: "2a" (utilization series), "2b" (G-RIB series), "csv" (both)`)
-		summary  = flag.Bool("summary", false, "print only the steady-state summary")
-		hetero   = flag.Bool("hetero", false, "heterogeneous topology: variable children per provider and block sizes")
-		metrics  = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
-		trace    = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
-		trials   = flag.Int("trials", 1, "replicate the simulation N times with derived seeds (1: single legacy run)")
-		parallel = flag.Int("parallel", 1, "worker pool size for -trials replication (0: GOMAXPROCS)")
+		top        = flag.Int("top", 50, "number of top-level domains")
+		children   = flag.Int("children", 50, "children per top-level domain")
+		days       = flag.Int("days", 800, "simulated days")
+		seed       = flag.Int64("seed", 1998, "random seed")
+		fig        = flag.String("fig", "csv", `output: "2a" (utilization series), "2b" (G-RIB series), "csv" (both)`)
+		summary    = flag.Bool("summary", false, "print only the steady-state summary")
+		hetero     = flag.Bool("hetero", false, "heterogeneous topology: variable children per provider and block sizes")
+		metrics    = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
+		trace      = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
+		traceOut   = flag.String("trace-out", "", "record allocator claim spans and write Chrome trace-event JSON to this file (single-run mode only)")
+		metricsOut = flag.String("metrics-out", "", "write counters and histograms to this file in Prometheus text exposition format")
+		trials     = flag.Int("trials", 1, "replicate the simulation N times with derived seeds (1: single legacy run)")
+		parallel   = flag.Int("parallel", 1, "worker pool size for -trials replication (0: GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *traceOut != "" && *trials > 1 {
+		// Replicated trials share one observer across workers, so span IDs
+		// would allocate in scheduling order and break byte determinism.
+		fmt.Fprintln(os.Stderr, "mascsim: -trace-out requires single-run mode (-trials 1)")
+		os.Exit(2)
+	}
 
 	cfg := mascbgmp.DefaultFig2Config()
 	cfg.TopLevel = *top
@@ -53,11 +70,16 @@ func main() {
 	cfg.Heterogeneous = *hetero
 
 	var ob *mascbgmp.Observer
-	if *metrics || *trace {
+	var tr *mascbgmp.Tracer
+	if *metrics || *trace || *traceOut != "" || *metricsOut != "" {
 		ob = mascbgmp.NewObserver()
 		cfg.Obs = ob
 		if *trace {
 			ob.Subscribe(func(e mascbgmp.Event) { fmt.Fprintln(os.Stderr, e) })
+		}
+		if *traceOut != "" {
+			tr = mascbgmp.NewTracer(*seed)
+			ob.SetTracer(tr)
 		}
 	}
 
@@ -66,6 +88,7 @@ func main() {
 		if *metrics {
 			fmt.Fprintf(os.Stderr, "\n# protocol event counters (all trials)\n%s", ob.Snapshot().Totals())
 		}
+		writeObsFiles(ob, tr, *metricsOut, *traceOut)
 		return
 	}
 
@@ -108,6 +131,25 @@ func main() {
 
 	if *metrics {
 		fmt.Fprintf(os.Stderr, "\n# protocol event counters\n%s", ob.Snapshot().Totals())
+	}
+	writeObsFiles(ob, tr, *metricsOut, *traceOut)
+}
+
+// writeObsFiles writes the optional -metrics-out Prometheus exposition and
+// -trace-out Chrome trace JSON. Both are sorted and byte-deterministic for
+// a given seed.
+func writeObsFiles(ob *mascbgmp.Observer, tr *mascbgmp.Tracer, metricsOut, traceOut string) {
+	if metricsOut != "" {
+		if err := os.WriteFile(metricsOut, []byte(ob.Snapshot().Prometheus()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mascsim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if traceOut != "" {
+		if err := os.WriteFile(traceOut, mascbgmp.ChromeTrace(tr.Records()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mascsim: %v\n", err)
+			os.Exit(2)
+		}
 	}
 }
 

@@ -12,7 +12,12 @@
 //	treesim [-domains 3326] [-peering 350] [-seed 1998] [-trials 5]
 //	        [-parallel 1] [-sizes 1,2,5,...] [-random-root] [-summary]
 //	        [-backend shared-tree|bier|map-encap]
-//	        [-metrics] [-trace] [-fault-links N] [-fault-loss P]
+//	        [-metrics] [-trace] [-trace-out spans.json]
+//	        [-fault-links N] [-fault-loss P]
+//
+// -trace-out records one causal span per sampled group (the tree build
+// plus its delivery sampling) and writes Chrome trace-event JSON. It
+// requires -parallel 1: the file is byte-identical for the same seed.
 //
 // -parallel fans the per-size sweep across a worker pool; each size draws
 // from its own seed-derived rng, so the output is identical at any value.
@@ -47,6 +52,7 @@ func main() {
 		summary    = flag.Bool("summary", false, "print only the overall summary")
 		metrics    = flag.Bool("metrics", false, "dump protocol event counters to stderr at exit")
 		trace      = flag.Bool("trace", false, "print every protocol event to stderr as it happens")
+		traceOut   = flag.String("trace-out", "", "record per-group tree-build spans and write Chrome trace-event JSON to this file (requires -parallel 1)")
 		faultLinks = flag.Int("fault-links", 0, "remove N non-bridge links from the topology before the sweep")
 		faultLoss  = flag.Float64("fault-loss", 0, "per-hop data loss probability on sampled deliveries (0..1)")
 	)
@@ -83,15 +89,33 @@ func main() {
 	}
 
 	var ob *mascbgmp.Observer
-	if *metrics || *trace {
+	var tr *mascbgmp.Tracer
+	if *metrics || *trace || *traceOut != "" {
 		ob = mascbgmp.NewObserver()
 		cfg.Obs = ob
 		if *trace {
 			ob.Subscribe(func(e mascbgmp.Event) { fmt.Fprintln(os.Stderr, e) })
 		}
+		if *traceOut != "" {
+			if *parallel != 1 {
+				// Concurrent sizes would allocate span IDs in scheduling
+				// order and break the byte determinism of the trace file.
+				fmt.Fprintln(os.Stderr, "treesim: -trace-out requires -parallel 1")
+				os.Exit(2)
+			}
+			tr = mascbgmp.NewTracer(*seed)
+			ob.SetTracer(tr)
+		}
 	}
 
 	pts := mascbgmp.RunFig4(cfg)
+
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, mascbgmp.ChromeTrace(tr.Records()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "treesim: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if !*summary {
 		if *faultLoss > 0 {

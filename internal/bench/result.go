@@ -6,6 +6,9 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
+
+	"mascbgmp/internal/obs"
 )
 
 // SchemaID identifies the result-file format; bump on breaking changes.
@@ -31,6 +34,18 @@ type MetricSummary struct {
 	Mean        float64     `json:"mean"`
 	Percentiles Percentiles `json:"percentiles"`
 	Series      []float64   `json:"series"`
+}
+
+// HistogramSummary is one obs histogram merged across all trials: exact
+// count/sum plus bucket-interpolated percentiles. Deterministic — the
+// merge is commutative addition, so worker scheduling cannot change it.
+type HistogramSummary struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Mean  uint64 `json:"mean"`
+	P50   uint64 `json:"p50"`
+	P95   uint64 `json:"p95"`
+	P99   uint64 `json:"p99"`
 }
 
 // Env records where and how the suite ran. Volatile: stripped before
@@ -69,8 +84,16 @@ type SuiteResult struct {
 	Seed        int64             `json:"seed"`
 	Metrics     []MetricSummary   `json:"metrics"`
 	Counters    map[string]uint64 `json:"counters,omitempty"`
-	Env         Env               `json:"env"`
-	Timing      Timing            `json:"timing"`
+	// Histograms carries the obs latency/work distributions the trials
+	// recorded (join→graft, detect→reroute, forwarding fan-out, …),
+	// merged across trials. Deterministic: part of the determinism view.
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+	// Spans holds the causal spans recorded when Options.Trace is set,
+	// concatenated in trial order. Not serialized into the JSON baseline
+	// — cmd/benchsuite renders them separately via -trace-out.
+	Spans  []obs.SpanRecord `json:"-"`
+	Env    Env              `json:"env"`
+	Timing Timing           `json:"timing"`
 }
 
 // summarize computes mean and percentiles over a non-empty series.
@@ -177,7 +200,45 @@ func DeterministicDiff(a, b SuiteResult) string {
 			return fmt.Sprintf("counter %s: %d vs %d", k, va, vb)
 		}
 	}
+	for k, va := range a.Histograms {
+		if vb := b.Histograms[k]; va != vb {
+			return fmt.Sprintf("histogram %s: %+v vs %+v", k, va, vb)
+		}
+	}
 	return "results differ (structure)"
+}
+
+// PrometheusText renders the deterministic sections — counter sums and
+// merged histograms — in Prometheus text exposition format: counters as
+// `_total` counters, histograms as summaries with p50/p95/p99 quantile
+// lines. Sorted, so equal results render to identical bytes.
+func (r SuiteResult) PrometheusText() string {
+	var b strings.Builder
+	names := make([]string, 0, len(r.Counters))
+	for k := range r.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := obs.PromName(k) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, r.Counters[k])
+	}
+	names = names[:0]
+	for k := range r.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := r.Histograms[k]
+		n := obs.PromName(k)
+		fmt.Fprintf(&b, "# TYPE %s summary\n", n)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %d\n", n, h.P50)
+		fmt.Fprintf(&b, "%s{quantile=\"0.95\"} %d\n", n, h.P95)
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %d\n", n, h.P99)
+		fmt.Fprintf(&b, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+	}
+	return b.String()
 }
 
 // Regression is one metric that moved the wrong way past the tolerance.

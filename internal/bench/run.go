@@ -24,6 +24,12 @@ type Options struct {
 	// forwarding (scale-churn, chaos-recovery). Empty keeps each
 	// scenario's default; otherwise it must be one of dataplane.Names().
 	Backend string
+	// Trace attaches a deterministic tracer (seeded from the trial seed)
+	// to every trial's observer; recorded spans concatenate in trial
+	// order into SuiteResult.Spans. Suites that drive traced subsystems
+	// (network builds, allocator claims) produce span trees; others
+	// produce none.
+	Trace bool
 }
 
 // RunSuite runs a registered scenario by name.
@@ -53,8 +59,10 @@ func RunScenario(s Scenario, opts Options) (SuiteResult, error) {
 	}
 
 	type trialRecord struct {
-		out TrialOutput
-		obs map[string]uint64
+		out   TrialOutput
+		obs   map[string]uint64
+		hists map[string]obs.HistSnapshot
+		spans []obs.SpanRecord
 	}
 	start := time.Now()
 	results, err := harness.Run(harness.Config{
@@ -63,6 +71,11 @@ func RunScenario(s Scenario, opts Options) (SuiteResult, error) {
 		Seed:     opts.Seed,
 		Run: func(t harness.Trial) (any, error) {
 			ob := obs.NewObserver()
+			var tr *obs.Tracer
+			if opts.Trace {
+				tr = obs.NewTracer(t.Seed)
+				ob.SetTracer(tr)
+			}
 			out, err := s.Trial(TrialContext{
 				Index: t.Index, Seed: t.Seed, Rng: t.Rng, Obs: ob,
 				Backend: opts.Backend,
@@ -75,7 +88,9 @@ func RunScenario(s Scenario, opts Options) (SuiteResult, error) {
 					return nil, fmt.Errorf("trial output missing metric %q", m.Name)
 				}
 			}
-			return trialRecord{out: out, obs: ob.Snapshot().NameTotals()}, nil
+			snap := ob.Snapshot()
+			return trialRecord{out: out, obs: snap.NameTotals(), hists: snap.HistTotals(),
+				spans: tr.Records()}, nil
 		},
 	})
 	if err != nil {
@@ -112,6 +127,28 @@ func RunScenario(s Scenario, opts Options) (SuiteResult, error) {
 	}
 	if len(res.Counters) == 0 {
 		res.Counters = nil
+	}
+	// Histograms merge by bucket addition (commutative), so the summary is
+	// identical at any parallelism, like the counters above.
+	merged := map[string]obs.HistSnapshot{}
+	for _, r := range results {
+		for name, h := range r.Value.(trialRecord).hists {
+			m := merged[name]
+			m.Merge(h)
+			merged[name] = m
+		}
+	}
+	if len(merged) > 0 {
+		res.Histograms = make(map[string]HistogramSummary, len(merged))
+		for name, h := range merged {
+			res.Histograms[name] = HistogramSummary{
+				Count: h.Count, Sum: h.Sum, Mean: h.Mean(),
+				P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+			}
+		}
+	}
+	for _, r := range results {
+		res.Spans = append(res.Spans, r.Value.(trialRecord).spans...)
 	}
 
 	// Volatile sections: wall/alloc/heap percentiles and mean rates.

@@ -104,6 +104,10 @@ type Component struct {
 	// evbuf collects events under the lock; they are emitted with the
 	// out-queue after release so observers may call back into the router.
 	evbuf []obs.Event
+	// cur is the causal trace context of the operation currently mutating
+	// state under mu. drain stamps it onto every buffered out message and
+	// clears it, so propagated joins/prunes carry their cause hop-by-hop.
+	cur wire.TraceContext
 }
 
 type outItem struct {
@@ -218,25 +222,63 @@ func (c *Component) HasForwardingState(g addr.Addr) bool {
 // the MIGP component as a child target, creating the (*,G) entry and
 // propagating the join toward the root domain as needed.
 func (c *Component) LocalJoin(g addr.Addr) {
+	sp := c.cfg.Obs.Tracer().Begin(obs.SpanMemberJoin,
+		obs.Event{Domain: c.cfg.Domain, Router: c.cfg.Router, Group: g})
 	c.mu.Lock()
+	c.cur = sp.Context()
 	c.joinLocked(g, MIGPTarget)
 	out, evs := c.drain()
 	c.mu.Unlock()
 	c.flush(out, evs)
+	sp.End()
 }
 
 // LocalLeave undoes LocalJoin when no interior members remain.
 func (c *Component) LocalLeave(g addr.Addr) {
+	sp := c.cfg.Obs.Tracer().Begin(obs.SpanMemberLeave,
+		obs.Event{Domain: c.cfg.Domain, Router: c.cfg.Router, Group: g})
 	c.mu.Lock()
+	c.cur = sp.Context()
 	c.pruneLocked(g, MIGPTarget)
 	out, evs := c.drain()
 	c.mu.Unlock()
 	c.flush(out, evs)
+	sp.End()
+}
+
+// beginHop parents a per-hop span under the inbound message's trace
+// context: join hops and prune hops get spans; other messages don't. The
+// returned span is a no-op when the message is untraced or tracing is off.
+func (c *Component) beginHop(from wire.RouterID, msg wire.Message) obs.Span {
+	tr := c.cfg.Obs.Tracer()
+	if tr == nil {
+		return obs.Span{}
+	}
+	ctx := wire.ContextOf(msg)
+	ev := obs.Event{Domain: c.cfg.Domain, Router: c.cfg.Router, Peer: from}
+	switch m := msg.(type) {
+	case *wire.GroupJoin:
+		ev.Group = m.Group
+		return tr.BeginChild(ctx, obs.SpanJoinHop, ev)
+	case *wire.GroupPrune:
+		ev.Group = m.Group
+		return tr.BeginChild(ctx, obs.SpanPruneHop, ev)
+	case *wire.SourceJoin:
+		ev.Group = m.Group
+		return tr.BeginChild(ctx, obs.SpanJoinHop, ev)
+	case *wire.SourcePrune:
+		ev.Group = m.Group
+		return tr.BeginChild(ctx, obs.SpanPruneHop, ev)
+	}
+	return obs.Span{}
 }
 
 // HandlePeer processes a BGMP message from an external peer.
 func (c *Component) HandlePeer(from wire.RouterID, msg wire.Message) {
+	sp := c.beginHop(from, msg)
+	defer sp.End()
 	c.mu.Lock()
+	c.cur = sp.Context()
 	switch m := msg.(type) {
 	case *wire.GroupJoin:
 		c.joinLocked(m.Group, PeerTarget(from))
@@ -262,7 +304,10 @@ func (c *Component) HandlePeer(from wire.RouterID, msg wire.Message) {
 // another border router of the same domain (the "internal BGMP peer" path
 // of §5.2).
 func (c *Component) HandleFromBorder(from wire.RouterID, msg wire.Message) {
+	sp := c.beginHop(from, msg)
+	defer sp.End()
 	c.mu.Lock()
+	c.cur = sp.Context()
 	switch m := msg.(type) {
 	case *wire.GroupJoin:
 		// Paper: A3, receiving the join from its MIGP component, adds the
@@ -297,9 +342,14 @@ func (c *Component) joinLocked(g addr.Addr, child Target) {
 	if !ok {
 		if me := c.materializeLocked(g); me != nil {
 			me.addChild(child)
+			c.observeGraftLocked()
 			return
 		}
 	}
+	// grafted marks the join terminating at this router — it met existing
+	// tree state or the root — which is when the branch is complete and the
+	// origin-to-graft latency is observable.
+	grafted := ok
 	if !ok {
 		parent, root, ok2 := c.parentForGroup(g)
 		if !ok2 {
@@ -320,6 +370,7 @@ func (c *Component) joinLocked(g addr.Addr, child Target) {
 		case root:
 			// Root domain: no BGP next hop; become an interior member.
 			c.out = append(c.out, outItem{target: Target{MIGP: true, Router: 0}, msg: migpJoin{group: g}})
+			grafted = true
 		case parent.MIGP:
 			// Next hop toward the root is another border router of this
 			// domain: relay the join through the MIGP.
@@ -329,6 +380,23 @@ func (c *Component) joinLocked(g addr.Addr, child Target) {
 		}
 	}
 	e.addChild(child)
+	if grafted {
+		c.observeGraftLocked()
+	}
+}
+
+// observeGraftLocked records the origin-to-graft latency for the traced
+// join currently in flight (c.cur carries the chain root's start instant).
+// Untraced joins, or tracers without a clock, observe nothing.
+func (c *Component) observeGraftLocked() {
+	if c.cur.Start == 0 {
+		return
+	}
+	now := c.cfg.Obs.Tracer().Now()
+	if now < c.cur.Start {
+		return
+	}
+	c.cfg.Obs.Histogram(obs.HistJoinGraft, c.cfg.Domain, c.cfg.Router).Observe(now - c.cur.Start)
 }
 
 // pruneLocked removes `child` from the (*,G) entry, tearing the entry down
@@ -466,6 +534,12 @@ func (c *Component) event(e obs.Event) {
 func (c *Component) drain() ([]outItem, []obs.Event) {
 	out, evs := c.out, c.evbuf
 	c.out, c.evbuf = nil, nil
+	if !c.cur.Zero() {
+		for _, it := range out {
+			wire.Stamp(it.msg, c.cur)
+		}
+		c.cur = wire.TraceContext{}
+	}
 	return out, evs
 }
 

@@ -156,6 +156,9 @@ func (c *Component) handleData(from Target, d *wire.Data) {
 	}
 	c.mu.Unlock()
 
+	// Per-packet forwarding work: how many copies this router fans out.
+	c.cfg.Obs.Histogram(obs.HistForwardWork, c.cfg.Domain, c.cfg.Router).Observe(uint64(len(targets)))
+
 	if hadEncap {
 		c.cfg.MIGP.RelayToBorder(encapFrom, &wire.SourcePrune{Group: d.Group, Source: d.Source})
 	}

@@ -62,8 +62,16 @@ func (c *Component) dropSharedClonesLocked(g addr.Addr) {
 // parked as orphans — children retained, forwarding state gone — and
 // orphans that regain a covering route are re-attached and re-joined
 // upstream, the recovery half of session repair.
-func (c *Component) RouteChanged(prefix addr.Prefix) {
+//
+// ctx is the causal context of whatever made the route change (a BGP
+// update's span, a session teardown); the repair span parents under it and
+// every emitted prune/join carries the repair span onward.
+func (c *Component) RouteChanged(prefix addr.Prefix, ctx wire.TraceContext) {
+	sp := c.cfg.Obs.Tracer().BeginChild(ctx, obs.SpanRepair,
+		obs.Event{Domain: c.cfg.Domain, Router: c.cfg.Router, Prefix: prefix})
+	defer sp.End()
 	c.mu.Lock()
+	c.cur = sp.Context()
 	type change struct {
 		g         addr.Addr
 		oldParent Target
@@ -155,9 +163,13 @@ func (c *Component) RouteChanged(prefix addr.Prefix) {
 // and tears down entries that lose their last child, propagating prunes —
 // the session-failure half of repair (RouteChanged handles the parent
 // side once BGP withdraws the routes learned from the peer).
-func (c *Component) PeerDown(peer wire.RouterID) {
+func (c *Component) PeerDown(peer wire.RouterID, ctx wire.TraceContext) {
+	sp := c.cfg.Obs.Tracer().BeginChild(ctx, obs.SpanPeerDown,
+		obs.Event{Domain: c.cfg.Domain, Router: c.cfg.Router, Peer: peer})
+	defer sp.End()
 	t := PeerTarget(peer)
 	c.mu.Lock()
+	c.cur = sp.Context()
 	for _, g := range sortedGroups(c.groups) {
 		e := c.groups[g]
 		if !e.children[t] {

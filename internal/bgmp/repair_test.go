@@ -17,7 +17,7 @@ func TestRouteChangedSwitchesParent(t *testing.T) {
 
 	// The best route moves to peer 4.
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 4}
-	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"), wire.TraceContext{})
 
 	parent, _, ok := rig.comp.GroupEntry(groupG)
 	if !ok || parent != PeerTarget(4) {
@@ -42,7 +42,7 @@ func TestRouteChangedNoopWhenPathSame(t *testing.T) {
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
 	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
 	rig.sent = nil
-	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"), wire.TraceContext{})
 	if len(rig.sent) != 0 {
 		t.Fatalf("stable route must not generate traffic: %v", rig.sent)
 	}
@@ -54,7 +54,7 @@ func TestRouteChangedIgnoresUncoveredGroups(t *testing.T) {
 	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 4}
 	rig.sent = nil
-	rig.comp.RouteChanged(addr.MustParsePrefix("230.0.0.0/8")) // doesn't cover groupG
+	rig.comp.RouteChanged(addr.MustParsePrefix("230.0.0.0/8"), wire.TraceContext{}) // doesn't cover groupG
 	parent, _, _ := rig.comp.GroupEntry(groupG)
 	if parent != PeerTarget(7) {
 		t.Fatalf("uncovered group was re-parented: %v", parent)
@@ -68,7 +68,7 @@ func TestRouteChangedTearsDownOnTotalLoss(t *testing.T) {
 	rig.sent = nil
 
 	delete(rig.groups, groupG) // route withdrawn entirely
-	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"), wire.TraceContext{})
 	if rig.comp.HasGroupState(groupG) {
 		t.Fatal("state survived route loss")
 	}
@@ -92,7 +92,7 @@ func TestRouteChangedToRootDomain(t *testing.T) {
 	rig.sent = nil
 
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 5}} // own domain
-	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"), wire.TraceContext{})
 	parent, _, ok := rig.comp.GroupEntry(groupG)
 	if !ok || !parent.MIGP {
 		t.Fatalf("parent = %v, want MIGP (root)", parent)
@@ -110,7 +110,7 @@ func TestRouteChangedDropsStaleSGClones(t *testing.T) {
 		t.Fatal("setup: clone missing")
 	}
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 4}
-	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"), wire.TraceContext{})
 	if _, _, ok := rig.comp.SourceEntry(sourceS, groupG); ok {
 		t.Fatal("stale shared-clone (S,G) survived re-parenting")
 	}
@@ -126,7 +126,7 @@ func TestPeerDownRemovesChildrenAndTearsEmpty(t *testing.T) {
 	rig.comp.HandlePeer(9, &wire.GroupJoin{Group: g2}) // second child on g2
 	rig.sent = nil
 
-	rig.comp.PeerDown(8)
+	rig.comp.PeerDown(8, wire.TraceContext{})
 	if rig.comp.HasGroupState(groupG) {
 		t.Fatal("entry with only the dead child must go")
 	}
@@ -147,7 +147,7 @@ func TestPeerDownRemovesChildrenAndTearsEmpty(t *testing.T) {
 func TestPeerDownUnknownPeerHarmless(t *testing.T) {
 	rig := newRig(1, 5, false)
 	buildTree(rig)
-	rig.comp.PeerDown(99)
+	rig.comp.PeerDown(99, wire.TraceContext{})
 	if !rig.comp.HasGroupState(groupG) {
 		t.Fatal("unrelated peer-down destroyed state")
 	}
@@ -167,7 +167,7 @@ func TestRouteChangedMidBatchPartialLoss(t *testing.T) {
 
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 4}
 	delete(rig.groups, g2) // lookup now fails for g2 only
-	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"), wire.TraceContext{})
 
 	if parent, _, ok := rig.comp.GroupEntry(groupG); !ok || parent != PeerTarget(4) {
 		t.Fatalf("survivor parent = %v ok=%v, want peer 4", parent, ok)
@@ -206,7 +206,7 @@ func TestRouteChangedTeardownDropsSharedClones(t *testing.T) {
 		t.Fatal("setup: clone missing")
 	}
 	delete(rig.groups, groupG) // total route loss
-	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"), wire.TraceContext{})
 	if _, _, ok := rig.comp.SourceEntry(sourceS, groupG); ok {
 		t.Fatal("shared-clone (S,G) state survived group teardown")
 	}
@@ -219,7 +219,7 @@ func TestSharedCloneReestablishedAfterRepair(t *testing.T) {
 	buildTree(rig)
 	rig.comp.HandlePeer(8, &wire.SourcePrune{Group: groupG, Source: sourceS})
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 4}
-	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"), wire.TraceContext{})
 	if _, _, ok := rig.comp.SourceEntry(sourceS, groupG); ok {
 		t.Fatal("stale clone survived re-parenting")
 	}
@@ -239,7 +239,7 @@ func TestOrphanRejoinsWhenRouteReturns(t *testing.T) {
 	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
 
 	delete(rig.groups, groupG)
-	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"), wire.TraceContext{})
 	if !rig.comp.Orphaned(groupG) {
 		t.Fatal("group not orphaned on total route loss")
 	}
@@ -248,7 +248,7 @@ func TestOrphanRejoinsWhenRouteReturns(t *testing.T) {
 	// The route comes back via a different peer: the orphan re-attaches
 	// with its children intact and joins upstream on its own.
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 4}
-	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"), wire.TraceContext{})
 	if rig.comp.Orphaned(groupG) {
 		t.Fatal("orphan not cleared on rejoin")
 	}
@@ -287,7 +287,7 @@ func TestJoinWithoutRouteParksOrphanAndRejoins(t *testing.T) {
 	// Re-join and let the route appear.
 	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG})
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
-	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"), wire.TraceContext{})
 	if parent, _, ok := rig.comp.GroupEntry(groupG); !ok || parent != PeerTarget(7) {
 		t.Fatalf("parent = %v ok=%v after route appeared, want peer 7", parent, ok)
 	}
@@ -296,13 +296,13 @@ func TestJoinWithoutRouteParksOrphanAndRejoins(t *testing.T) {
 func TestPeerDownClearsOrphanInterest(t *testing.T) {
 	rig := newRig(1, 5, false)
 	rig.comp.HandlePeer(8, &wire.GroupJoin{Group: groupG}) // orphan, child 8 only
-	rig.comp.PeerDown(8)
+	rig.comp.PeerDown(8, wire.TraceContext{})
 	if rig.comp.Orphaned(groupG) {
 		t.Fatal("dead peer's orphan interest survived")
 	}
 	rig.groups[groupG] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 7}
 	rig.sent = nil
-	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
+	rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"), wire.TraceContext{})
 	if len(rig.sent) != 0 {
 		t.Fatalf("route return rejoined on behalf of a dead peer: %v", rig.sent)
 	}
@@ -351,8 +351,8 @@ func TestRepairOrderDeterminism(t *testing.T) {
 		for _, g := range gs[4:] {
 			delete(rig.groups, g)
 		}
-		rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"))
-		rig.comp.PeerDown(9)
+		rig.comp.RouteChanged(addr.MustParsePrefix("224.0.128.0/24"), wire.TraceContext{})
+		rig.comp.PeerDown(9, wire.TraceContext{})
 		var trace []string
 		for _, s := range rig.sent {
 			trace = append(trace, fmt.Sprintf("%d:%T:%v", s.to, s.msg, s.msg))

@@ -64,8 +64,10 @@ type Config struct {
 	AggregateCovered bool
 	// OnBestChange, if set, is called after the best route for a prefix
 	// changes, with lost=true when the prefix became unreachable. Called
-	// without locks held.
-	OnBestChange func(table wire.Table, prefix addr.Prefix, lost bool)
+	// without locks held. ctx is the causal trace context of whatever
+	// triggered the change (an inbound update's span, a neighbor removal);
+	// zero when untraced.
+	OnBestChange func(table wire.Table, prefix addr.Prefix, lost bool, ctx wire.TraceContext)
 	// Obs observes route advertisements, withdrawals, and best-route
 	// changes, scoped by Domain/Router. Nil disables observation.
 	Obs *obs.Observer
@@ -152,8 +154,13 @@ func (s *Speaker) Sync(to wire.RouterID) {
 	s.deliver(out)
 }
 
-// RemoveNeighbor drops a peer and every route learned from it.
-func (s *Speaker) RemoveNeighbor(id wire.RouterID) {
+// RemoveNeighbor drops a peer and every route learned from it. ctx is the
+// causal context of the teardown (the session-down span); the withdrawal
+// reselection runs as a child span and the resulting updates carry it.
+func (s *Speaker) RemoveNeighbor(id wire.RouterID, ctx wire.TraceContext) {
+	sp := s.cfg.Obs.Tracer().BeginChild(ctx, obs.SpanBGPWithdraw,
+		obs.Event{Domain: s.cfg.Domain, Router: s.cfg.Router, Peer: id})
+	defer sp.End()
 	s.mu.Lock()
 	delete(s.neighbors, id)
 	var changed []tablePrefix
@@ -164,7 +171,7 @@ func (s *Speaker) RemoveNeighbor(id wire.RouterID) {
 		delete(r.adjOut, id)
 	}
 	sortTablePrefixes(changed)
-	out, notes := s.reselectLocked(changed)
+	out, notes := s.reselectLocked(changed, sp.Context())
 	s.mu.Unlock()
 	s.deliver(out)
 	s.notify(notes)
@@ -189,7 +196,7 @@ func (s *Speaker) Originate(table wire.Table, rt wire.Route) {
 	s.mu.Lock()
 	r := s.tables[table]
 	r.local[rt.Prefix] = rt
-	out, notes := s.reselectLocked([]tablePrefix{{table, rt.Prefix}})
+	out, notes := s.reselectLocked([]tablePrefix{{table, rt.Prefix}}, wire.TraceContext{})
 	s.mu.Unlock()
 	s.deliver(out)
 	s.notify(notes)
@@ -201,15 +208,20 @@ func (s *Speaker) WithdrawLocal(table wire.Table, p addr.Prefix) {
 	s.mu.Lock()
 	r := s.tables[table]
 	delete(r.local, p)
-	out, notes := s.reselectLocked([]tablePrefix{{table, p}})
+	out, notes := s.reselectLocked([]tablePrefix{{table, p}}, wire.TraceContext{})
 	s.mu.Unlock()
 	s.deliver(out)
 	s.notify(notes)
 }
 
 // HandleUpdate processes an update received from peer `from`. Unknown peers
-// and looped routes are ignored.
+// and looped routes are ignored. A traced update (stamped by the sender's
+// reselection) gets a per-hop child span, and any updates this reselection
+// propagates carry that span onward.
 func (s *Speaker) HandleUpdate(from wire.RouterID, u *wire.Update) {
+	sp := s.cfg.Obs.Tracer().BeginChild(wire.ContextOf(u), obs.SpanBGPUpdate,
+		obs.Event{Domain: s.cfg.Domain, Router: s.cfg.Router, Peer: from, Table: u.Table})
+	defer sp.End()
 	s.mu.Lock()
 	if _, ok := s.neighbors[from]; !ok {
 		s.mu.Unlock()
@@ -234,7 +246,7 @@ func (s *Speaker) HandleUpdate(from wire.RouterID, u *wire.Update) {
 		r.adjInAdd(from, rt)
 		changed = append(changed, tablePrefix{u.Table, rt.Prefix})
 	}
-	out, notes := s.reselectLocked(changed)
+	out, notes := s.reselectLocked(changed, sp.Context())
 	s.mu.Unlock()
 	s.deliver(out)
 	s.notify(notes)
@@ -370,7 +382,7 @@ func (s *Speaker) Sweep() {
 		}
 	}
 	sortTablePrefixes(changed)
-	out, notes := s.reselectLocked(changed)
+	out, notes := s.reselectLocked(changed, wire.TraceContext{})
 	s.mu.Unlock()
 	s.deliver(out)
 	s.notify(notes)
@@ -414,6 +426,7 @@ type note struct {
 	table  wire.Table
 	prefix addr.Prefix
 	lost   bool
+	ctx    wire.TraceContext
 }
 
 func (s *Speaker) deliver(out []outUpdate) {
@@ -447,13 +460,15 @@ func (s *Speaker) notify(notes []note) {
 		return
 	}
 	for _, n := range notes {
-		s.cfg.OnBestChange(n.table, n.prefix, n.lost)
+		s.cfg.OnBestChange(n.table, n.prefix, n.lost, n.ctx)
 	}
 }
 
 // reselectLocked re-runs the decision process for the given prefixes and
-// computes the updates to emit. Caller holds s.mu.
-func (s *Speaker) reselectLocked(changed []tablePrefix) ([]outUpdate, []note) {
+// computes the updates to emit, stamping them (and the best-change notes)
+// with ctx so downstream speakers and tree repair inherit the cause.
+// Caller holds s.mu.
+func (s *Speaker) reselectLocked(changed []tablePrefix, ctx wire.TraceContext) ([]outUpdate, []note) {
 	seen := map[tablePrefix]bool{}
 	// Pending per-peer updates, keyed by peer then table.
 	pend := map[wire.RouterID]map[wire.Table]*wire.Update{}
@@ -467,6 +482,7 @@ func (s *Speaker) reselectLocked(changed []tablePrefix) ([]outUpdate, []note) {
 		u := m[table]
 		if u == nil {
 			u = &wire.Update{Table: table}
+			wire.Stamp(u, ctx)
 			m[table] = u
 		}
 		f(u)
@@ -487,7 +503,7 @@ func (s *Speaker) reselectLocked(changed []tablePrefix) ([]outUpdate, []note) {
 		} else {
 			delete(r.best, tp.prefix)
 		}
-		notes = append(notes, note{tp.table, tp.prefix, !hasNew})
+		notes = append(notes, note{tp.table, tp.prefix, !hasNew, ctx})
 		// Advertise or withdraw to each neighbor.
 		for id, n := range s.neighbors {
 			if hasNew {

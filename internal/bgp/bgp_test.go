@@ -337,7 +337,7 @@ func TestRemoveNeighborWithdrawsRoutes(t *testing.T) {
 		t.Fatal("C should have the route")
 	}
 	// B loses its session with A.
-	b.RemoveNeighbor(1)
+	b.RemoveNeighbor(1, wire.TraceContext{})
 	if _, ok := b.LookupPrefix(wire.TableGRIB, addr.MustParsePrefix("224.0.0.0/16")); ok {
 		t.Fatal("B should drop routes from removed neighbor")
 	}
@@ -363,7 +363,7 @@ func TestBestRouteSwitchover(t *testing.T) {
 	if e.NextHop != 1 {
 		t.Fatalf("initial next hop = %d, want A", e.NextHop)
 	}
-	c.RemoveNeighbor(1)
+	c.RemoveNeighbor(1, wire.TraceContext{})
 	e, ok := c.LookupPrefix(wire.TableGRIB, p)
 	if !ok {
 		t.Fatal("C should fail over to B's path")
@@ -382,7 +382,7 @@ func TestOnBestChangeNotification(t *testing.T) {
 	tn := newTestNet()
 	a := tn.add(1, 10)
 	b := tn.add(2, 20, func(c *Config) {
-		c.OnBestChange = func(table wire.Table, p addr.Prefix, lost bool) {
+		c.OnBestChange = func(table wire.Table, p addr.Prefix, lost bool, ctx wire.TraceContext) {
 			if table == wire.TableGRIB {
 				events = append(events, ev{p, lost})
 			}

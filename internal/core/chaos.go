@@ -86,6 +86,11 @@ type ChaosConfig struct {
 	// stateless backends recover through BGP route withdrawal instead of
 	// BGMP tree repair, so the reconvergence check follows the G-RIB.
 	DataPlane string
+	// Trace attaches a per-point deterministic tracer: every point's
+	// detect→failover→reroute chain is recorded as a span tree and
+	// returned in ChaosPoint.Spans. Point tracers are seeded from (Seed,
+	// point index), so same-seed sweeps yield byte-identical traces.
+	Trace bool
 }
 
 // DefaultChaosConfig returns the sweep recorded in EXPERIMENTS.md.
@@ -127,6 +132,9 @@ type ChaosPoint struct {
 	// Recovered reports full end-state health: faults cleared, all
 	// groups on the direct path and delivering to every receiver.
 	Recovered bool
+	// Spans holds the point's recorded trace (ChaosConfig.Trace), sorted
+	// deterministically; render with obs.ChromeTrace or obs.RenderTree.
+	Spans []obs.SpanRecord `json:"-"`
 }
 
 // chaosStep is the probing granularity for the reroute/reconverge clocks.
@@ -156,10 +164,23 @@ func RunChaos(cfg ChaosConfig) ([]ChaosPoint, error) {
 			pointObs := obs.NewObserver()
 			cancel := pointObs.Subscribe(ob.Emit)
 			defer cancel()
+			var tracer *obs.Tracer
+			if cfg.Trace {
+				// Per-point tracer: the point networks are single-threaded
+				// (Synchronous), so span IDs allocate in a deterministic
+				// order for a given (Seed, point) pair.
+				tracer = obs.NewTracer(cfg.Seed + 104729*int64(t.Index))
+				pointObs.SetTracer(tracer)
+			}
+			// The flight recorder retains each router's recent events; a
+			// failed point dumps them with the error.
+			fr := obs.NewFlightRecorder(64)
+			pointObs.SetFlightRecorder(fr)
 			pt, err := runChaosPoint(cfg, int64(t.Index), loss, pointObs)
 			if err != nil {
-				return nil, fmt.Errorf("chaos: loss %.2f: %w", loss, err)
+				return nil, fmt.Errorf("chaos: loss %.2f: %w\nflight recorder:\n%s", loss, err, fr.Dump())
 			}
+			pt.Spans = tracer.Records()
 			return pt, nil
 		},
 	})
@@ -168,7 +189,14 @@ func RunChaos(cfg ChaosConfig) ([]ChaosPoint, error) {
 	}
 	out := make([]ChaosPoint, 0, len(cfg.LossRates))
 	for _, r := range results {
-		out = append(out, r.Value.(ChaosPoint))
+		pt := r.Value.(ChaosPoint)
+		// Fold the point's recovery latencies into the sweep observer's
+		// histograms (index order; merged snapshots are order-independent
+		// anyway). BENCH_chaos percentiles come from these.
+		ob.Histogram(obs.HistDetect, 0, 0).Observe(uint64(pt.Detect))
+		ob.Histogram(obs.HistReroute, 0, 0).Observe(uint64(pt.Reroute))
+		ob.Histogram(obs.HistReconverge, 0, 0).Observe(uint64(pt.Reconverge))
+		out = append(out, pt)
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -80,7 +81,7 @@ func TestChaosSweepDeterminism(t *testing.T) {
 		t.Fatalf("same-seed chaos sweeps diverged:\n--- run 1\n%s\n--- run 2\n%s", s1, s2)
 	}
 	for i := range p1 {
-		if p1[i] != p2[i] {
+		if !reflect.DeepEqual(p1[i], p2[i]) {
 			t.Fatalf("point %d diverged: %+v vs %+v", i, p1[i], p2[i])
 		}
 	}
@@ -138,7 +139,7 @@ func TestChaosSweepParallelMatchesSerial(t *testing.T) {
 		t.Fatalf("parallel sweep changed counter totals:\n--- serial\n%s\n--- parallel\n%s", sSerial, sPar)
 	}
 	for i := range pSerial {
-		if pSerial[i] != pPar[i] {
+		if !reflect.DeepEqual(pSerial[i], pPar[i]) {
 			t.Fatalf("point %d diverged under parallelism: %+v vs %+v", i, pSerial[i], pPar[i])
 		}
 	}

@@ -174,6 +174,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.HoldTime > 0 && cfg.ReconnectBackoff == 0 {
 		cfg.ReconnectBackoff = cfg.HoldTime / 2
 	}
+	// An attached tracer times spans on the network's clock (obs sits
+	// below simclock in the layering, so the clock is injected here).
+	cfg.Observer.Tracer().SetNow(cfg.Clock.Now)
 	n := &Network{
 		cfg:     cfg,
 		tracker: &transport.Tracker{},
@@ -290,8 +293,8 @@ func (n *Network) Unlink(a, b wire.RouterID) error {
 	if !linked {
 		return fmt.Errorf("%w: %d-%d", ErrNotLinked, a, b)
 	}
-	ra.dropPeer(b)
-	rb.dropPeer(a)
+	ra.dropPeer(b, wire.TraceContext{})
+	rb.dropPeer(a, wire.TraceContext{})
 	return nil
 }
 

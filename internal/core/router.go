@@ -107,12 +107,12 @@ func newRouter(n *Network, d *Domain, id wire.RouterID, at migp.Node, export bgp
 		Send: func(to wire.RouterID, u *wire.Update) {
 			r.sendTo(to, u)
 		},
-		OnBestChange: func(table wire.Table, p addr.Prefix, lost bool) {
+		OnBestChange: func(table wire.Table, p addr.Prefix, lost bool, ctx wire.TraceContext) {
 			if table == wire.TableGRIB {
 				// Re-attach shared trees whose path to the root domain
 				// changed (BGMP tree repair), or flush overlay member
 				// reports that were waiting for a route to the root.
-				r.backend.RouteChanged(p)
+				r.backend.RouteChanged(p, ctx)
 			}
 		},
 	})
@@ -364,8 +364,9 @@ func (r *Router) addPeer(id wire.RouterID, s sender, internal bool) {
 
 // dropPeer severs the session with a peer: the sender closes, BGP forgets
 // the neighbor (withdrawing its routes, which triggers BGMP tree repair),
-// and BGMP drops child targets pointing at it.
-func (r *Router) dropPeer(id wire.RouterID) {
+// and BGMP drops child targets pointing at it. ctx carries the teardown's
+// causal trace (zero for administrative unlinks).
+func (r *Router) dropPeer(id wire.RouterID, ctx wire.TraceContext) {
 	r.mu.Lock()
 	s := r.peers[id]
 	delete(r.peers, id)
@@ -374,6 +375,6 @@ func (r *Router) dropPeer(id wire.RouterID) {
 	if s != nil {
 		_ = s.Close()
 	}
-	r.bgmp.PeerDown(id)
-	r.bgp.RemoveNeighbor(id)
+	r.bgmp.PeerDown(id, ctx)
+	r.bgp.RemoveNeighbor(id, ctx)
 }

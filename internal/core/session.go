@@ -128,7 +128,7 @@ func (s *session) onTick() {
 		return
 	}
 	s.mu.Unlock()
-	s.down()
+	s.down(wire.TraceContext{})
 }
 
 // keepalive sends one keepalive from -> to through the fault plane; on
@@ -164,8 +164,10 @@ func (s *session) keepalive(from, to *Router, gen uint64) {
 }
 
 // down declares the session dead: both sides drop the peering (routes
-// withdraw, trees repair or orphan) and a reconnect is scheduled.
-func (s *session) down() {
+// withdraw, trees repair or orphan) and a reconnect is scheduled. ctx is
+// the detection's trace context when the fast detector tripped; the hold
+// timer path passes zero and the teardown roots its own trace.
+func (s *session) down(ctx wire.TraceContext) {
 	s.mu.Lock()
 	if s.stopped || !s.up {
 		s.mu.Unlock()
@@ -182,9 +184,18 @@ func (s *session) down() {
 		s.lv.Stop()
 	}
 
+	tr := s.n.cfg.Observer.Tracer()
+	ev := obs.Event{Domain: s.a.domain.ID, Router: s.a.ID, Peer: s.b.ID}
+	var sp obs.Span
+	if ctx.Zero() {
+		sp = tr.Begin(obs.SpanSessionDown, ev)
+	} else {
+		sp = tr.BeginChild(ctx, obs.SpanSessionDown, ev)
+	}
 	s.n.emit(obs.Event{Kind: obs.SessionDown, Domain: s.a.domain.ID, Router: s.a.ID, Peer: s.b.ID})
-	s.a.dropPeer(s.b.ID)
-	s.b.dropPeer(s.a.ID)
+	s.a.dropPeer(s.b.ID, sp.Context())
+	s.b.dropPeer(s.a.ID, sp.Context())
+	sp.End()
 
 	s.mu.Lock()
 	if !s.stopped {
@@ -251,7 +262,7 @@ func (n *Network) onPeerCrash(id wire.RouterID) {
 	r.backend.Reset()
 	for _, p := range r.domain.Routers() {
 		if p != r {
-			p.bgp.RemoveNeighbor(id)
+			p.bgp.RemoveNeighbor(id, wire.TraceContext{})
 		}
 	}
 }

@@ -91,7 +91,9 @@ type Backend interface {
 	// to interested borders; the comparison suites use it to count state).
 	HasForwardingState(g addr.Addr) bool
 	// RouteChanged reacts to a best-route change for prefix p (any RIB).
-	RouteChanged(p addr.Prefix)
+	// ctx is the change's causal trace context (zero when untraced);
+	// backends that re-parent trees propagate it onto the repair traffic.
+	RouteChanged(p addr.Prefix, ctx wire.TraceContext)
 	// Reset models a forwarding-process crash: volatile state is dropped.
 	Reset()
 	// Stats snapshots the backend's comparison counters.

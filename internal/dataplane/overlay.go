@@ -156,7 +156,9 @@ func (o *overlay) HandleControl(src bgmp.Target, msg wire.Message) {
 }
 
 // RouteChanged flushes joins that were waiting for a route covered by p.
-func (o *overlay) RouteChanged(p addr.Prefix) {
+// The overlay sends fresh MemberReports rather than re-parenting state, so
+// ctx is unused here; the reports root their own causality.
+func (o *overlay) RouteChanged(p addr.Prefix, ctx wire.TraceContext) {
 	o.mu.Lock()
 	var flush []addr.Addr
 	for g, n := range o.pending {

@@ -31,7 +31,7 @@ func (s *sharedTree) LocalLeave(g addr.Addr) { s.c.LocalLeave(g) }
 
 func (s *sharedTree) HasForwardingState(g addr.Addr) bool { return s.c.HasForwardingState(g) }
 
-func (s *sharedTree) RouteChanged(p addr.Prefix) { s.c.RouteChanged(p) }
+func (s *sharedTree) RouteChanged(p addr.Prefix, ctx wire.TraceContext) { s.c.RouteChanged(p, ctx) }
 
 func (s *sharedTree) Reset() { s.c.Reset() }
 

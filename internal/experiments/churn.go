@@ -399,6 +399,9 @@ func emitPacket(ob *obs.Observer, g addr.Addr, pc packetCost) {
 	if pc.Delivered > 0 {
 		ob.Emit(obs.Event{Kind: obs.DataDelivered, Group: g, Count: pc.Delivered})
 	}
+	// Per-packet forwarding work (inter-domain crossings) feeds the
+	// fan-out distribution benchsuite serializes for the churn suites.
+	ob.Histogram(obs.HistForwardWork, 0, 0).Observe(pc.Hops)
 }
 
 // churnJoin adds member m, refcounting its path toward the root, and

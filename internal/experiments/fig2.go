@@ -119,6 +119,11 @@ func RunFig2(cfg Fig2Config) Fig2Result {
 	start := time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC)
 	end := start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
 
+	// The trace plane (if the observer carries a tracer) timestamps claim
+	// spans from the simulation's event clock, not wall time.
+	simNow := start
+	cfg.Obs.Tracer().SetNow(func() time.Time { return simNow })
+
 	global := masc.NewLedger(addr.MulticastSpace)
 	providers := make([]*masc.SpaceProvider, cfg.TopLevel)
 	children := make([]*masc.BlockAllocator, 0, cfg.TopLevel*cfg.ChildrenPer)
@@ -171,6 +176,7 @@ func RunFig2(cfg Fig2Config) Fig2Result {
 		if ev.at.After(end) {
 			break
 		}
+		simNow = ev.at
 		// Periodic maintenance and sampling catch up to the event time.
 		for !nextMaint.After(ev.at) {
 			for _, p := range providers {

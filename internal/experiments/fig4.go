@@ -137,6 +137,11 @@ func fig4Size(cfg Fig4Config, g *topology.Graph, size int, rng *rand.Rand) Fig4P
 		rp := migp.HashGroup(addrOf(group), g.NumDomains())
 		uniTree := trees.NewShared(g, rp, receivers)
 
+		// One span per sampled group: the tree build plus its delivery
+		// sampling (timestamps stay zero — Fig 4 has no event clock — but
+		// the span forest still maps groups to their join/prune events).
+		sp := cfg.Obs.Tracer().Begin(obs.SpanMemberJoin, obs.Event{
+			Group: addrOf(group), Count: uint64(len(receivers))})
 		if cfg.Obs != nil {
 			cfg.Obs.Emit(obs.Event{Kind: obs.BGMPJoin,
 				Group: addrOf(group), Count: uint64(len(receivers))})
@@ -193,6 +198,7 @@ func fig4Size(cfg Fig4Config, g *topology.Graph, size int, rng *rand.Rand) Fig4P
 			cfg.Obs.Emit(obs.Event{Kind: obs.BGMPPrune,
 				Group: addrOf(group), Count: uint64(len(receivers))})
 		}
+		sp.End()
 	}
 	if samples > 0 {
 		pt.UniAvg = uniSum / float64(samples)

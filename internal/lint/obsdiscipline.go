@@ -7,24 +7,38 @@ import (
 	"strings"
 )
 
-// obsNameMethods are the internal/obs methods whose first argument is a
-// metric/event name. Those names are join points between emitters and
-// readers: if one side typos a raw literal the counter silently forks, so
-// both sides must spell the name through a package-level constant (for
-// events, the obs.Kind constants and their String() form).
-var obsNameMethods = map[string]bool{
-	"Counter": true, // (*Metrics).Counter(name, domain, router)
-	"Global":  true, // (*Metrics).Global(name)
-	"Get":     true, // Snapshot.Get(name, ...)
-	"Total":   true, // Snapshot.Total(name)
+// obsNameMethods maps internal/obs methods to the index of their
+// metric/event/span name argument. Those names are join points between
+// emitters and readers: if one side typos a raw literal the counter (or
+// span tree) silently forks, so both sides must spell the name through a
+// package-level constant (for events, the obs.Kind constants and their
+// String() form; for spans and histograms, the obs.Span*/Hist*
+// constants).
+var obsNameMethods = map[string]int{
+	"Counter":    0, // (*Metrics).Counter(name, domain, router)
+	"Global":     0, // (*Metrics).Global(name)
+	"Get":        0, // Snapshot.Get(name, ...)
+	"Total":      0, // Snapshot.Total(name)
+	"Histogram":  0, // (*Metrics).Histogram(name, domain, router), (*Observer).Histogram(...)
+	"Begin":      0, // (*Tracer).Begin(name, event)
+	"BeginChild": 1, // (*Tracer).BeginChild(ctx, name, event)
 }
 
-// ObsDisciplineAnalyzer flags metric/event names passed to the obs bus as
-// inline string literals instead of package-level constants.
+// obsSpanMethods are the obs methods returning a Span that the caller
+// must End(): discarding the result leaves the span open forever, so the
+// trace renderer would show a hole where the End event belongs.
+var obsSpanMethods = map[string]bool{
+	"Begin":      true,
+	"BeginChild": true,
+}
+
+// ObsDisciplineAnalyzer flags metric/event/span names passed to the obs
+// bus as inline string literals instead of package-level constants, and
+// Begin/BeginChild spans whose result is discarded (unpaired spans).
 func ObsDisciplineAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "obsdiscipline",
-		Doc:  "obs bus metric/event names must be package-level constants, not inline string literals",
+		Doc:  "obs bus metric/span names must be package-level constants, and spans must be Begin/End paired",
 		Run:  runObsDiscipline,
 	}
 }
@@ -33,23 +47,35 @@ func runObsDiscipline(m *Module, p *Package) []Finding {
 	var out []Finding
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
+			// An expression statement whose value is a Span means the
+			// span can never be Ended: flag the unpaired Begin.
+			if stmt, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if name, ok := obsSpanCall(p, call); ok {
+						out = append(out, Finding{
+							Analyzer: "obsdiscipline",
+							Pos:      m.Position(call.Pos()),
+							Package:  p.Path,
+							Message: fmt.Sprintf("span from %s discarded; assign the Span and call End() so the span is paired",
+								name),
+						})
+					}
+				}
+				return true
+			}
 			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) == 0 {
+			if !ok {
 				return true
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !obsNameMethods[sel.Sel.Name] {
+			sel, _, ok := obsMethodCall(p, call)
+			if !ok {
 				return true
 			}
-			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/obs") {
+			nameIdx, ok := obsNameMethods[sel.Sel.Name]
+			if !ok || len(call.Args) <= nameIdx {
 				return true
 			}
-			sig, ok := fn.Type().(*types.Signature)
-			if !ok || sig.Recv() == nil {
-				return true
-			}
-			arg := call.Args[0]
+			arg := call.Args[nameIdx]
 			tv, ok := p.Info.Types[arg]
 			if !ok || tv.Value == nil {
 				// Not a compile-time constant (e.g. kind.String(), a
@@ -70,6 +96,34 @@ func runObsDiscipline(m *Module, p *Package) []Finding {
 		})
 	}
 	return out
+}
+
+// obsMethodCall reports whether call is a method call on an internal/obs
+// type and returns its selector and resolved *types.Func.
+func obsMethodCall(p *Package, call *ast.CallExpr) (*ast.SelectorExpr, *types.Func, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/obs") {
+		return nil, nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, nil, false
+	}
+	return sel, fn, true
+}
+
+// obsSpanCall reports whether call is an obs Begin/BeginChild call and
+// returns the method name.
+func obsSpanCall(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, _, ok := obsMethodCall(p, call)
+	if !ok || !obsSpanMethods[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
 }
 
 // usesPackageLevelConst reports whether any identifier inside e resolves

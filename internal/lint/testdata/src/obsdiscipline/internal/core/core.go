@@ -1,5 +1,5 @@
 // Package core is a lint fixture: obs bus names passed as inline string
-// literals instead of package-level constants.
+// literals instead of package-level constants, plus unpaired spans.
 package core
 
 import "mascbgmp/internal/obs"
@@ -10,4 +10,20 @@ func Report(m *obs.Metrics, s obs.Snapshot) int {
 	m.Counter("claims", "a", "r1")     // want: inline literal
 	total := s.Total(obs.KindSession)  // clean: package-level constant
 	return total + s.Get("session.up") // want: inline literal
+}
+
+// Measure exercises the histogram name check both ways.
+func Measure(m *obs.Metrics) {
+	m.Histogram("detect_ns", "a", "r1").Observe(1)    // want: inline literal
+	m.Histogram(obs.HistDetect, "a", "r1").Observe(2) // clean: constant
+}
+
+// TraceOps exercises the span name and Begin/End pairing checks.
+func TraceOps(t *obs.Tracer) {
+	sp := t.Begin(obs.SpanRepair, obs.Event{})                        // clean: constant, paired
+	child := t.BeginChild(sp.Context(), "bgmp.join.hop", obs.Event{}) // want: inline literal
+	child.End()
+	sp.End()
+	t.Begin(obs.SpanRepair, obs.Event{})                    // want: discarded span
+	t.BeginChild(sp.Context(), obs.SpanRepair, obs.Event{}) // want: discarded span
 }

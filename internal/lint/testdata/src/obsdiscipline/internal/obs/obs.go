@@ -4,6 +4,12 @@ package obs
 // KindSession is the canonical constant callers must use.
 const KindSession = "session.down"
 
+// SpanRepair is the canonical span-name constant.
+const SpanRepair = "bgmp.repair"
+
+// HistDetect is the canonical histogram-name constant.
+const HistDetect = "detect_ns"
+
 // Metrics counts events.
 type Metrics struct{}
 
@@ -13,6 +19,15 @@ func (m *Metrics) Counter(name, domain, router string) {}
 // Global bumps a module-wide counter.
 func (m *Metrics) Global(name string) {}
 
+// Histogram returns the named latency histogram.
+func (m *Metrics) Histogram(name, domain, router string) *Histogram { return nil }
+
+// Histogram records a value distribution.
+type Histogram struct{}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {}
+
 // Snapshot is a read-only view of the counters.
 type Snapshot struct{}
 
@@ -21,3 +36,27 @@ func (s Snapshot) Get(name string) int { return 0 }
 
 // Total sums a counter across routers.
 func (s Snapshot) Total(name string) int { return 0 }
+
+// TraceContext propagates span identity hop by hop.
+type TraceContext struct{}
+
+// Event is the span payload.
+type Event struct{}
+
+// Span is one timed operation; End closes it.
+type Span struct{}
+
+// End closes the span.
+func (s Span) End() {}
+
+// Context returns the span's propagation context.
+func (s Span) Context() TraceContext { return TraceContext{} }
+
+// Tracer allocates spans.
+type Tracer struct{}
+
+// Begin opens a root span.
+func (t *Tracer) Begin(name string, e Event) Span { return Span{} }
+
+// BeginChild opens a span under a propagated parent context.
+func (t *Tracer) BeginChild(ctx TraceContext, name string, e Event) Span { return Span{} }

@@ -81,8 +81,9 @@ type Config struct {
 	Faults *faultinject.Plane
 	// OnDown fires once per Start when detection trips, with no monitor
 	// lock held. The monitor disarms itself first, so OnDown may call
-	// back into Stop or Start freely.
-	OnDown func()
+	// back into Stop or Start freely. ctx is the detection's trace
+	// context (the root of the repair chain); zero when tracing is off.
+	OnDown func(ctx wire.TraceContext)
 	// Obs observes liveness.detect / liveness.demand / liveness.resume.
 	Obs *obs.Observer
 }
@@ -231,10 +232,16 @@ func (m *Monitor) onTick() {
 
 	switch {
 	case detect:
+		// The detection roots the causal chain every repair action hangs
+		// under: session teardown, BGP withdrawal, tree failover all parent
+		// (transitively) under this span.
+		sp := m.cfg.Obs.Tracer().Begin(obs.SpanLivenessDetect,
+			obs.Event{Domain: m.cfg.Domain, Router: m.cfg.A, Peer: m.cfg.B})
 		m.emit(obs.LivenessDetect)
 		if m.cfg.OnDown != nil {
-			m.cfg.OnDown()
+			m.cfg.OnDown(sp.Context())
 		}
+		sp.End()
 		return
 	case quiesced:
 		m.emit(obs.LivenessDemand)

@@ -8,6 +8,7 @@ import (
 	"mascbgmp/internal/faultinject"
 	"mascbgmp/internal/obs"
 	"mascbgmp/internal/simclock"
+	"mascbgmp/internal/wire"
 )
 
 var simStart = time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC)
@@ -41,7 +42,7 @@ func newHarness(t *testing.T, seed int64, p Params) *harness {
 		A:       11,
 		B:       21,
 		Faults:  plane,
-		OnDown:  func() { h.downs++ },
+		OnDown:  func(wire.TraceContext) { h.downs++ },
 		Obs:     h.ob,
 	})
 	return h

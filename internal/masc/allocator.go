@@ -321,8 +321,13 @@ func (a *BlockAllocator) tryDouble(demand, n uint64) *Holding {
 		old := smallest.Prefix
 		smallest.Prefix = d
 		a.Stats.Doublings++
+		// The model-level claim round is instantaneous; the span still
+		// lands in the trace so allocation activity lines up with the
+		// protocol spans on the same timeline.
+		sp := a.obs.Tracer().Begin(obs.SpanClaim, obs.Event{Domain: a.obsDomain, Prefix: d})
 		a.emit(obs.MASCClaim, d)
 		a.emit(obs.MASCWon, d)
+		sp.End()
 		a.emit(obs.BGPWithdraw, old)
 		a.emit(obs.BGPAnnounce, d)
 		if smallest.Used+n <= smallest.Prefix.Size() {
@@ -349,9 +354,11 @@ func (a *BlockAllocator) claimNew(maskLen int, now time.Time) *Holding {
 	}
 	h := &Holding{Prefix: p, Active: true, Expires: now.Add(a.strat.ClaimLifetime)}
 	a.holdings = append(a.holdings, h)
+	sp := a.obs.Tracer().Begin(obs.SpanClaim, obs.Event{Domain: a.obsDomain, Prefix: p})
 	a.emit(obs.MASCClaim, p)
 	a.emit(obs.MASCWon, p)
 	a.emit(obs.BGPAnnounce, p)
+	sp.End()
 	return h
 }
 

@@ -106,6 +106,9 @@ type pendingClaim struct {
 	matureAt time.Time
 	timer    simclock.Timer
 	lost     bool
+	// span traces the claim round from announcement to win/abandon; the
+	// announced Claim messages carry its context to siblings and parent.
+	span obs.Span
 }
 
 // NewNode returns a Node. For top-level domains the claimable space is
@@ -242,12 +245,14 @@ func (n *Node) claimLocked(size uint64, lifetime time.Duration, attempts int) bo
 		matureAt: n.cfg.Clock.Now().Add(n.cfg.WaitPeriod),
 	}
 	n.pending[p] = pc
+	pc.span = n.cfg.Obs.Tracer().Begin(obs.SpanClaim, obs.Event{Domain: n.cfg.Domain, Prefix: p})
 	claim := &wire.Claim{
 		Claimer:  n.cfg.Domain,
 		ClaimID:  pc.claimID,
 		Prefix:   p,
 		LifeSecs: uint32(lifetime / time.Second),
 	}
+	wire.Stamp(claim, pc.span.Context())
 	for _, s := range n.sortedSiblings() {
 		n.outbox = append(n.outbox, outMsg{s, claim})
 	}
@@ -277,6 +282,7 @@ func (n *Node) claimMatured(p addr.Prefix) {
 	n.holdings = append(n.holdings, &Holding{Prefix: p, Active: true, Expires: expires})
 	n.scheduleExpiry(p, pc.life)
 	n.event(obs.MASCWon, p)
+	n.observeClaimConverge(pc)
 	ranges := n.rangesLocked()
 	children := n.sortedChildren()
 	msgs, evs := n.drainOutbox()
@@ -488,8 +494,24 @@ func (n *Node) abandonLocked(p addr.Prefix, pc *pendingClaim) {
 	if pc.timer != nil {
 		pc.timer.Stop()
 	}
+	pc.span.End()
 	delete(n.pending, p)
 	n.heard.Release(p)
+}
+
+// observeClaimConverge closes the claim's span and records the
+// announce-to-win latency in the domain-scoped claim_converge histogram.
+func (n *Node) observeClaimConverge(pc *pendingClaim) {
+	pc.span.End()
+	start := pc.span.Context().Start
+	if start == 0 {
+		return
+	}
+	now := n.cfg.Obs.Tracer().Now()
+	if now < start {
+		return
+	}
+	n.cfg.Obs.Histogram(obs.HistClaimConverge, n.cfg.Domain, 0).Observe(now - start)
 }
 
 func (n *Node) containsLocked(p addr.Prefix) bool {

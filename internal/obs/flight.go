@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FlightRecorder keeps a bounded ring of the most recent events per
+// (domain, router) scope. When a chaos fault or a test failure needs
+// context, Dump renders the retained tail deterministically — the "what
+// was each router doing just before it died" record the paper's failure
+// analysis (§5.2 peering teardown) calls for.
+//
+// A nil *FlightRecorder ignores records, so it can be attached (or not)
+// without guarding call sites.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	cap   int
+	seq   uint64 // global arrival order across all scopes
+	rings map[CounterKey]*flightRing
+}
+
+type flightRing struct {
+	buf  []flightEntry // ring storage, len == cap once full
+	next int           // index the next entry lands in
+	full bool
+}
+
+type flightEntry struct {
+	seq uint64
+	ev  Event
+}
+
+// NewFlightRecorder returns a recorder retaining the last perScope events
+// for each (domain, router) pair. perScope values below 1 become 64.
+func NewFlightRecorder(perScope int) *FlightRecorder {
+	if perScope < 1 {
+		perScope = 64
+	}
+	return &FlightRecorder{cap: perScope, rings: map[CounterKey]*flightRing{}}
+}
+
+// Record retains e in its scope's ring. Safe on nil and for concurrent
+// use.
+func (f *FlightRecorder) Record(e Event) {
+	if f == nil {
+		return
+	}
+	k := CounterKey{Domain: e.Domain, Router: e.Router}
+	f.mu.Lock()
+	r := f.rings[k]
+	if r == nil {
+		r = &flightRing{buf: make([]flightEntry, f.cap)}
+		f.rings[k] = r
+	}
+	f.seq++
+	r.buf[r.next] = flightEntry{seq: f.seq, ev: e}
+	r.next++
+	if r.next == f.cap {
+		r.next, r.full = 0, true
+	}
+	f.mu.Unlock()
+}
+
+// Dump renders every scope's retained events, scopes sorted by
+// (domain, router) and events in arrival order, each line prefixed with
+// its global sequence number. Deterministic for a given recording.
+func (f *FlightRecorder) Dump() string {
+	if f == nil {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := make([]CounterKey, 0, len(f.rings))
+	for k := range f.rings {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		return a.Router < b.Router
+	})
+	var b strings.Builder
+	for _, k := range keys {
+		r := f.rings[k]
+		fmt.Fprintf(&b, "-- flight domain=%d router=%d --\n", k.Domain, k.Router)
+		start, n := 0, r.next
+		if r.full {
+			start, n = r.next, f.cap
+		}
+		for i := 0; i < n; i++ {
+			e := r.buf[(start+i)%f.cap]
+			fmt.Fprintf(&b, "#%d %s\n", e.seq, e.ev)
+		}
+	}
+	return b.String()
+}

@@ -61,6 +61,7 @@ func (c *Counter) Value() uint64 {
 type Metrics struct {
 	mu       sync.Mutex
 	counters map[CounterKey]*Counter
+	hists    map[CounterKey]*Histogram
 }
 
 // NewMetrics returns an empty registry.
@@ -93,12 +94,13 @@ func (m *Metrics) Global(name string) *Counter { return m.Counter(name, 0, 0) }
 // plain values: comparable with Diff, renderable with String/Totals.
 type Snapshot struct {
 	counts map[CounterKey]uint64
+	hists  map[CounterKey]HistSnapshot
 }
 
-// Snapshot returns the current values of all registered counters. Safe on
-// nil (returns an empty snapshot).
+// Snapshot returns the current values of all registered counters and
+// histograms. Safe on nil (returns an empty snapshot).
 func (m *Metrics) Snapshot() Snapshot {
-	s := Snapshot{counts: map[CounterKey]uint64{}}
+	s := Snapshot{counts: map[CounterKey]uint64{}, hists: map[CounterKey]HistSnapshot{}}
 	if m == nil {
 		return s
 	}
@@ -106,6 +108,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	defer m.mu.Unlock()
 	for k, c := range m.counters {
 		s.counts[k] = c.Value()
+	}
+	for k, h := range m.hists {
+		s.hists[k] = h.Snapshot()
 	}
 	return s
 }

@@ -3,6 +3,8 @@ package obs
 import (
 	"sync"
 	"sync/atomic"
+
+	"mascbgmp/internal/wire"
 )
 
 // Observer is the handle protocol components emit events through. Every
@@ -14,6 +16,11 @@ import (
 // one branch when observability is off.
 type Observer struct {
 	metrics *Metrics
+
+	// tracer and flight are optional attachments, loaded lock-free on the
+	// emit path; unattached (nil) they cost one atomic load.
+	tracer atomic.Pointer[Tracer]
+	flight atomic.Pointer[FlightRecorder]
 
 	mu      sync.Mutex
 	subs    map[int]func(Event)
@@ -49,6 +56,7 @@ func (o *Observer) Emit(e Event) {
 		return
 	}
 	o.metrics.Counter(e.Kind.String(), e.Domain, e.Router).Add(e.N())
+	o.flight.Load().Record(e)
 	if o.nsubs.Load() == 0 {
 		return
 	}
@@ -85,3 +93,42 @@ func (o *Observer) Subscribe(fn func(Event)) (cancel func()) {
 
 // Snapshot is shorthand for Metrics().Snapshot().
 func (o *Observer) Snapshot() Snapshot { return o.Metrics().Snapshot() }
+
+// SetTracer attaches t; subsequent Tracer() calls return it. Safe on nil.
+func (o *Observer) SetTracer(t *Tracer) {
+	if o != nil {
+		o.tracer.Store(t)
+	}
+}
+
+// Tracer returns the attached tracer, nil when none (a nil tracer is a
+// valid no-op, so callers use the result unconditionally).
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer.Load()
+}
+
+// SetFlightRecorder attaches f; every subsequent Emit also records into
+// it. Safe on nil.
+func (o *Observer) SetFlightRecorder(f *FlightRecorder) {
+	if o != nil {
+		o.flight.Store(f)
+	}
+}
+
+// FlightRecorder returns the attached recorder, nil when none.
+func (o *Observer) FlightRecorder() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.flight.Load()
+}
+
+// Histogram is shorthand for Metrics().Histogram — the handle protocol
+// components observe latencies through. Safe on nil (returns a nil,
+// no-op histogram).
+func (o *Observer) Histogram(name string, domain wire.DomainID, router wire.RouterID) *Histogram {
+	return o.Metrics().Histogram(name, domain, router)
+}

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/wire"
+)
+
+// Span names. Every Begin/BeginChild site must spell its name through one
+// of these package-level constants (enforced by masclint's obsdiscipline
+// analyzer), so trace consumers and emitters can never fork on a typo.
+const (
+	SpanMemberJoin     = "member.join"      // a domain-local member joined a group
+	SpanMemberLeave    = "member.leave"     // the last domain-local member left
+	SpanJoinHop        = "bgmp.join.hop"    // a join/source-join processed at one hop
+	SpanPruneHop       = "bgmp.prune.hop"   // a prune/source-prune processed at one hop
+	SpanRepair         = "bgmp.repair"      // RouteChanged re-attached trees
+	SpanPeerDown       = "bgmp.peer_down"   // PeerDown failover processing
+	SpanBGPUpdate      = "bgp.update"       // an inbound update's reselection
+	SpanBGPWithdraw    = "bgp.withdraw"     // RemoveNeighbor's withdrawal reselection
+	SpanSessionDown    = "session.down"     // session supervision tore a peering down
+	SpanLivenessDetect = "liveness.detect"  // the fast detector declared a peer dead
+	SpanClaim          = "masc.claim.round" // a MASC claim from announce to win/loss
+)
+
+// Histogram names. Values are nanoseconds unless the name says otherwise.
+const (
+	HistJoinGraft     = "join_graft_ns"     // member join → branch grafted
+	HistClaimConverge = "claim_converge_ns" // claim announced → claim won
+	HistDetect        = "detect_ns"         // fault injected → session declared down
+	HistReroute       = "reroute_ns"        // fault injected → delivery restored
+	HistReconverge    = "reconverge_ns"     // restart → direct path reconverged
+	HistForwardWork   = "forward_fanout"    // per-packet forwarding fan-out (copies)
+)
+
+// SpanRecord is one completed (or still-open, End==Start) span.
+type SpanRecord struct {
+	Trace  uint64 // causal chain ID
+	ID     uint64 // this span's ID
+	Parent uint64 // parent span ID; zero for roots
+	Name   string
+	Domain wire.DomainID
+	Router wire.RouterID
+	Peer   wire.RouterID
+	Group  addr.Addr
+	Start  uint64 // ns on the tracer's clock
+	End    uint64
+}
+
+// Tracer allocates span and trace IDs from a deterministic seed stream
+// (splitmix64) and records spans for export. A nil *Tracer is a valid
+// no-op: Begin/BeginChild return zero Spans whose contexts are zero, so
+// nothing downstream is stamped and all frames stay version 1.
+//
+// Time comes from the clock the owner attaches with SetNow (core wires the
+// network's simulation clock; experiments wire theirs). With no clock all
+// timestamps are zero — span structure is still recorded.
+type Tracer struct {
+	mu   sync.Mutex
+	id   uint64 // splitmix64 state
+	now  func() time.Time
+	recs []SpanRecord
+}
+
+// NewTracer returns a Tracer whose ID stream derives from seed.
+func NewTracer(seed int64) *Tracer {
+	return &Tracer{id: uint64(seed)}
+}
+
+// SetNow attaches the time source (conventionally a simclock's Now method).
+// Safe on nil.
+func (t *Tracer) SetNow(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+// Now returns the tracer's current time in nanoseconds, zero when no clock
+// is attached (or on a nil tracer). Instrumentation uses it to compute
+// origin-to-here latencies against TraceContext.Start.
+func (t *Tracer) Now() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	now := t.now
+	t.mu.Unlock()
+	if now == nil {
+		return 0
+	}
+	return uint64(now().UnixNano())
+}
+
+// nextIDLocked advances the splitmix64 stream, skipping zero (a zero trace
+// or span ID would read as "untraced").
+func (t *Tracer) nextIDLocked() uint64 {
+	for {
+		t.id += 0x9e3779b97f4a7c15
+		z := t.id
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if z != 0 {
+			return z
+		}
+	}
+}
+
+// Span is a handle on one recorded span. The zero Span (from a nil tracer
+// or a zero parent context) is a no-op: End does nothing and Context
+// returns the zero context.
+type Span struct {
+	t   *Tracer
+	idx int
+	ctx wire.TraceContext
+}
+
+// Context returns the context downstream messages should carry: this
+// span's (trace, span) plus the chain root's start instant.
+func (s Span) Context() wire.TraceContext { return s.ctx }
+
+// End closes the span at the tracer's current time.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.t.now != nil {
+		s.t.recs[s.idx].End = uint64(s.t.now().UnixNano())
+	}
+	s.t.mu.Unlock()
+}
+
+// Begin starts a new trace rooted at a protocol-initiating event. The
+// event supplies the span's scope labels (Domain/Router/Peer/Group). Safe
+// on nil (returns a no-op Span).
+func (t *Tracer) Begin(name string, e Event) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	trace := t.nextIDLocked()
+	return t.beginLocked(trace, 0, 0, name, e)
+}
+
+// BeginChild starts a span under ctx's span in ctx's trace. A zero ctx
+// (untraced message) or nil tracer yields a no-op Span, so propagation
+// stops exactly where tracing stopped.
+func (t *Tracer) BeginChild(ctx wire.TraceContext, name string, e Event) Span {
+	if t == nil || ctx.Zero() {
+		return Span{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.beginLocked(ctx.Trace, ctx.Span, ctx.Start, name, e)
+}
+
+func (t *Tracer) beginLocked(trace, parent, rootStart uint64, name string, e Event) Span {
+	id := t.nextIDLocked()
+	var now uint64
+	if t.now != nil {
+		now = uint64(t.now().UnixNano())
+	}
+	if rootStart == 0 {
+		rootStart = now
+	}
+	t.recs = append(t.recs, SpanRecord{
+		Trace: trace, ID: id, Parent: parent, Name: name,
+		Domain: e.Domain, Router: e.Router, Peer: e.Peer, Group: e.Group,
+		Start: now, End: now,
+	})
+	return Span{t: t, idx: len(t.recs) - 1,
+		ctx: wire.TraceContext{Trace: trace, Span: id, Start: rootStart}}
+}
+
+// Records returns a copy of every recorded span, sorted by
+// (Trace, Start, ID) — a total, deterministic order.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanRecord(nil), t.recs...)
+	t.mu.Unlock()
+	SortSpans(out)
+	return out
+}
+
+// SortSpans orders spans by (Trace, Start, ID).
+func SortSpans(recs []SpanRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.ID < b.ID
+	})
+}
+
+// micros renders a nanosecond count as Chrome's microsecond ticks with
+// fixed sub-microsecond precision, avoiding float formatting entirely.
+func micros(ns uint64) string {
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// ChromeTrace renders spans as a Chrome trace-event JSON array (load via
+// chrome://tracing or Perfetto): complete events (ph "X") with pid=domain
+// and tid=router. The rendering is hand-marshalled and byte-deterministic
+// for a given record list; pass records pre-sorted (Tracer.Records sorts).
+// Timestamps are rebased to the earliest span start.
+func ChromeTrace(recs []SpanRecord) []byte {
+	var base uint64
+	for i, r := range recs {
+		if i == 0 || r.Start < base {
+			base = r.Start
+		}
+	}
+	var b strings.Builder
+	b.WriteString("[\n")
+	for i, r := range recs {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		dur := uint64(0)
+		if r.End > r.Start {
+			dur = r.End - r.Start
+		}
+		fmt.Fprintf(&b,
+			`{"name":%q,"cat":"mascbgmp","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,`+
+				`"args":{"trace":"%016x","span":"%016x","parent":"%016x","peer":%d,"group":%d}}`,
+			r.Name, micros(r.Start-base), micros(dur), r.Domain, r.Router,
+			r.Trace, r.ID, r.Parent, r.Peer, r.Group)
+	}
+	b.WriteString("\n]\n")
+	return []byte(b.String())
+}
+
+// RenderTree renders spans as an indented text forest — one tree per
+// trace, children under parents — for golden tests and terminal
+// inspection. Deterministic: traces order by (root start, trace ID),
+// children by (start, ID). Offsets are milliseconds from the trace root.
+func RenderTree(recs []SpanRecord) string {
+	sorted := append([]SpanRecord(nil), recs...)
+	SortSpans(sorted)
+	children := map[uint64][]SpanRecord{} // parent span ID → spans
+	var roots []SpanRecord
+	inTrace := map[uint64]bool{}
+	for _, r := range sorted {
+		inTrace[r.ID] = true
+	}
+	for _, r := range sorted {
+		if r.Parent != 0 && inTrace[r.Parent] {
+			children[r.Parent] = append(children[r.Parent], r)
+		} else {
+			roots = append(roots, r)
+		}
+	}
+	var b strings.Builder
+	var walk func(r SpanRecord, depth int, rootStart uint64)
+	walk = func(r SpanRecord, depth int, rootStart uint64) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(r.Name)
+		if r.Domain != 0 {
+			fmt.Fprintf(&b, " domain=%d", r.Domain)
+		}
+		if r.Router != 0 {
+			fmt.Fprintf(&b, " router=%d", r.Router)
+		}
+		if r.Peer != 0 {
+			fmt.Fprintf(&b, " peer=%d", r.Peer)
+		}
+		if r.Group != 0 {
+			fmt.Fprintf(&b, " group=%d", r.Group)
+		}
+		fmt.Fprintf(&b, " +%dms", (r.Start-rootStart)/1e6)
+		b.WriteString("\n")
+		for _, c := range children[r.ID] {
+			walk(c, depth+1, rootStart)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0, r.Start)
+	}
+	return b.String()
+}

@@ -71,7 +71,7 @@ func (mc *MsgConn) Read() (wire.Message, error) {
 	if binary.BigEndian.Uint16(hdr[:]) != wire.Magic {
 		return nil, wire.ErrBadMagic
 	}
-	if hdr[2] != wire.Version {
+	if hdr[2] != wire.Version && hdr[2] != wire.TraceVersion {
 		return nil, wire.ErrBadVersion
 	}
 	n := binary.BigEndian.Uint32(hdr[4:])

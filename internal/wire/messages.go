@@ -204,6 +204,7 @@ func (rt Route) HasLoop(d DomainID) bool {
 // Update advertises and withdraws routes in one logical table, like BGP's
 // UPDATE with multiprotocol NLRI.
 type Update struct {
+	TraceCarrier
 	Table     Table
 	Withdrawn []addr.Prefix
 	Routes    []Route
@@ -264,6 +265,7 @@ func (m *Update) DecodePayload(b []byte) error {
 // parent and all siblings, who have the collision-listening period to
 // object (paper §4.1).
 type Claim struct {
+	TraceCarrier
 	Claimer DomainID
 	// ClaimID orders competing claims: lower wins, with Claimer as the
 	// tiebreak. Implementations use a timestamp-derived value, per the
@@ -311,6 +313,7 @@ const (
 // Collision announces that a claim conflicts with an existing allocation or
 // a better claim; the losing claimer must select a different range.
 type Collision struct {
+	TraceCarrier
 	From   DomainID // the objecting domain
 	Loser  DomainID // whose claim is rejected
 	Prefix addr.Prefix
@@ -416,6 +419,7 @@ func (m *RangeAdvert) DecodePayload(b []byte) error {
 // target in its (*,G) entry, creating the entry (and propagating the join
 // toward the root domain) if needed.
 type GroupJoin struct {
+	TraceCarrier
 	Group addr.Addr
 }
 
@@ -434,6 +438,7 @@ func (m *GroupJoin) DecodePayload(b []byte) error {
 
 // GroupPrune removes the sender from the receiver's (*,G) child targets.
 type GroupPrune struct {
+	TraceCarrier
 	Group addr.Addr
 }
 
@@ -454,6 +459,7 @@ func (m *GroupPrune) DecodePayload(b []byte) error {
 // source, terminating at the first router on the group's bidirectional
 // tree or at the source domain (paper §5.3).
 type SourceJoin struct {
+	TraceCarrier
 	Group  addr.Addr
 	Source addr.Addr
 }
@@ -479,6 +485,7 @@ func (m *SourceJoin) DecodePayload(b []byte) error {
 // stops duplicate copies of S's packets arriving along the shared tree once
 // a source-specific branch delivers them.
 type SourcePrune struct {
+	TraceCarrier
 	Group  addr.Addr
 	Source addr.Addr
 }
@@ -598,6 +605,7 @@ func (m *Data) DecodePayload(b []byte) error {
 // and transit routers stay group-stateless. It is the inter-domain analogue
 // of an IGMP report / BIER overlay signal.
 type MemberReport struct {
+	TraceCarrier
 	Group addr.Addr
 	// Domain is the member domain the report speaks for.
 	Domain DomainID

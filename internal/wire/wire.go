@@ -30,6 +30,12 @@ const (
 	Magic      = 0x4D42 // "MB"
 	Version    = 1
 	HeaderSize = 8
+	// TraceVersion marks a frame whose payload is preceded by a
+	// TraceBlockSize-byte trace block (trace ID, span ID, root start).
+	// Untraced messages keep emitting Version frames byte-for-byte, so
+	// tracing is free when off.
+	TraceVersion   = 2
+	TraceBlockSize = 24
 	// MaxPayload bounds a frame's payload so a corrupt length field cannot
 	// force an unbounded allocation.
 	MaxPayload = 1 << 20
@@ -124,11 +130,24 @@ func Encode(msg Message) []byte {
 	return AppendFrame(nil, msg)
 }
 
-// AppendFrame appends the framed encoding of msg to b.
+// AppendFrame appends the framed encoding of msg to b. A message carrying
+// a nonzero trace context is emitted as a TraceVersion frame with the
+// trace block between header and payload (the block counts toward the
+// length field); everything else stays a classic Version frame.
 func AppendFrame(b []byte, msg Message) []byte {
+	ctx := ContextOf(msg)
+	ver := byte(Version)
+	if !ctx.Zero() {
+		ver = TraceVersion
+	}
 	start := len(b)
-	b = append(b, 0, 0, Version, byte(msg.Type()), 0, 0, 0, 0)
+	b = append(b, 0, 0, ver, byte(msg.Type()), 0, 0, 0, 0)
 	binary.BigEndian.PutUint16(b[start:], Magic)
+	if ver == TraceVersion {
+		b = appendU64(b, ctx.Trace)
+		b = appendU64(b, ctx.Span)
+		b = appendU64(b, ctx.Start)
+	}
 	b = msg.AppendPayload(b)
 	binary.BigEndian.PutUint32(b[start+4:], uint32(len(b)-start-HeaderSize))
 	return b
@@ -155,7 +174,7 @@ func DecodeNext(b []byte) (Message, []byte, error) {
 	if binary.BigEndian.Uint16(b) != Magic {
 		return nil, b, ErrBadMagic
 	}
-	if b[2] != Version {
+	if b[2] != Version && b[2] != TraceVersion {
 		return nil, b, ErrBadVersion
 	}
 	t := MsgType(b[3])
@@ -168,9 +187,20 @@ func DecodeNext(b []byte) (Message, []byte, error) {
 		return nil, b, fmt.Errorf("%w: 0x%02x", ErrUnknownType, uint8(t))
 	}
 	payload := b[HeaderSize : HeaderSize+int(n)]
+	var ctx TraceContext
+	if b[2] == TraceVersion {
+		if n < TraceBlockSize {
+			return nil, b, ErrBadLength
+		}
+		ctx.Trace = binary.BigEndian.Uint64(payload)
+		ctx.Span = binary.BigEndian.Uint64(payload[8:])
+		ctx.Start = binary.BigEndian.Uint64(payload[16:])
+		payload = payload[TraceBlockSize:]
+	}
 	if err := msg.DecodePayload(payload); err != nil {
 		return nil, b, err
 	}
+	Stamp(msg, ctx)
 	return msg, b[HeaderSize+int(n):], nil
 }
 

@@ -103,6 +103,47 @@ type (
 	EventKind = obs.Kind
 )
 
+// Trace-plane types (DESIGN.md §13). Attach a NewTracer to an Observer
+// (Observer.SetTracer) to record protocol causality — a member join's
+// hop-by-hop propagation, a fault's detect→failover→reroute chain — as
+// span trees; contexts travel inside the wire frames, so causality
+// crosses router and domain boundaries. Everything is derived from the
+// deterministic seed stream and the sim clock: same seed, same spans.
+type (
+	// Tracer allocates span IDs from a seeded deterministic stream and
+	// records finished spans. A nil *Tracer disables tracing at no cost.
+	Tracer = obs.Tracer
+	// Span is one in-progress traced operation.
+	Span = obs.Span
+	// SpanRecord is one finished span as recorded by a Tracer.
+	SpanRecord = obs.SpanRecord
+	// TraceContext is the compact causal context carried in wire frames.
+	TraceContext = wire.TraceContext
+	// Histogram is a fixed-bucket latency/work histogram with
+	// deterministic snapshot/merge (Observer.Histogram).
+	Histogram = obs.Histogram
+	// HistogramSnapshot is a Histogram's mergeable point-in-time copy.
+	HistogramSnapshot = obs.HistSnapshot
+	// FlightRecorder keeps a bounded ring of each router's recent events
+	// for post-mortem dumps (Observer.SetFlightRecorder).
+	FlightRecorder = obs.FlightRecorder
+)
+
+// NewTracer returns a Tracer whose span IDs derive from seed.
+func NewTracer(seed int64) *Tracer { return obs.NewTracer(seed) }
+
+// NewFlightRecorder returns a FlightRecorder keeping the last perScope
+// events per (domain, router) scope.
+func NewFlightRecorder(perScope int) *FlightRecorder { return obs.NewFlightRecorder(perScope) }
+
+// ChromeTrace renders spans as Chrome trace-event JSON (load in
+// chrome://tracing or Perfetto).
+func ChromeTrace(recs []SpanRecord) []byte { return obs.ChromeTrace(recs) }
+
+// RenderSpanTree renders spans as an indented deterministic text forest,
+// one tree per root span.
+func RenderSpanTree(recs []SpanRecord) string { return obs.RenderTree(recs) }
+
 // Event kinds, re-exported for subscribers filtering the stream.
 const (
 	EventMASCClaim      = obs.MASCClaim
@@ -139,6 +180,30 @@ const (
 	EventLivenessDemand = obs.LivenessDemand
 	EventLivenessResume = obs.LivenessResume
 	EventBGMPFailover   = obs.BGMPFailover
+)
+
+// Span and histogram names, re-exported for querying trace records and
+// histogram snapshots (obs owns the canonical constants; masclint rejects
+// string-literal emission sites).
+const (
+	SpanMemberJoin     = obs.SpanMemberJoin
+	SpanMemberLeave    = obs.SpanMemberLeave
+	SpanJoinHop        = obs.SpanJoinHop
+	SpanPruneHop       = obs.SpanPruneHop
+	SpanRepair         = obs.SpanRepair
+	SpanPeerDown       = obs.SpanPeerDown
+	SpanBGPUpdate      = obs.SpanBGPUpdate
+	SpanBGPWithdraw    = obs.SpanBGPWithdraw
+	SpanSessionDown    = obs.SpanSessionDown
+	SpanLivenessDetect = obs.SpanLivenessDetect
+	SpanClaim          = obs.SpanClaim
+
+	HistJoinGraft     = obs.HistJoinGraft
+	HistClaimConverge = obs.HistClaimConverge
+	HistDetect        = obs.HistDetect
+	HistReroute       = obs.HistReroute
+	HistReconverge    = obs.HistReconverge
+	HistForwardWork   = obs.HistForwardWork
 )
 
 // NewObserver returns an Observer backed by a fresh Metrics registry.

@@ -40,3 +40,14 @@ cmp "$BENCH_TMP/ch1.csv" "$BENCH_TMP/ch2.csv"
 go run ./cmd/chaossim -liveness -loss 0.1 -packets 5 -crash 90s >"$BENCH_TMP/lv1.csv" 2>/dev/null
 go run ./cmd/chaossim -liveness -loss 0.1 -packets 5 -crash 90s >"$BENCH_TMP/lv2.csv" 2>/dev/null
 cmp "$BENCH_TMP/lv1.csv" "$BENCH_TMP/lv2.csv"
+
+# trace-plane determinism smoke: two same-seed chaossim runs must write
+# byte-identical Chrome trace JSON and Prometheus expositions — the
+# causal span trees (detect → failover → reroute) are part of the
+# deterministic surface.
+go run ./cmd/chaossim -loss 0.1 -packets 5 -crash 90s \
+    -trace-out "$BENCH_TMP/tr1.json" -metrics-out "$BENCH_TMP/m1.prom" >/dev/null 2>&1
+go run ./cmd/chaossim -loss 0.1 -packets 5 -crash 90s \
+    -trace-out "$BENCH_TMP/tr2.json" -metrics-out "$BENCH_TMP/m2.prom" >/dev/null 2>&1
+cmp "$BENCH_TMP/tr1.json" "$BENCH_TMP/tr2.json"
+cmp "$BENCH_TMP/m1.prom" "$BENCH_TMP/m2.prom"
