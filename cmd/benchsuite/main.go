@@ -13,8 +13,14 @@
 //	           [-backend shared-tree|bier|map-encap]
 //	           [-out BENCH_scale.json] [-compare old.json] [-tolerance 0.10]
 //	           [-trace-out spans.json] [-metrics-out metrics.prom]
+//	benchsuite -scenario scenarios/diurnal.toml [-trials ...] [-out ...]
 //	benchsuite -validate BENCH_scale.json
 //	benchsuite -diff a.json b.json
+//
+// -scenario loads a declarative scenario file (see DESIGN.md §14 and the
+// scenarios/ directory) and registers it beside the built-in suites: it
+// becomes the default -suite, and -list includes it. An unparseable file
+// exits with status 2 and the parse error's file:line position.
 //
 // -trace-out attaches a deterministic tracer to every trial's observer
 // and writes the recorded causal spans (trial order) as Chrome
@@ -60,6 +66,7 @@ import (
 func main() {
 	var (
 		suite      = flag.String("suite", "", "scenario to run (see -list)")
+		scenFile   = flag.String("scenario", "", "scenario file (scenarios/*.toml) to load and register beside the built-ins; becomes the default -suite")
 		trials     = flag.Int("trials", 0, "trials to run (0: the scenario's default)")
 		parallel   = flag.Int("parallel", 0, "worker pool size (0: GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1998, "suite seed; per-trial seeds derive from it")
@@ -80,6 +87,19 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	// Load the scenario file first: it registers beside the built-ins,
+	// so -list shows it and -suite can name it. An unparseable file is a
+	// usage error (exit 2) carrying the parse error's file:line position.
+	if *scenFile != "" {
+		loaded, err := mascbgmp.LoadBenchScenarioFile(*scenFile)
+		if err != nil {
+			fail(exitUsage, err.Error())
+		}
+		if *suite == "" {
+			*suite = loaded.Name
+		}
+	}
 
 	switch {
 	case *list:
@@ -118,7 +138,7 @@ func main() {
 	}
 
 	if *suite == "" {
-		fmt.Fprintln(os.Stderr, "benchsuite: -suite required (or -list/-validate/-diff)")
+		fmt.Fprintln(os.Stderr, "benchsuite: -suite or -scenario required (or -list/-validate/-diff)")
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -7,8 +7,12 @@
 //
 // Usage:
 //
-//	topogen -kind as [-n 3326] [-peering 350] [-seed 1998]
-//	topogen -kind hierarchy [-top 50] [-children 50]
+//	topogen -kind as [-n 3326] [-peering 350] [-seed 1998] [-out net.topo]
+//	topogen -kind hierarchy [-top 50] [-children 50] [-out net.topo]
+//
+// -out writes the edge list to a file instead of stdout; scenario files
+// (DESIGN.md §14) reference such files with topology kind "file", so a
+// generated topology and a declarative workload form one pipeline.
 //
 // -seed only applies to the "as" generator. The hierarchy generator is
 // fully regular (no randomness), so passing -seed with -kind hierarchy is
@@ -19,7 +23,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +38,7 @@ func main() {
 		seed     = flag.Int64("seed", 1998, "random seed (as only; rejected with -kind hierarchy)")
 		top      = flag.Int("top", 50, "top-level domains (hierarchy)")
 		children = flag.Int("children", 50, "children per top-level domain (hierarchy)")
+		out      = flag.String("out", "", "write the edge list to this file instead of stdout (scenario files reference it via topology kind \"file\")")
 	)
 	flag.Parse()
 
@@ -62,23 +66,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-
-	maxDeg := 0
-	for d := 0; d < g.NumDomains(); d++ {
-		if deg := g.Degree(topology.DomainID(d)); deg > maxDeg {
-			maxDeg = deg
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topogen: "+err.Error())
+			os.Exit(2)
 		}
+		dst = f
 	}
-	fmt.Fprintf(w, "# kind=%s domains=%d links=%d avg_degree=%.2f max_degree=%d connected=%v\n",
-		*kind, g.NumDomains(), g.NumLinks(),
-		2*float64(g.NumLinks())/float64(g.NumDomains()), maxDeg, g.Connected())
-	for a := 0; a < g.NumDomains(); a++ {
-		for _, e := range g.Neighbors(topology.DomainID(a)) {
-			if int(e.To) > a {
-				fmt.Fprintf(w, "%d %d\n", a, e.To)
-			}
+	if err := topology.WriteEdgeList(dst, g, *kind); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen: "+err.Error())
+		os.Exit(2)
+	}
+	if *out != "" {
+		if err := dst.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "topogen: "+err.Error())
+			os.Exit(2)
 		}
+		fmt.Fprintf(os.Stderr, "topogen: wrote %s (%d domains, %d links)\n",
+			*out, g.NumDomains(), g.NumLinks())
 	}
 }

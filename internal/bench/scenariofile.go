@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+
+	"mascbgmp/internal/experiments"
+	"mascbgmp/internal/scenario"
+)
+
+// File-loaded scenarios: a parsed scenario.Spec becomes a registered
+// Scenario with the generic workload metric set, runnable by name
+// exactly like a built-in suite (benchsuite -scenario <file>).
+
+// workloadMetrics is the metric set every scenario-file suite (and each
+// sub-run of the workloads suite) reports. prefix namespaces the names
+// when several workloads share one suite ("" for a standalone suite).
+func workloadMetrics(prefix string) []MetricDef {
+	return []MetricDef{
+		{Name: prefix + "fanin", Unit: "ratio", Better: Higher,
+			Help: "joins absorbed per join that grafted all the way to the root (§5.2 aggregation)"},
+		{Name: prefix + "occ_max", Unit: "fraction", Better: Info,
+			Help: "peak allocator occupancy (demand/capacity) over the run"},
+		{Name: prefix + "occ_trough", Unit: "fraction", Better: Info,
+			Help: "minimum occupancy after first reaching the 75% target (0 until reached)"},
+		{Name: prefix + "expansions", Unit: "events", Better: Info,
+			Help: "MASC prefix doublings driven by the workload"},
+		{Name: prefix + "claims", Unit: "events", Better: Info,
+			Help: "new prefix claims beyond doubling (extra + replacement)"},
+		{Name: prefix + "collapses", Unit: "events", Better: Info,
+			Help: "drained prefixes released back to the ledger"},
+		{Name: prefix + "grib_final", Unit: "routes", Better: Lower,
+			Help: "live claimed prefixes across roots at the end"},
+		{Name: prefix + "forwarding_entries", Unit: "entries", Better: Lower,
+			Help: "total (group, domain) forwarding state at the end"},
+		{Name: prefix + "mean_tree_size", Unit: "domains", Better: Info,
+			Help: "mean on-tree domains per group at the end"},
+		{Name: prefix + "joins", Unit: "ops", Better: Info,
+			Help: "join operations applied"},
+		{Name: prefix + "delivered", Unit: "packets", Better: Higher,
+			Help: "member deliveries in the forwarding phase"},
+	}
+}
+
+// workloadValues flattens a WorkloadResult into the metric map, under
+// the same prefix workloadMetrics declared.
+func workloadValues(prefix string, res experiments.WorkloadResult, vals map[string]float64) {
+	vals[prefix+"fanin"] = res.FanIn
+	vals[prefix+"occ_max"] = res.OccMax
+	vals[prefix+"occ_trough"] = res.OccTrough
+	vals[prefix+"expansions"] = float64(res.Expansions)
+	vals[prefix+"claims"] = float64(res.Claims)
+	vals[prefix+"collapses"] = float64(res.Collapses)
+	vals[prefix+"grib_final"] = float64(res.GRIBFinal)
+	vals[prefix+"forwarding_entries"] = float64(res.ForwardingEntries)
+	vals[prefix+"mean_tree_size"] = res.MeanTreeSize
+	vals[prefix+"joins"] = float64(res.Joins)
+	vals[prefix+"delivered"] = float64(res.Delivered)
+}
+
+// FileScenario wraps a parsed spec as a runnable Scenario (without
+// registering it).
+func FileScenario(spec scenario.Spec) Scenario {
+	desc := spec.Description
+	if desc == "" {
+		desc = fmt.Sprintf("scenario file: %s workload on a %s topology", spec.Workload.Kind, spec.Topology.Kind)
+	}
+	return Scenario{
+		Name:          spec.Name,
+		Description:   desc,
+		DefaultTrials: spec.Trials,
+		Metrics:       workloadMetrics(""),
+		Trial: func(ctx TrialContext) (TrialOutput, error) {
+			res, err := experiments.RunWorkload(experiments.WorkloadConfig{
+				Spec:      spec,
+				Seed:      ctx.Seed,
+				DataPlane: ctx.Backend,
+				Obs:       ctx.Obs,
+			})
+			if err != nil {
+				return TrialOutput{}, err
+			}
+			vals := map[string]float64{}
+			workloadValues("", res, vals)
+			return TrialOutput{
+				Values: vals,
+				Rates: map[string]float64{
+					"membership_ops": float64(res.Joins + res.Leaves),
+					"packets":        float64(res.Packets),
+				},
+			}, nil
+		},
+	}
+}
+
+// LoadScenarioFile parses a scenario file and registers it beside the
+// built-in suites, returning the registered Scenario. A name collision
+// with an existing suite (built-in or previously loaded) is an error,
+// not a panic: the name comes from user input.
+func LoadScenarioFile(path string) (Scenario, error) {
+	spec, err := scenario.ParseFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	if _, exists := Lookup(spec.Name); exists {
+		return Scenario{}, fmt.Errorf("%s: scenario name %q is already registered; rename it in the file", path, spec.Name)
+	}
+	s := FileScenario(spec)
+	Register(s)
+	return s, nil
+}

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mascbgmp/internal/scenario"
+)
+
+// writeScenario drops scenario-file bytes in a temp dir.
+func writeScenario(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// smallScenario is a fast file scenario for runner tests (unique name
+// per call site to keep the global registry conflict-free).
+func smallScenario(name string) string {
+	return `name = "` + name + `"
+description = "test scenario"
+trials = 2
+
+[topology]
+kind = "as"
+domains = 96
+peering = 12
+
+[workload]
+kind = "zipf"
+groups = 24
+root-domains = 2
+duration = "20m"
+step = "1m"
+events-per-step = 30
+zipf-s = 1.4
+zipf-v = 1.0
+sends-per-group = 1
+`
+}
+
+func TestLoadScenarioFileRegistersAndRuns(t *testing.T) {
+	path := writeScenario(t, "s.toml", smallScenario("filetest-zipf"))
+	s, err := LoadScenarioFile(path)
+	if err != nil {
+		t.Fatalf("LoadScenarioFile: %v", err)
+	}
+	if s.Name != "filetest-zipf" || s.DefaultTrials != 2 {
+		t.Errorf("loaded %q trials=%d", s.Name, s.DefaultTrials)
+	}
+	if _, ok := Lookup("filetest-zipf"); !ok {
+		t.Fatal("loaded scenario not in registry")
+	}
+
+	// The -parallel 1 vs 8 determinism contract, through the real runner.
+	a, err := RunSuite("filetest-zipf", Options{Trials: 4, Parallel: 1, Seed: 9})
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	b, err := RunSuite("filetest-zipf", Options{Trials: 4, Parallel: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DeterministicDiff(a, b); d != "" {
+		t.Fatalf("parallel 1 vs 8 differ: %s", d)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("result does not validate: %v", err)
+	}
+}
+
+func TestLoadScenarioFileRejectsDuplicates(t *testing.T) {
+	path := writeScenario(t, "s.toml", smallScenario("filetest-dup"))
+	if _, err := LoadScenarioFile(path); err != nil {
+		t.Fatalf("first load: %v", err)
+	}
+	_, err := LoadScenarioFile(path)
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate load: err = %v", err)
+	}
+	// A collision with a built-in suite is the same error.
+	path2 := writeScenario(t, "s2.toml", strings.Replace(smallScenario("x"), `name = "x"`, `name = "workloads"`, 1))
+	if _, err := LoadScenarioFile(path2); err == nil {
+		t.Fatal("shadowing a built-in suite did not error")
+	}
+}
+
+func TestLoadScenarioFileParseErrorHasLine(t *testing.T) {
+	path := writeScenario(t, "bad.toml", "name = \"b\"\n[topology]\nkind = \"as\"\ndomains = \"lots\"\n[workload]\nkind = \"uniform\"\n")
+	_, err := LoadScenarioFile(path)
+	if err == nil {
+		t.Fatal("bad file loaded")
+	}
+	pe, ok := err.(*scenario.ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *scenario.ParseError", err)
+	}
+	if pe.Line != 4 || !strings.Contains(err.Error(), "bad.toml:4:") {
+		t.Errorf("error = %v, want bad.toml:4: position", err)
+	}
+}
+
+// TestWorkloadsSuiteDeterministic runs the real workloads suite (one
+// trial) at two parallelism levels. One trial is ~four engine runs at
+// exemplar scale, so keep the count minimal.
+func TestWorkloadsSuiteDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workloads suite trial is relatively heavy")
+	}
+	a, err := RunSuite("workloads", Options{Trials: 1, Parallel: 1, Seed: 5})
+	if err != nil {
+		t.Fatalf("RunSuite(workloads): %v", err)
+	}
+	b, err := RunSuite("workloads", Options{Trials: 1, Parallel: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DeterministicDiff(a, b); d != "" {
+		t.Fatalf("workloads parallel 1 vs 8 differ: %s", d)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("workloads result invalid: %v", err)
+	}
+	// The acceptance invariant, visible in the recorded metrics too.
+	for _, name := range []string{"diurnal_expansions", "diurnal_collapses"} {
+		found := false
+		for _, m := range a.Metrics {
+			if m.Name == name {
+				found = true
+				if m.Mean < 1 {
+					t.Errorf("%s mean = %v, want >= 1", name, m.Mean)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("metric %s missing from workloads result", name)
+		}
+	}
+}

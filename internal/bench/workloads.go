@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+
+	"mascbgmp/internal/experiments"
+	"mascbgmp/internal/scenario"
+)
+
+// The workloads suite: every exemplar scenario file (flash-crowd,
+// diurnal, zipf, affinity) run back to back in one trial, with each
+// workload's metrics reported under its own prefix. The diurnal
+// sub-run doubles as an in-trial invariant: the demand wave must drive
+// the MASC allocators through at least one prefix expansion and one
+// collapse, or the trial fails — BENCH_workloads.json is the recorded
+// proof that the §4.3.3 machinery responds to workload shape alone.
+
+func init() {
+	builtins := scenario.Builtins()
+	var metrics []MetricDef
+	for _, b := range builtins {
+		metrics = append(metrics, workloadMetrics(b.Name+"_")...)
+	}
+	Register(Scenario{
+		Name: "workloads",
+		Description: "the exemplar scenario files (flash-crowd, diurnal, zipf, affinity) " +
+			"through the scenario engine: occupancy excursions, claim/collapse counts, join fan-in",
+		DefaultTrials: 3,
+		Metrics:       metrics,
+		Trial: func(ctx TrialContext) (TrialOutput, error) {
+			vals := map[string]float64{}
+			var ops, packets float64
+			for k, b := range builtins {
+				spec := scenario.MustParseBuiltin(b)
+				res, err := experiments.RunWorkload(experiments.WorkloadConfig{
+					Spec: spec,
+					// Offset the sub-run seeds so the workloads draw
+					// independent streams from one trial seed.
+					Seed:      ctx.Seed + int64(k)*7919,
+					DataPlane: ctx.Backend,
+					Obs:       ctx.Obs,
+				})
+				if err != nil {
+					return TrialOutput{}, fmt.Errorf("workload %s: %w", b.Name, err)
+				}
+				if b.Name == scenario.KindDiurnal {
+					if res.Expansions < 1 || res.Collapses < 1 {
+						return TrialOutput{}, fmt.Errorf(
+							"diurnal wave drove %d expansions and %d collapses; want >= 1 of each",
+							res.Expansions, res.Collapses)
+					}
+				}
+				workloadValues(b.Name+"_", res, vals)
+				ops += float64(res.Joins + res.Leaves)
+				packets += float64(res.Packets)
+			}
+			return TrialOutput{
+				Values: vals,
+				Rates:  map[string]float64{"membership_ops": ops, "packets": packets},
+			}, nil
+		},
+	})
+}

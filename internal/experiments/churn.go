@@ -8,6 +8,7 @@ import (
 	"mascbgmp/internal/dataplane"
 	"mascbgmp/internal/masc"
 	"mascbgmp/internal/obs"
+	"mascbgmp/internal/scenario"
 	"mascbgmp/internal/topology"
 	"mascbgmp/internal/wire"
 )
@@ -210,28 +211,20 @@ func buildChurn(cfg ChurnConfig) *churnState {
 		}
 	}
 
-	// Churn phase: random join/leave events. A domain that is already a
-	// member leaves; anyone else joins — so each group's membership does a
-	// random walk and the trees grow and shrink continuously.
-	for e := 0; len(groups) > 0 && e < cfg.Events; e++ {
-		gr := groups[rng.Intn(len(groups))]
-		if gr == nil {
-			continue
-		}
-		m := topology.DomainID(rng.Intn(cfg.Domains))
-		if _, isMember := gr.mpos[m]; isMember {
-			st.res.Leaves++
-			st.res.PruneHops += churnLeave(gr, rootState[gr.root], m)
-			if cfg.Obs != nil {
-				cfg.Obs.Emit(obs.Event{Kind: obs.BGMPPrune, Group: gr.addr})
-			}
-		} else {
-			st.res.Joins++
-			st.res.JoinHops += churnJoin(gr, rootState[gr.root], m)
-			if cfg.Obs != nil {
-				cfg.Obs.Emit(obs.Event{Kind: obs.BGMPJoin, Group: gr.addr})
-			}
-		}
+	st.roots = rootState
+	st.groups = groups
+
+	// Churn phase: the uniform membership generator toggles random
+	// (group, domain) pairs, so each group's membership does a random
+	// walk and the trees grow and shrink continuously. scenario.Uniform
+	// reproduces this workload's historical rng stream exactly, so the
+	// checked-in scale/dataplane baselines survive the refactor; richer
+	// demand shapes run through the same generator interface via
+	// RunWorkload.
+	if cfg.Groups > 0 && cfg.Events > 0 {
+		gen := &scenario.Uniform{PerStep: cfg.Events}
+		gen.Start(scenario.Env{Graph: g, Groups: cfg.Groups}, rng)
+		gen.Emit(0, (*churnView)(st), rng, st.applyOp)
 	}
 
 	// Steady state: forwarding footprint and tree state.
@@ -248,9 +241,40 @@ func buildChurn(cfg ChurnConfig) *churnState {
 	for _, rs := range rootState {
 		st.res.GRIBSize += len(rs.alloc.Holdings())
 	}
-	st.roots = rootState
-	st.groups = groups
 	return st
+}
+
+// churnView adapts churnState to scenario.View for the generator.
+// A nil group slot (defensive allocation-failure path) is inactive.
+type churnView churnState
+
+func (v *churnView) Domains() int      { return v.cfg.Domains }
+func (v *churnView) Active(g int) bool { return v.groups[g] != nil }
+func (v *churnView) IsMember(g int, d topology.DomainID) bool {
+	_, ok := v.groups[g].mpos[d]
+	return ok
+}
+func (v *churnView) MemberCount(g int) int             { return len(v.groups[g].members) }
+func (v *churnView) Member(g, i int) topology.DomainID { return v.groups[g].members[i] }
+
+// applyOp performs one generated membership op with the churn
+// accounting (hop counts and obs events).
+func (st *churnState) applyOp(op scenario.Op) {
+	gr := st.groups[op.Group]
+	rs := st.roots[gr.root]
+	if op.Join {
+		st.res.Joins++
+		st.res.JoinHops += churnJoin(gr, rs, op.Domain)
+		if st.cfg.Obs != nil {
+			st.cfg.Obs.Emit(obs.Event{Kind: obs.BGMPJoin, Group: gr.addr})
+		}
+		return
+	}
+	st.res.Leaves++
+	st.res.PruneHops += churnLeave(gr, rs, op.Domain)
+	if st.cfg.Obs != nil {
+		st.cfg.Obs.Emit(obs.Event{Kind: obs.BGMPPrune, Group: gr.addr})
+	}
 }
 
 // RunChurn runs the churn workload. Deterministic for a given config.

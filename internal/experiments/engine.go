@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"mascbgmp/internal/addr"
+	"mascbgmp/internal/masc"
+	"mascbgmp/internal/obs"
+	"mascbgmp/internal/scenario"
+	"mascbgmp/internal/topology"
+	"mascbgmp/internal/wire"
+)
+
+// The scenario engine: runs a declarative scenario.Spec — topology,
+// group population, and a pluggable membership generator — against the
+// same machinery the scale-churn workload uses (refcounted shared
+// trees, per-root MASC block allocators, the dataplane cost models).
+// Where churn fixes the membership model to uniform toggles, the engine
+// steps simulated time, so demand-shaped workloads (diurnal waves,
+// flash crowds) can drive the allocator's §4.3.3 expand/collapse rules
+// through lease expiry and sample occupancy as it moves.
+//
+// Everything is driven by the seeded rng and the simulated clock; a
+// given (spec, seed) yields identical results on every run.
+
+// WorkloadConfig parameterizes RunWorkload.
+type WorkloadConfig struct {
+	// Spec is the parsed scenario (topology + workload sections).
+	Spec scenario.Spec
+	// Seed drives the per-trial rng stream.
+	Seed int64
+	// DataPlane selects the forwarding-phase cost model, as in
+	// ChurnConfig. Empty means the default shared-tree model.
+	DataPlane string
+	// Obs observes the run (same event kinds as the churn workload).
+	// Nil disables observation.
+	Obs *obs.Observer
+}
+
+// WorkloadResult is the engine's deterministic outcome.
+type WorkloadResult struct {
+	// Joins and Leaves count applied membership operations; JoinHops
+	// and PruneHops the graft/prune message distances.
+	Joins, Leaves       int
+	JoinHops, PruneHops uint64
+	// RootJoins counts joins whose graft walked all the way to the root
+	// domain — joins no existing tree branch absorbed. FanIn is
+	// Joins / max(1, RootJoins): how many joins the shared tree soaked
+	// up per join the root had to see (§5.2 join aggregation).
+	RootJoins int
+	FanIn     float64
+	// LeaseFailures counts address-lease requests the root's allocator
+	// could not satisfy.
+	LeaseFailures int
+	// Expansions, Claims, and Collapses aggregate the §4.3.3 allocator
+	// events across roots: prefix doublings, new claims beyond the
+	// first (extra + replacement), and expired-empty prefix releases.
+	Expansions, Claims, Collapses int
+	// OccMax is the peak aggregate allocator occupancy
+	// (demand/capacity) sampled per step; OccTrough is the minimum
+	// after occupancy first reached the 75% target — together they
+	// bound the excursion a demand wave drives.
+	OccMax, OccTrough float64
+	// GRIBPeak and GRIBFinal count live claimed prefixes across roots
+	// (peak over steps, final value).
+	GRIBPeak, GRIBFinal int
+	// ForwardingEntries, MeanTreeSize, MembersPeak, and MembersFinal
+	// describe tree state: total on-tree domain count at the end, its
+	// per-group mean, and total membership (peak over steps, final).
+	ForwardingEntries         int
+	MeanTreeSize              float64
+	MembersPeak, MembersFinal int
+	// Packets, ForwardHops, HeaderBytes, Encaps, and Delivered describe
+	// the steady-state forwarding phase, as in ChurnResult.
+	Packets             int
+	ForwardHops         uint64
+	HeaderBytes, Encaps uint64
+	Delivered           uint64
+}
+
+// workloadState is the engine's live state; it implements scenario.View
+// so generators can consult membership while emitting.
+type workloadState struct {
+	cfg    WorkloadConfig
+	g      *topology.Graph
+	rng    *rand.Rand
+	roots  []*churnRoot
+	groups []*churnGroup
+	// leaseExp tracks each group's address-lease expiry; the zero time
+	// means no live lease.
+	leaseExp []time.Time
+	res      WorkloadResult
+}
+
+func (st *workloadState) Domains() int      { return st.g.NumDomains() }
+func (st *workloadState) Active(g int) bool { return g >= 0 && g < len(st.groups) }
+func (st *workloadState) IsMember(g int, d topology.DomainID) bool {
+	_, ok := st.groups[g].mpos[d]
+	return ok
+}
+func (st *workloadState) MemberCount(g int) int             { return len(st.groups[g].members) }
+func (st *workloadState) Member(g, i int) topology.DomainID { return st.groups[g].members[i] }
+
+// apply performs one membership op. Ops from unreachable domains (file
+// topologies may be disconnected) are declined: the view's member count
+// does not change, which the generators' retry budgets tolerate.
+func (st *workloadState) apply(op scenario.Op) {
+	gr := st.groups[op.Group]
+	rs := st.roots[gr.root]
+	if rs.dist[op.Domain] < 0 {
+		return
+	}
+	if op.Join {
+		if _, isMember := gr.mpos[op.Domain]; isMember {
+			return
+		}
+		grafted := churnJoin(gr, rs, op.Domain)
+		st.res.Joins++
+		st.res.JoinHops += grafted
+		if grafted == uint64(rs.dist[op.Domain]) {
+			st.res.RootJoins++
+		}
+		if st.cfg.Obs != nil {
+			st.cfg.Obs.Emit(obs.Event{Kind: obs.BGMPJoin, Group: gr.addr})
+		}
+		return
+	}
+	if _, isMember := gr.mpos[op.Domain]; !isMember {
+		return
+	}
+	st.res.Leaves++
+	st.res.PruneHops += churnLeave(gr, rs, op.Domain)
+	if st.cfg.Obs != nil {
+		st.cfg.Obs.Emit(obs.Event{Kind: obs.BGMPPrune, Group: gr.addr})
+	}
+}
+
+// buildTopology realizes the spec's topology section. seed only drives
+// the "as" generator, matching cmd/topogen.
+func buildTopology(ts scenario.TopologySpec, seed int64) (*topology.Graph, error) {
+	switch ts.Kind {
+	case "as":
+		return topology.ASGraph(ts.Domains, ts.Peering, seed), nil
+	case "hierarchy":
+		g, _, _ := topology.Hierarchy(ts.Top, ts.Children)
+		return g, nil
+	case "file":
+		f, err := os.Open(ts.Path)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: topology file: %w", err)
+		}
+		defer f.Close()
+		g, err := topology.ReadEdgeList(f)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: topology file %s: %w", ts.Path, err)
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown topology kind %q", ts.Kind)
+	}
+}
+
+// RunWorkload executes one scenario trial. Deterministic for a given
+// (spec, seed): the generator and the forwarding phase draw from one
+// rng stream, the allocators from per-root streams, exactly as the
+// churn workload seeds them.
+func RunWorkload(cfg WorkloadConfig) (WorkloadResult, error) {
+	w := cfg.Spec.Workload
+	gen, err := scenario.Compile(w)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	g, err := buildTopology(cfg.Spec.Topology, cfg.Seed)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+
+	st := &workloadState{cfg: cfg, g: g, rng: rand.New(rand.NewSource(cfg.Seed))}
+	start := time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC)
+
+	// Root domains and their MASC allocators, seeded as in buildChurn.
+	strat := masc.DefaultStrategy()
+	strat.ClaimLifetime = w.ClaimLifetime
+	global := masc.NewLedger(addr.MulticastSpace)
+	roots := pickRoots(g, w.RootDomains)
+	st.roots = make([]*churnRoot, len(roots))
+	for i, id := range roots {
+		dist, parent := g.BFS(id)
+		ba := masc.NewBlockAllocator(strat, global,
+			rand.New(rand.NewSource(cfg.Seed+int64(i)+1)))
+		ba.SetObserver(cfg.Obs, wire.DomainID(int(id)+1))
+		st.roots[i] = &churnRoot{id: id, dist: dist, parent: parent, alloc: ba}
+	}
+
+	// Group slots: round-robin root assignment, fixed addresses out of
+	// 224/4. Unlike churn, no address is leased up front — the lease
+	// scan below allocates on demand, so allocator occupancy follows
+	// the membership wave instead of the (static) group count.
+	st.groups = make([]*churnGroup, w.Groups)
+	st.leaseExp = make([]time.Time, w.Groups)
+	for i := range st.groups {
+		ri := i % len(st.roots)
+		st.groups[i] = &churnGroup{
+			root: ri,
+			addr: addr.MulticastSpace.Base + addr.Addr(i),
+			mpos: map[topology.DomainID]int{},
+			refs: map[topology.DomainID]int{st.roots[ri].id: 1},
+			size: 1,
+		}
+	}
+
+	// The lease a live group holds: LeaseLifetime == 0 means one lease
+	// for the whole run (plus a day so it cannot lapse on the last step).
+	leaseLife := w.LeaseLifetime
+	if leaseLife == 0 {
+		leaseLife = w.Duration + 24*time.Hour
+	}
+
+	gen.Start(scenario.Env{Graph: g, Groups: w.Groups}, st.rng)
+	steps := w.Steps()
+	crossedTarget := false
+	for s := 0; s < steps; s++ {
+		now := start.Add(time.Duration(s) * w.Step)
+		gen.Emit(s, st, st.rng, st.apply)
+
+		// Lease scan: live groups (re-)lease their address block when
+		// the previous lease has lapsed; idle groups let it expire.
+		members := 0
+		for i, gr := range st.groups {
+			members += len(gr.members)
+			if len(gr.members) == 0 {
+				continue
+			}
+			if st.leaseExp[i].After(now) {
+				continue
+			}
+			_, ok := st.roots[gr.root].alloc.Request(
+				uint64(w.AddressesPerGroup), leaseLife, now)
+			if !ok {
+				st.res.LeaseFailures++
+				continue
+			}
+			st.leaseExp[i] = now.Add(leaseLife)
+			if cfg.Obs != nil {
+				cfg.Obs.Emit(obs.Event{Kind: obs.MAASLease,
+					Domain: wire.DomainID(int(st.roots[gr.root].id) + 1), Group: gr.addr})
+			}
+		}
+		if members > st.res.MembersPeak {
+			st.res.MembersPeak = members
+		}
+
+		// Advance the allocators and sample occupancy and G-RIB size.
+		var demand, capacity uint64
+		grib := 0
+		for _, rs := range st.roots {
+			rs.alloc.Tick(now)
+			demand += rs.alloc.Demand()
+			capacity += rs.alloc.Capacity()
+			grib += len(rs.alloc.Holdings())
+		}
+		occ := 0.0
+		if capacity > 0 {
+			occ = float64(demand) / float64(capacity)
+		}
+		if occ > st.res.OccMax {
+			st.res.OccMax = occ
+		}
+		if !crossedTarget && occ >= strat.TargetOccupancy {
+			crossedTarget = true
+			st.res.OccTrough = occ
+		}
+		if crossedTarget && occ < st.res.OccTrough {
+			st.res.OccTrough = occ
+		}
+		if grib > st.res.GRIBPeak {
+			st.res.GRIBPeak = grib
+		}
+	}
+
+	// Final state and allocator event totals.
+	for _, gr := range st.groups {
+		st.res.ForwardingEntries += gr.size
+		st.res.MembersFinal += len(gr.members)
+	}
+	if w.Groups > 0 {
+		st.res.MeanTreeSize = float64(st.res.ForwardingEntries) / float64(w.Groups)
+	}
+	for _, rs := range st.roots {
+		st.res.GRIBFinal += len(rs.alloc.Holdings())
+		stats := rs.alloc.Stats
+		st.res.Expansions += stats.Doublings
+		st.res.Claims += stats.ExtraClaims + stats.Replacements
+		st.res.Collapses += stats.Releases
+	}
+	st.res.FanIn = float64(st.res.Joins) / float64(max(1, st.res.RootJoins))
+
+	// Steady-state forwarding phase over the surviving membership, with
+	// the same cost models the churn workload uses.
+	model := forwardModel(cfg.DataPlane)
+	for _, gr := range st.groups {
+		if len(gr.members) == 0 {
+			continue
+		}
+		rs := st.roots[gr.root]
+		for s := 0; s < w.SendsPerGroup; s++ {
+			src := reachableDomain(st.rng, g.NumDomains(), rs)
+			pc := model(gr, rs, src)
+			st.res.Packets++
+			st.res.ForwardHops += pc.Hops
+			st.res.HeaderBytes += pc.HeaderBytes
+			st.res.Encaps += pc.Encaps
+			st.res.Delivered += pc.Delivered
+			emitPacket(cfg.Obs, gr.addr, pc)
+		}
+	}
+	return st.res, nil
+}
+
+// reachableDomain draws a uniform sender that can reach the root (file
+// topologies may have unreachable components; cost models walk BFS
+// parents and need a connected source). The retry is rng-consuming and
+// therefore deterministic.
+func reachableDomain(rng *rand.Rand, n int, rs *churnRoot) topology.DomainID {
+	for {
+		d := topology.DomainID(rng.Intn(n))
+		if rs.dist[d] >= 0 {
+			return d
+		}
+	}
+}

@@ -30,6 +30,12 @@ var layerTable = map[string]layerSpec{
 
 	"internal/wire": {layer: 1, imports: []string{"internal/addr"}},
 
+	// The declarative workload layer: scenario files and membership
+	// generators. Sits directly above topology — it knows graphs and
+	// membership, nothing about allocators or trees; the experiments
+	// engine applies its op streams to protocol state.
+	"internal/scenario": {layer: 1, imports: []string{"internal/topology"}},
+
 	"internal/obs": {layer: 2, imports: []string{"internal/addr", "internal/wire"}},
 
 	"internal/transport":   {layer: 3, imports: []string{"internal/obs", "internal/wire"}},
@@ -63,8 +69,8 @@ var layerTable = map[string]layerSpec{
 
 	"internal/experiments": {layer: 8, imports: []string{
 		"internal/addr", "internal/dataplane", "internal/harness", "internal/masc",
-		"internal/migp", "internal/obs", "internal/topology", "internal/trees",
-		"internal/wire"}},
+		"internal/migp", "internal/obs", "internal/scenario", "internal/topology",
+		"internal/trees", "internal/wire"}},
 
 	"internal/core": {layer: 9, imports: []string{
 		"internal/addr", "internal/bgmp", "internal/bgp", "internal/dataplane",
@@ -74,7 +80,7 @@ var layerTable = map[string]layerSpec{
 
 	"internal/bench": {layer: 10, imports: []string{
 		"internal/core", "internal/dataplane", "internal/experiments",
-		"internal/harness", "internal/obs"}},
+		"internal/harness", "internal/obs", "internal/scenario"}},
 }
 
 // LayeringAnalyzer enforces the documented internal import DAG: every

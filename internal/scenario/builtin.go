@@ -1,0 +1,154 @@
+package scenario
+
+// The exemplar workload configs. The checked-in scenarios/ directory
+// holds these same bytes as files (a test pins the equivalence), and
+// internal/bench parses the constants to register the built-in
+// `workloads` suite — so the exemplars are exercised by every test run
+// and stay valid as the grammar evolves.
+
+// BuiltinFlashCrowdTOML is scenarios/flash-crowd.toml: a crowd of
+// receiver domains converging on a few groups, the join-aggregation
+// stress case.
+const BuiltinFlashCrowdTOML = `# Flash crowd: most of a 1024-domain internetwork converges on four hot
+# groups in forty simulated minutes, holds, then drains away. The
+# simultaneous joins collapse onto shared tree branches, so the root
+# domains absorb almost all of them — join-aggregation fan-in is the
+# headline metric. The other sixty groups churn uniformly underneath.
+
+name = "flash-crowd"
+description = "crowd of receiver domains converging on a few hot groups, stressing root-domain join aggregation"
+trials = 3
+
+[topology]
+kind = "as"
+domains = 1024
+peering = 128
+
+[workload]
+kind = "flash-crowd"
+groups = 64
+hot-groups = 4
+root-domains = 4
+duration = "2h"
+step = "1m"
+ramp = "40m"
+hold = "20m"
+peak-members = 900
+background-events-per-step = 20
+sends-per-group = 4
+`
+
+// BuiltinDiurnalTOML is scenarios/diurnal.toml: the MASC
+// expand/collapse round trip over two simulated days.
+const BuiltinDiurnalTOML = `# Diurnal wave: live-group demand swings from zero to 192 groups and
+# back once per simulated day, for two days. The morning ramp forces
+# the root allocators through the 75%-occupancy prefix-doubling rules;
+# the overnight trough lets the two-hour leases and four-hour claims
+# expire, so drained prefixes collapse back to the ledger before the
+# second day re-expands them.
+
+name = "diurnal"
+description = "two-day sinusoidal demand wave driving MASC 75%-occupancy prefix expansion and collapse"
+trials = 3
+
+[topology]
+kind = "as"
+domains = 512
+peering = 64
+
+[workload]
+kind = "diurnal"
+groups = 192
+root-domains = 4
+duration = "48h"
+step = "15m"
+period = "24h"
+base-groups = 0
+peak-groups = 192
+members-per-group = 6
+addresses-per-group = 4
+lease-lifetime = "2h"
+claim-lifetime = "4h"
+sends-per-group = 2
+`
+
+// BuiltinZipfTOML is scenarios/zipf.toml: Zipf-skewed group popularity.
+const BuiltinZipfTOML = `# Zipf popularity: group picks follow a Zipf(1.3) draw, so a handful of
+# heavy-hitter groups receive most of the 24000 membership toggles and
+# grow internetwork-spanning trees while the tail stays nearly idle.
+
+name = "zipf"
+description = "Zipf-skewed group popularity: heavy-hitter groups dominate the membership stream"
+trials = 3
+
+[topology]
+kind = "as"
+domains = 512
+peering = 64
+
+[workload]
+kind = "zipf"
+groups = 256
+root-domains = 8
+duration = "2h"
+step = "1m"
+events-per-step = 200
+zipf-s = 1.3
+zipf-v = 1.0
+sends-per-group = 2
+`
+
+// BuiltinAffinityTOML is scenarios/affinity.toml: topology-correlated
+// membership.
+const BuiltinAffinityTOML = `# Affinity: every group has a home locality (the 24 domains nearest a
+# random center), and 85% of joins come from it. Correlated members
+# share most of their path to the root, so trees stay compact — compare
+# mean tree size against the zipf scenario at the same event volume.
+
+name = "affinity"
+description = "topology-correlated membership: 85% of joins come from each group's home locality"
+trials = 3
+
+[topology]
+kind = "as"
+domains = 512
+peering = 64
+
+[workload]
+kind = "affinity"
+groups = 256
+root-domains = 8
+duration = "2h"
+step = "1m"
+events-per-step = 200
+affinity = 0.85
+locality = 24
+sends-per-group = 2
+`
+
+// Builtin is one named exemplar config.
+type Builtin struct {
+	Name string
+	TOML string
+}
+
+// Builtins returns the exemplar configs in presentation order.
+func Builtins() []Builtin {
+	return []Builtin{
+		{KindFlashCrowd, BuiltinFlashCrowdTOML},
+		{KindDiurnal, BuiltinDiurnalTOML},
+		{KindZipf, BuiltinZipfTOML},
+		{KindAffinity, BuiltinAffinityTOML},
+	}
+}
+
+// MustParseBuiltin parses one of the Builtin* constants; it panics on
+// error because the constants are compiled into the binary and covered
+// by tests — a failure is a programming error.
+func MustParseBuiltin(b Builtin) Spec {
+	spec, err := Parse("builtin:"+b.Name, []byte(b.TOML))
+	if err != nil {
+		panic("scenario: builtin " + b.Name + ": " + err.Error())
+	}
+	return spec
+}

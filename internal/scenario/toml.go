@@ -1,0 +1,182 @@
+// Package scenario is the declarative workload layer: a TOML-subset
+// config format parsed into a validated Spec, and the pluggable
+// membership generators the Spec compiles to — uniform churn,
+// flash crowds, diurnal demand waves, and Zipf/affinity-skewed
+// membership. The package sits directly above internal/topology: it
+// knows graphs and membership, nothing about allocators, trees, or
+// benchmarks. The experiments engine applies the generated operations
+// to protocol state; internal/bench registers parsed specs beside the
+// built-in suites so new workloads are data files, not Go code.
+//
+// Determinism: generators draw randomness only from the *rand.Rand the
+// engine hands them (one stream per trial, seeded by the harness), so a
+// given (spec, seed) yields a byte-identical operation stream at any
+// parallelism.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError is a config-file error with its source position. The Error
+// form is "file:line: message", so tooling (and the verify.sh golden
+// check) can point at the offending line.
+type ParseError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.File, e.Msg)
+}
+
+// value is one parsed key's raw value and source line. str records
+// whether the value was written quoted — "30m" is a string (durations
+// are written as quoted strings, TOML-style), 30 is a number.
+type value struct {
+	raw  string
+	str  bool
+	line int
+}
+
+// section is one [name] table (top-level keys live in section "").
+type section struct {
+	keys  map[string]value
+	order []string
+	line  int
+}
+
+// doc is a parsed TOML-subset document.
+type doc struct {
+	file     string
+	sections map[string]*section
+	order    []string
+}
+
+func (d *doc) section(name string) *section { return d.sections[name] }
+
+// parseTOML parses the supported TOML subset: comments, [section]
+// headers, and key = value lines where a value is a quoted string, an
+// integer, a float, or a bool. That is exactly the shape of the
+// spacemesh-style config files this format is modeled on; arrays and
+// nested inline tables are rejected rather than half-supported.
+func parseTOML(file string, data []byte) (*doc, error) {
+	d := &doc{file: file, sections: map[string]*section{}}
+	cur := &section{keys: map[string]value{}}
+	d.sections[""] = cur
+	d.order = append(d.order, "")
+
+	for i, line := range strings.Split(string(data), "\n") {
+		ln := i + 1
+		text := stripComment(line)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "[") {
+			if !strings.HasSuffix(text, "]") {
+				return nil, &ParseError{file, ln, fmt.Sprintf("malformed section header %q", text)}
+			}
+			name := strings.TrimSpace(text[1 : len(text)-1])
+			if !validName(name) {
+				return nil, &ParseError{file, ln, fmt.Sprintf("invalid section name %q", name)}
+			}
+			if _, dup := d.sections[name]; dup {
+				return nil, &ParseError{file, ln, fmt.Sprintf("duplicate section [%s]", name)}
+			}
+			cur = &section{keys: map[string]value{}, line: ln}
+			d.sections[name] = cur
+			d.order = append(d.order, name)
+			continue
+		}
+		eq := strings.Index(text, "=")
+		if eq < 0 {
+			return nil, &ParseError{file, ln, fmt.Sprintf("expected key = value, got %q", text)}
+		}
+		key := strings.TrimSpace(text[:eq])
+		if !validName(key) {
+			return nil, &ParseError{file, ln, fmt.Sprintf("invalid key %q", key)}
+		}
+		if _, dup := cur.keys[key]; dup {
+			return nil, &ParseError{file, ln, fmt.Sprintf("duplicate key %q", key)}
+		}
+		v, err := parseValue(file, ln, strings.TrimSpace(text[eq+1:]))
+		if err != nil {
+			return nil, err
+		}
+		cur.keys[key] = v
+		cur.order = append(cur.order, key)
+	}
+	return d, nil
+}
+
+// stripComment drops a trailing # comment, respecting quoted strings.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// parseValue classifies one raw value. Quoted strings keep their str
+// flag so the typed getters can insist on (or reject) string form.
+func parseValue(file string, ln int, raw string) (value, error) {
+	if raw == "" {
+		return value{}, &ParseError{file, ln, "missing value after ="}
+	}
+	if raw[0] == '"' {
+		if len(raw) < 2 || raw[len(raw)-1] != '"' {
+			return value{}, &ParseError{file, ln, fmt.Sprintf("unterminated string %s", raw)}
+		}
+		body := raw[1 : len(raw)-1]
+		if strings.Contains(body, `"`) {
+			return value{}, &ParseError{file, ln, fmt.Sprintf("stray quote inside string %s", raw)}
+		}
+		return value{raw: body, str: true, line: ln}, nil
+	}
+	if raw[0] == '[' || raw[0] == '{' {
+		return value{}, &ParseError{file, ln, "arrays and inline tables are not part of the scenario grammar"}
+	}
+	// Bare value: must be a single token (int, float, or bool).
+	if strings.ContainsAny(raw, " \t") {
+		return value{}, &ParseError{file, ln, fmt.Sprintf("unexpected text after value %q", raw)}
+	}
+	switch raw {
+	case "true", "false":
+		return value{raw: raw, line: ln}, nil
+	}
+	if _, err := strconv.ParseFloat(raw, 64); err != nil {
+		return value{}, &ParseError{file, ln, fmt.Sprintf("value %q is not a string, number, or bool (quote strings and durations)", raw)}
+	}
+	return value{raw: raw, line: ln}, nil
+}
+
+// validName accepts the conservative key/section charset: lowercase
+// letters, digits, dash, dot.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -58,6 +58,7 @@ import (
 	"mascbgmp/internal/migp/pimdm"
 	"mascbgmp/internal/migp/pimsm"
 	"mascbgmp/internal/obs"
+	"mascbgmp/internal/scenario"
 	"mascbgmp/internal/simclock"
 	"mascbgmp/internal/topology"
 	"mascbgmp/internal/transport"
@@ -345,6 +346,42 @@ func ValidDataPlane(name string) bool { return dataplane.ValidName(name) }
 // the same membership and the same senders (the dataplane-compare suite).
 // Deterministic for a given config; cfg.DataPlane is ignored.
 func RunDataPlane(cfg ChurnConfig) DataPlaneResult { return experiments.RunDataPlane(cfg) }
+
+// Declarative scenario layer (internal/scenario + the experiments
+// engine): TOML-subset scenario files parse to a ScenarioSpec, compile
+// to a pluggable membership generator, and run through the same shared
+// trees and MASC allocators the churn workload uses. See DESIGN.md §14.
+type (
+	// ScenarioSpec is one parsed, validated scenario file.
+	ScenarioSpec = scenario.Spec
+	// ScenarioParseError is a scenario-file error with its source
+	// position ("file:line: message").
+	ScenarioParseError = scenario.ParseError
+	// WorkloadConfig parameterizes RunWorkload.
+	WorkloadConfig = experiments.WorkloadConfig
+	// WorkloadResult is the engine's deterministic outcome: membership
+	// and tree metrics plus the §4.3.3 allocator excursion counters.
+	WorkloadResult = experiments.WorkloadResult
+)
+
+// ParseScenario parses scenario-file bytes; file labels error positions.
+func ParseScenario(file string, data []byte) (ScenarioSpec, error) {
+	return scenario.Parse(file, data)
+}
+
+// ParseScenarioFile reads and parses a scenario file, resolving a
+// file-kind topology path relative to the scenario file's directory.
+func ParseScenarioFile(path string) (ScenarioSpec, error) { return scenario.ParseFile(path) }
+
+// RunWorkload executes one scenario trial. Deterministic for a given
+// (spec, seed).
+func RunWorkload(cfg WorkloadConfig) (WorkloadResult, error) { return experiments.RunWorkload(cfg) }
+
+// LoadBenchScenarioFile parses a scenario file and registers it beside
+// the built-in benchmark suites (benchsuite -scenario).
+func LoadBenchScenarioFile(path string) (BenchScenario, error) {
+	return bench.LoadScenarioFile(path)
+}
 
 // Benchmark suite layer (cmd/benchsuite): named scenarios run through the
 // parallel deterministic trial runner and reported as machine-readable

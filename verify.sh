@@ -51,3 +51,60 @@ go run ./cmd/chaossim -loss 0.1 -packets 5 -crash 90s \
     -trace-out "$BENCH_TMP/tr2.json" -metrics-out "$BENCH_TMP/m2.prom" >/dev/null 2>&1
 cmp "$BENCH_TMP/tr1.json" "$BENCH_TMP/tr2.json"
 cmp "$BENCH_TMP/m1.prom" "$BENCH_TMP/m2.prom"
+
+# scenario-file parse golden: an unparseable scenario must exit 2 and
+# point at the offending file:line, so CI failures name the bad key.
+# Built binary, not `go run`: go run reports any non-zero child as its
+# own exit 1, which would hide the documented 2-vs-3 code split.
+go build -o "$BENCH_TMP/benchsuite" ./cmd/benchsuite
+cat >"$BENCH_TMP/bad.toml" <<'EOF'
+name = "bad"
+[topology]
+kind = "as"
+domains = "lots"
+[workload]
+kind = "uniform"
+EOF
+rc=0
+"$BENCH_TMP/benchsuite" -scenario "$BENCH_TMP/bad.toml" \
+    >"$BENCH_TMP/bad.out" 2>&1 || rc=$?
+test "$rc" -eq 2
+grep -q 'bad.toml:4:' "$BENCH_TMP/bad.out"
+
+# scenario-file determinism smoke: the checked-in diurnal scenario must
+# produce byte-identical Metrics/Counters at -parallel 1 and -parallel 8,
+# two runs each (same seed ⇒ same workload ⇒ same claims/collapses).
+"$BENCH_TMP/benchsuite" -scenario scenarios/diurnal.toml -trials 1 -parallel 1 -out "$BENCH_TMP/sc1.json"
+"$BENCH_TMP/benchsuite" -scenario scenarios/diurnal.toml -trials 1 -parallel 8 -out "$BENCH_TMP/sc2.json"
+"$BENCH_TMP/benchsuite" -validate "$BENCH_TMP/sc1.json"
+"$BENCH_TMP/benchsuite" -diff "$BENCH_TMP/sc1.json" "$BENCH_TMP/sc2.json"
+
+# workloads suite smoke: the four-exemplar composite suite must stay
+# parallelism-independent (the diurnal trial asserts >=1 expansion and
+# >=1 collapse internally, so this also guards the §4.3.3 round trip).
+"$BENCH_TMP/benchsuite" -suite workloads -trials 1 -parallel 1 -out "$BENCH_TMP/wl1.json"
+"$BENCH_TMP/benchsuite" -suite workloads -trials 1 -parallel 2 -out "$BENCH_TMP/wl2.json"
+"$BENCH_TMP/benchsuite" -validate "$BENCH_TMP/wl1.json"
+"$BENCH_TMP/benchsuite" -diff "$BENCH_TMP/wl1.json" "$BENCH_TMP/wl2.json"
+
+# topogen → scenario pipeline smoke: a generated topology file must feed
+# a file-kind scenario end to end.
+go run ./cmd/topogen -kind as -n 200 -peering 24 -seed 7 -out "$BENCH_TMP/net.topo"
+cat >"$BENCH_TMP/filed.toml" <<'EOF'
+name = "verify-filed"
+description = "verify.sh pipeline smoke"
+trials = 1
+[topology]
+kind = "file"
+path = "net.topo"
+[workload]
+kind = "uniform"
+groups = 16
+root-domains = 2
+duration = "10m"
+step = "1m"
+events-per-step = 20
+sends-per-group = 1
+EOF
+"$BENCH_TMP/benchsuite" -scenario "$BENCH_TMP/filed.toml" -out "$BENCH_TMP/filed.json"
+"$BENCH_TMP/benchsuite" -validate "$BENCH_TMP/filed.json"
