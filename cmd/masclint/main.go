@@ -1,16 +1,24 @@
 // Command masclint runs the repo's static-analysis pass (internal/lint)
 // over the module: determinism (no wall-clock or global rand), layering
 // (the documented internal import DAG), maporder (protocol map ranges
-// must not leak iteration order), and obsdiscipline (obs bus names come
-// from constants).
+// must not leak iteration order), obsdiscipline (obs bus names come from
+// constants), hotalloc (no avoidable allocation on forwarding hot paths),
+// guarded (mutex-guarded fields accessed only under their lock),
+// wireexhaustive (every wire message kind decodes and round-trips), and
+// stalewaiver (lint waivers that suppress nothing must go).
 //
 // Usage:
 //
-//	masclint [-C dir] [-json] [-determinism] [-layering] [-maporder] [-obsdiscipline] [packages]
+//	masclint [-C dir] [-json] [-list] [-<analyzer>]... [packages]
 //
-// With no analyzer flags every analyzer runs. Package arguments are
-// module-relative directory prefixes ("internal/bgp"); "./..." or no
-// arguments means the whole module.
+// With no analyzer flags every analyzer runs; -list prints the analyzer
+// registry and exits. Package arguments are module-relative directory
+// prefixes ("internal/bgp"); "./..." or no arguments means the whole
+// module.
+//
+// Output ordering is stable: findings sort by (package, file, line,
+// column, analyzer), so two runs over the same tree produce identical
+// output — -json included — and diffs between runs are meaningful.
 //
 // Exit status: 0 no findings, 1 findings reported, 2 usage or load error.
 package main
@@ -34,7 +42,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("masclint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "directory inside the module to lint (go.mod is found upward)")
-	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array (stably sorted by position)")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
 	enabled := map[string]*bool{}
 	for _, a := range lint.Analyzers() {
 		enabled[a.Name] = fs.Bool(a.Name, false, "run only the "+a.Name+" analyzer: "+a.Doc)
@@ -47,6 +56,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
 	}
 
 	var selected []*lint.Analyzer

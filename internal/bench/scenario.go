@@ -81,7 +81,7 @@ type Scenario struct {
 
 var (
 	regMu    sync.Mutex
-	registry = map[string]Scenario{}
+	registry = map[string]Scenario{} // guarded by regMu
 )
 
 // Register adds a scenario to the global registry. It panics on a

@@ -80,13 +80,8 @@ func sortedSigs(bySig map[string][]addr.Addr) []string {
 
 // entrySig builds a canonical signature of an entry's parent and children.
 func entrySig(e *entry) string {
+	// targets() returns the list already sorted (MIGP first, then router).
 	ts := e.targets()
-	sort.Slice(ts, func(i, j int) bool {
-		if ts[i].MIGP != ts[j].MIGP {
-			return ts[i].MIGP
-		}
-		return ts[i].Router < ts[j].Router
-	})
 	sig := e.parent.key().String() + "|"
 	for _, t := range ts {
 		sig += t.String() + ";"
@@ -99,7 +94,7 @@ func entrySig(e *entry) string {
 
 // prefixEntryFor returns the longest-match (*,G-prefix) entry covering g.
 // Caller holds c.mu.
-func (c *Component) prefixEntryFor(g addr.Addr) *entry {
+func (c *Component) prefixEntryForLocked(g addr.Addr) *entry {
 	var best *entry
 	bestLen := -1
 	for p, e := range c.prefixes {
@@ -114,7 +109,7 @@ func (c *Component) prefixEntryFor(g addr.Addr) *entry {
 // prefix entry, so a join or prune can modify per-group state without
 // disturbing sibling groups. Caller holds c.mu.
 func (c *Component) materializeLocked(g addr.Addr) *entry {
-	pe := c.prefixEntryFor(g)
+	pe := c.prefixEntryForLocked(g)
 	if pe == nil {
 		return nil
 	}

@@ -79,34 +79,37 @@ type Component struct {
 	cfg Config
 
 	mu     sync.Mutex
-	groups map[addr.Addr]*entry
-	srcs   map[sgKey]*entry
+	groups map[addr.Addr]*entry // guarded by mu
+	srcs   map[sgKey]*entry     // guarded by mu
 	// prefixes holds (*,G-prefix) aggregated forwarding state (§7); see
-	// aggregate.go.
+	// aggregate.go. guarded by mu
 	prefixes map[addr.Prefix]*entry
 	// encapFrom remembers, per (S,G), the internal border router that is
 	// encapsulating data to us, so we can source-prune it once the
-	// source-specific branch delivers.
+	// source-specific branch delivers. guarded by mu
 	encapFrom map[sgKey]wire.RouterID
 	// importedSG marks (S,G) flows this router itself encapsulates into
 	// the domain: interior copies of them are its own reflux and must not
 	// be re-exported up the shared tree (they would loop B2↔F1 in the
-	// paper's Fig 3(b) topology).
+	// paper's Fig 3(b) topology). guarded by mu
 	importedSG map[sgKey]bool
 	// orphans parks (*,G) entries whose G-RIB route vanished (or never
 	// existed at join time). The child list is kept so that when a
 	// covering route reappears — a session recovered, BGP resynced —
 	// RouteChanged can re-attach the tree without waiting for downstream
 	// routers to re-issue joins. Orphans hold no forwarding state.
+	// guarded by mu
 	orphans map[addr.Addr]*entry
-	// out buffers messages generated under the lock.
+	// out buffers messages generated under the lock. guarded by mu
 	out []outItem
 	// evbuf collects events under the lock; they are emitted with the
 	// out-queue after release so observers may call back into the router.
+	// guarded by mu
 	evbuf []obs.Event
 	// cur is the causal trace context of the operation currently mutating
-	// state under mu. drain stamps it onto every buffered out message and
-	// clears it, so propagated joins/prunes carry their cause hop-by-hop.
+	// state under mu. drainLocked stamps it onto every buffered out message
+	// and clears it, so propagated joins/prunes carry their cause
+	// hop-by-hop. guarded by mu
 	cur wire.TraceContext
 }
 
@@ -212,7 +215,7 @@ func (c *Component) HasForwardingState(g addr.Addr) bool {
 	if _, ok := c.groups[g]; ok {
 		return true
 	}
-	return c.prefixEntryFor(g) != nil
+	return c.prefixEntryForLocked(g) != nil
 }
 
 // ---------------------------------------------------------------- joining
@@ -227,7 +230,7 @@ func (c *Component) LocalJoin(g addr.Addr) {
 	c.mu.Lock()
 	c.cur = sp.Context()
 	c.joinLocked(g, MIGPTarget)
-	out, evs := c.drain()
+	out, evs := c.drainLocked()
 	c.mu.Unlock()
 	c.flush(out, evs)
 	sp.End()
@@ -240,7 +243,7 @@ func (c *Component) LocalLeave(g addr.Addr) {
 	c.mu.Lock()
 	c.cur = sp.Context()
 	c.pruneLocked(g, MIGPTarget)
-	out, evs := c.drain()
+	out, evs := c.drainLocked()
 	c.mu.Unlock()
 	c.flush(out, evs)
 	sp.End()
@@ -289,13 +292,13 @@ func (c *Component) HandlePeer(from wire.RouterID, msg wire.Message) {
 	case *wire.SourcePrune:
 		c.sourcePruneLocked(m.Source, m.Group, PeerTarget(from))
 	case *wire.Data:
-		out, evs := c.drain()
+		out, evs := c.drainLocked()
 		c.mu.Unlock()
 		c.flush(out, evs)
 		c.Deliver(PeerTarget(from), m)
 		return
 	}
-	out, evs := c.drain()
+	out, evs := c.drainLocked()
 	c.mu.Unlock()
 	c.flush(out, evs)
 }
@@ -321,13 +324,13 @@ func (c *Component) HandleFromBorder(from wire.RouterID, msg wire.Message) {
 	case *wire.SourcePrune:
 		c.sourcePruneLocked(m.Source, m.Group, MIGPToward(from))
 	case *wire.Data:
-		out, evs := c.drain()
+		out, evs := c.drainLocked()
 		c.mu.Unlock()
 		c.flush(out, evs)
 		c.Deliver(MIGPToward(from), m)
 		return
 	}
-	out, evs := c.drain()
+	out, evs := c.drainLocked()
 	c.mu.Unlock()
 	c.flush(out, evs)
 }
@@ -337,7 +340,7 @@ func (c *Component) HandleFromBorder(from wire.RouterID, msg wire.Message) {
 // aggregated (*,G-prefix) state is re-materialized first, keeping control
 // traffic per-group precise.
 func (c *Component) joinLocked(g addr.Addr, child Target) {
-	c.event(obs.Event{Kind: obs.BGMPJoin, Group: g})
+	c.eventLocked(obs.Event{Kind: obs.BGMPJoin, Group: g})
 	e, ok := c.groups[g]
 	if !ok {
 		if me := c.materializeLocked(g); me != nil {
@@ -402,7 +405,7 @@ func (c *Component) observeGraftLocked() {
 // pruneLocked removes `child` from the (*,G) entry, tearing the entry down
 // (and propagating the prune) when the child list empties.
 func (c *Component) pruneLocked(g addr.Addr, child Target) {
-	c.event(obs.Event{Kind: obs.BGMPPrune, Group: g})
+	c.eventLocked(obs.Event{Kind: obs.BGMPPrune, Group: g})
 	e, ok := c.groups[g]
 	if !ok {
 		e = c.materializeLocked(g)
@@ -523,7 +526,7 @@ func (migpLeave) DecodePayload([]byte) error    { return nil }
 
 // event queues an observability event for post-unlock emission, filling in
 // the router's scope. Caller holds c.mu.
-func (c *Component) event(e obs.Event) {
+func (c *Component) eventLocked(e obs.Event) {
 	if c.cfg.Obs == nil {
 		return
 	}
@@ -531,7 +534,7 @@ func (c *Component) event(e obs.Event) {
 	c.evbuf = append(c.evbuf, e)
 }
 
-func (c *Component) drain() ([]outItem, []obs.Event) {
+func (c *Component) drainLocked() ([]outItem, []obs.Event) {
 	out, evs := c.out, c.evbuf
 	c.out, c.evbuf = nil, nil
 	if !c.cur.Zero() {

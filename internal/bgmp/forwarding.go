@@ -15,7 +15,7 @@ import (
 func (c *Component) RequestSourceBranch(s, g addr.Addr) {
 	c.mu.Lock()
 	c.sourceJoinLocked(s, g, MIGPTarget)
-	out, evs := c.drain()
+	out, evs := c.drainLocked()
 	c.mu.Unlock()
 	c.flush(out, evs)
 }
@@ -25,7 +25,7 @@ func (c *Component) RequestSourceBranch(s, g addr.Addr) {
 // target list and does not propagate (the branch stops here); otherwise the
 // join continues toward the source.
 func (c *Component) sourceJoinLocked(s, g addr.Addr, child Target) {
-	c.event(obs.Event{Kind: obs.BGMPJoin, Group: g, Source: s})
+	c.eventLocked(obs.Event{Kind: obs.BGMPJoin, Group: g, Source: s})
 	k := sgKey{s, g}
 	if e, ok := c.srcs[k]; ok {
 		e.addChild(child)
@@ -56,7 +56,7 @@ func (c *Component) sourceJoinLocked(s, g addr.Addr, child Target) {
 // flow to `child` along the shared tree, propagating upstream when no other
 // target needs them (§5.3).
 func (c *Component) sourcePruneLocked(s, g addr.Addr, child Target) {
-	c.event(obs.Event{Kind: obs.BGMPPrune, Group: g, Source: s})
+	c.eventLocked(obs.Event{Kind: obs.BGMPPrune, Group: g, Source: s})
 	k := sgKey{s, g}
 	e, ok := c.srcs[k]
 	if !ok {
@@ -135,7 +135,7 @@ func (c *Component) handleData(from Target, d *wire.Data) {
 		isSG = true
 	} else if e = c.groups[d.Group]; e == nil {
 		// Aggregated (*,G-prefix) state (§7) serves covered groups.
-		e = c.prefixEntryFor(d.Group)
+		e = c.prefixEntryForLocked(d.Group)
 	}
 	var encapFrom wire.RouterID
 	var hadEncap bool

@@ -95,7 +95,8 @@ func (c *Component) RouteChanged(prefix addr.Prefix, ctx wire.TraceContext) {
 			changes = append(changes, change{g: g, oldParent: e.parent, oldRoot: e.root, torn: true})
 			delete(c.groups, g)
 			c.dropSharedClonesLocked(g)
-			e.parent, e.root = Target{}, false
+			e.setParent(Target{})
+			e.root = false
 			c.orphans[g] = e
 			continue
 		}
@@ -109,7 +110,7 @@ func (c *Component) RouteChanged(prefix addr.Prefix, ctx wire.TraceContext) {
 			g: g, oldParent: e.parent, oldRoot: e.root,
 			newParent: parent, newRoot: root,
 		})
-		e.parent = parent
+		e.setParent(parent)
 		e.root = root
 		e.backup, e.hasBackup = c.backupForGroup(g)
 		// Dependent shared-clone (S,G) state inherited the old parent;
@@ -127,13 +128,14 @@ func (c *Component) RouteChanged(prefix addr.Prefix, ctx wire.TraceContext) {
 		}
 		e := c.orphans[g]
 		delete(c.orphans, g)
-		e.parent, e.root = parent, root
+		e.setParent(parent)
+		e.root = root
 		e.backup, e.hasBackup = c.backupForGroup(g)
 		c.groups[g] = e
 		changes = append(changes, change{g: g, newParent: parent, newRoot: root, rejoined: true})
 	}
 	for _, ch := range changes {
-		c.event(obs.Event{Kind: obs.BGMPRepair, Group: ch.g, Prefix: prefix})
+		c.eventLocked(obs.Event{Kind: obs.BGMPRepair, Group: ch.g, Prefix: prefix})
 		if !ch.rejoined {
 			// Prune away from the old parent.
 			switch {
@@ -154,7 +156,7 @@ func (c *Component) RouteChanged(prefix addr.Prefix, ctx wire.TraceContext) {
 			c.out = append(c.out, outItem{target: ch.newParent, msg: &wire.GroupJoin{Group: ch.g}})
 		}
 	}
-	out, evs := c.drain()
+	out, evs := c.drainLocked()
 	c.mu.Unlock()
 	c.flush(out, evs)
 }
@@ -180,7 +182,7 @@ func (c *Component) PeerDown(peer wire.RouterID, ctx wire.TraceContext) {
 			continue
 		}
 		delete(c.groups, g)
-		c.event(obs.Event{Kind: obs.BGMPRepair, Group: g})
+		c.eventLocked(obs.Event{Kind: obs.BGMPRepair, Group: g})
 		c.dropSharedClonesLocked(g)
 		if e.root {
 			c.out = append(c.out, outItem{target: MIGPTarget, msg: migpLeave{group: g}})
@@ -204,9 +206,9 @@ func (c *Component) PeerDown(peer wire.RouterID, ctx wire.TraceContext) {
 		}
 		bk := e.backup
 		e.backup, e.hasBackup = Target{}, false
-		e.parent = bk
+		e.setParent(bk)
 		c.dropSharedClonesLocked(g)
-		c.event(obs.Event{Kind: obs.BGMPFailover, Group: g, Peer: peer})
+		c.eventLocked(obs.Event{Kind: obs.BGMPFailover, Group: g, Peer: peer})
 		if bk.MIGP && bk.Router == 0 {
 			// The runner-up route makes this domain the best exit: the
 			// entry becomes root and the interior supplies the tree.
@@ -232,7 +234,7 @@ func (c *Component) PeerDown(peer wire.RouterID, ctx wire.TraceContext) {
 			delete(c.orphans, g)
 		}
 	}
-	out, evs := c.drain()
+	out, evs := c.drainLocked()
 	c.mu.Unlock()
 	c.flush(out, evs)
 }

@@ -81,14 +81,32 @@ type entry struct {
 	// parent to it without re-querying the G-RIB (1:1 protection).
 	backup    Target
 	hasBackup bool
+	// targetCache is the memoized result of targets(), rebuilt lazily
+	// after any parent/child mutation. Entries see one mutation per
+	// join/prune but many forwarding lookups, so caching turns the
+	// per-packet sort+dedup into a slice read.
+	targetCache []Target
 }
 
 func newEntry(parent Target, root bool) *entry {
-	return &entry{parent: parent, children: map[Target]bool{}, root: root}
+	return &entry{parent: parent, children: make(map[Target]bool, 2), root: root}
 }
 
-func (e *entry) addChild(t Target)    { e.children[t] = true }
-func (e *entry) removeChild(t Target) { delete(e.children, t) }
+func (e *entry) addChild(t Target) {
+	e.children[t] = true
+	e.targetCache = nil
+}
+
+func (e *entry) removeChild(t Target) {
+	delete(e.children, t)
+	e.targetCache = nil
+}
+
+// setParent reparents the entry (failover or G-RIB change).
+func (e *entry) setParent(t Target) {
+	e.parent = t
+	e.targetCache = nil
+}
 
 // removeMIGPChildren drops every interior-side child: a source-specific
 // prune from the domain interior means the interior as a whole gets S via
@@ -99,12 +117,19 @@ func (e *entry) removeMIGPChildren() {
 			delete(e.children, t)
 		}
 	}
+	e.targetCache = nil
 }
 
 // targets returns the deduplicated full target list (parent + children).
+// Callers must not mutate the returned slice: it is the shared cache.
 func (e *entry) targets() []Target {
-	seen := map[Target]bool{e.parent.key(): true}
-	out := []Target{e.parent.key()}
+	if e.targetCache != nil {
+		return e.targetCache
+	}
+	seen := make(map[Target]bool, len(e.children)+1)
+	seen[e.parent.key()] = true
+	out := make([]Target, 1, len(e.children)+1)
+	out[0] = e.parent.key()
 	for c := range e.children {
 		k := c.key()
 		if !seen[k] {
@@ -118,14 +143,16 @@ func (e *entry) targets() []Target {
 		}
 		return out[i].Router < out[j].Router
 	})
+	e.targetCache = out
 	return out
 }
 
 // forwardTargets returns every target except `from` (bidirectional rule).
 func (e *entry) forwardTargets(from Target) []Target {
 	fk := from.key()
-	var out []Target
-	for _, t := range e.targets() {
+	ts := e.targets()
+	out := make([]Target, 0, len(ts))
+	for _, t := range ts {
 		if t != fk {
 			out = append(out, t)
 		}

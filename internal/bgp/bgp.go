@@ -89,8 +89,8 @@ type Speaker struct {
 	cfg Config
 
 	mu        sync.Mutex
-	neighbors map[wire.RouterID]Neighbor
-	tables    map[wire.Table]*rib
+	neighbors map[wire.RouterID]Neighbor // guarded by mu
+	tables    map[wire.Table]*rib        // guarded by mu
 }
 
 // New returns a configured Speaker.
@@ -101,15 +101,15 @@ func New(cfg Config) *Speaker {
 	if cfg.Export == nil {
 		cfg.Export = ExportAll
 	}
-	s := &Speaker{
+	tables := map[wire.Table]*rib{}
+	for _, t := range []wire.Table{wire.TableUnicast, wire.TableMRIB, wire.TableGRIB} {
+		tables[t] = newRIB()
+	}
+	return &Speaker{
 		cfg:       cfg,
 		neighbors: map[wire.RouterID]Neighbor{},
-		tables:    map[wire.Table]*rib{},
+		tables:    tables,
 	}
-	for _, t := range []wire.Table{wire.TableUnicast, wire.TableMRIB, wire.TableGRIB} {
-		s.tables[t] = newRIB()
-	}
-	return s
 }
 
 // Router returns the speaker's router ID.
@@ -577,13 +577,13 @@ func (s *Speaker) exportable(n Neighbor, table wire.Table, sel selected) (wire.R
 	if n.Internal {
 		// iBGP split horizon over the full mesh: only locally originated
 		// and externally learned routes go to internal peers.
-		if !sel.local && s.isInternal(sel.from) {
+		if !sel.local && s.isInternalLocked(sel.from) {
 			return wire.Route{}, false
 		}
 		return sel.route.Clone(), true
 	}
 	// External export.
-	if s.cfg.AggregateCovered && s.coveredByOwnOrigination(table, sel) {
+	if s.cfg.AggregateCovered && s.coveredByOwnOriginationLocked(table, sel) {
 		return wire.Route{}, false
 	}
 	rt := sel.route.Clone()
@@ -603,7 +603,7 @@ func (s *Speaker) exportable(n Neighbor, table wire.Table, sel selected) (wire.R
 // — in which case the paper's aggregation rule says not to advertise the
 // more-specific route externally (§4.3.2: "the border routers of the
 // parent domain need not propagate their children's group routes").
-func (s *Speaker) coveredByOwnOrigination(table wire.Table, sel selected) bool {
+func (s *Speaker) coveredByOwnOriginationLocked(table wire.Table, sel selected) bool {
 	r := s.tables[table]
 	for p, rt := range r.local {
 		if p.Len < sel.route.Prefix.Len && p.ContainsPrefix(sel.route.Prefix) && !s.expired(rt) {
@@ -619,7 +619,7 @@ func (s *Speaker) coveredByOwnOrigination(table wire.Table, sel selected) bool {
 	return false
 }
 
-func (s *Speaker) isInternal(id wire.RouterID) bool {
+func (s *Speaker) isInternalLocked(id wire.RouterID) bool {
 	n, ok := s.neighbors[id]
 	return ok && n.Internal
 }

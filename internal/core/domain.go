@@ -43,13 +43,16 @@ type Domain struct {
 	ID  wire.DomainID
 	net *Network
 
-	mu           sync.Mutex
+	mu sync.Mutex
+	// The unannotated fields below are assigned once inside AddDomain,
+	// before the domain is published into Network.domains, and never
+	// reassigned — immutable after construction, so they need no guard.
 	routers      []*Router
 	fabric       *migp.Fabric
 	interior     *topology.Graph
 	masc         *masc.Node
 	maas         *maas.Server
-	mascChildren []wire.DomainID
+	mascChildren []wire.DomainID // guarded by mu
 	hostPrefix   addr.Prefix
 	// dpStore is the overlay membership shared by the domain's border
 	// routers when an overlay data plane (BIER / map-encap) is selected.
@@ -57,6 +60,7 @@ type Domain struct {
 	// it survives individual router crashes (dataplane.Backend.Reset).
 	dpStore *dataplane.Store
 	// received logs data deliveries to interior members, newest last.
+	// guarded by mu
 	received []Delivery
 }
 

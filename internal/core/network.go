@@ -146,10 +146,10 @@ type Network struct {
 	tracker *transport.Tracker
 
 	mu       sync.Mutex
-	domains  map[wire.DomainID]*Domain
-	routers  map[wire.RouterID]*Router
-	links    []link
-	sessions []*session
+	domains  map[wire.DomainID]*Domain // guarded by mu
+	routers  map[wire.RouterID]*Router // guarded by mu
+	links    []link                    // guarded by mu
+	sessions []*session                // guarded by mu
 }
 
 type link struct {

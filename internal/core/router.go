@@ -30,8 +30,8 @@ type Router struct {
 	backend dataplane.Backend
 
 	mu    sync.Mutex
-	peers map[wire.RouterID]sender
-	// internalPeers marks same-domain peers.
+	peers map[wire.RouterID]sender // guarded by mu
+	// internalPeers marks same-domain peers. guarded by mu
 	internalPeers map[wire.RouterID]bool
 }
 

@@ -39,17 +39,18 @@ type session struct {
 	// The session's own lock; never held while calling into routers or
 	// the fault plane (both cascade into protocol handlers).
 	mu      sync.Mutex
-	up      bool
-	stopped bool
+	up      bool // guarded by mu
+	stopped bool // guarded by mu
 	// gen counts session incarnations: keepalives delivered late carry
 	// the generation they were sent under, so a delivery that straddles a
 	// down()/retry() cycle cannot touch the new incarnation's timers.
+	// guarded by mu
 	gen uint64
 	// heardA/heardB are the last instants a (resp. b) heard a keepalive
-	// from the other end.
+	// from the other end. guarded by mu
 	heardA, heardB time.Time
-	backoff        time.Duration
-	timer          simclock.Timer
+	backoff        time.Duration  // guarded by mu
+	timer          simclock.Timer // guarded by mu
 }
 
 func newSession(n *Network, a, b *Router) *session {

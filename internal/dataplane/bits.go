@@ -13,13 +13,18 @@ import (
 
 // makeBits builds a bitstring with one bit set per domain in ds.
 func makeBits(ds []wire.DomainID) []uint64 {
-	var out []uint64
+	maxw := -1
 	for _, d := range ds {
-		w := int(d / 64)
-		for len(out) <= w {
-			out = append(out, 0)
+		if w := int(d / 64); w > maxw {
+			maxw = w
 		}
-		out[w] |= 1 << (uint(d) % 64)
+	}
+	if maxw < 0 {
+		return nil
+	}
+	out := make([]uint64, maxw+1)
+	for _, d := range ds {
+		out[d/64] |= 1 << (uint(d) % 64)
 	}
 	return out
 }
@@ -54,7 +59,11 @@ func anyBit(b []uint64) bool {
 
 // setBits returns the set bit indices in ascending order.
 func setBits(b []uint64) []uint32 {
-	var out []uint32
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	out := make([]uint32, 0, n)
 	for wi, w := range b {
 		for w != 0 {
 			i := bits.TrailingZeros64(w)

@@ -159,7 +159,7 @@ type Config struct {
 // domain share one Store.
 type Store struct {
 	mu      sync.Mutex
-	members map[addr.Addr]map[wire.DomainID]int
+	members map[addr.Addr]map[wire.DomainID]int // guarded by mu
 }
 
 // NewStore returns an empty membership store.
@@ -173,7 +173,7 @@ func (s *Store) Add(g addr.Addr, d wire.DomainID) {
 	defer s.mu.Unlock()
 	m := s.members[g]
 	if m == nil {
-		m = map[wire.DomainID]int{}
+		m = make(map[wire.DomainID]int, 2)
 		s.members[g] = m
 	}
 	m[d]++

@@ -26,8 +26,9 @@ type overlay struct {
 	mu sync.Mutex
 	// pending counts interior joins awaiting a G-RIB route toward the
 	// root, flushed by RouteChanged — the analogue of bgmp's orphans.
+	// guarded by mu
 	pending map[addr.Addr]int
-	stats   Stats
+	stats   Stats // guarded by mu
 }
 
 // NewBIER returns the BIER-style bitstring backend.
@@ -382,8 +383,10 @@ func (o *overlay) forwardBits(d *wire.Data) {
 		internal bool
 		bits     []uint64
 	}
-	var order []wire.RouterID
-	buckets := map[wire.RouterID]*bucket{}
+	// Sized for the common fan-out: the distinct next hops of one packet
+	// are bounded by the router's peer count, typically a handful.
+	order := make([]wire.RouterID, 0, 8)
+	buckets := make(map[wire.RouterID]*bucket, 8)
 	for _, dom := range setBits(d.Bits) {
 		ta, ok := o.cfg.DomainAddr(wire.DomainID(dom))
 		if !ok {

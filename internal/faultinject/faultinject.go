@@ -147,21 +147,22 @@ type Plane struct {
 	cfg Config
 
 	mu       sync.Mutex
-	seedBase int64
-	links    map[linkKey]LinkFaults
+	seedBase int64                  // guarded by mu
+	links    map[linkKey]LinkFaults // guarded by mu
 	// linksDir holds one-direction overrides (SetLinkDirected); they take
 	// precedence over the bidirectional profile for their direction only,
 	// so asymmetric failures (A hears B, B never hears A) are expressible.
+	// guarded by mu
 	linksDir    map[directedKey]LinkFaults
-	partitioned map[linkKey]bool
-	crashed     map[wire.RouterID]bool
+	partitioned map[linkKey]bool       // guarded by mu
+	crashed     map[wire.RouterID]bool // guarded by mu
 	// rngs holds one rand stream per directed link, lazily seeded from
 	// seedBase and the endpoints: per-link fault sequences are then
-	// independent of how traffic on other links interleaves.
+	// independent of how traffic on other links interleaves. guarded by mu
 	rngs map[directedKey]*rand.Rand
-	// held buffers one reordered message per directed link.
+	// held buffers one reordered message per directed link. guarded by mu
 	held  map[directedKey]func()
-	stats Stats
+	stats Stats // guarded by mu
 
 	onCrash, onRestart func(wire.RouterID)
 }
@@ -190,7 +191,7 @@ func New(cfg Config) (*Plane, error) {
 
 // rng returns the directed link's rand stream, creating it on first use
 // from the plane's seed and the endpoints. Caller holds p.mu.
-func (p *Plane) rng(k directedKey) *rand.Rand {
+func (p *Plane) rngLocked(k directedKey) *rand.Rand {
 	r, ok := p.rngs[k]
 	if !ok {
 		r = rand.New(rand.NewSource(p.seedBase ^ (int64(k.from)<<32 | int64(k.to))))
@@ -363,7 +364,7 @@ func (p *Plane) Deliver(from, to wire.RouterID, class Class, deliver func()) boo
 	// link's own stream: the nth message on a link sees the same fate on
 	// every same-seed run, regardless of other links' traffic.
 	dk := directedKey{from, to}
-	rng := p.rng(dk)
+	rng := p.rngLocked(dk)
 	if f.Drop > 0 && rng.Float64() < f.Drop {
 		p.stats.Dropped++
 		p.mu.Unlock()

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// guardedRe extracts the mutex name from a `// guarded by <mu>` field
+// annotation.
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)`)
+
+// GuardedAnalyzer enforces mutex-guard annotations: a struct field whose
+// declaration carries `// guarded by <mu>` may only be accessed inside
+// functions that lock that mutex on the same receiver (mu.Lock/RLock
+// appears in the function body) or whose name ends in "Locked" (the
+// convention for helpers called with the lock already held). The check is
+// function-granular: it does not prove the lock is held at the access, but
+// it catches the real concurrency hazards — fields touched in functions
+// that never take the lock at all, including cross-package access to
+// exported state.
+func GuardedAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "guarded",
+		Doc:  "fields annotated `// guarded by <mu>` may only be accessed in functions that lock that mutex or are named *Locked",
+		Run:  runGuarded,
+	}
+}
+
+// guardSpec records one guarded field: the mutex field name in the same
+// struct and the struct name for messages.
+type guardSpec struct {
+	mu    string
+	owner string
+}
+
+// guardState is the memoized module-wide guarded-field table.
+type guardState struct {
+	fields map[*types.Var]*guardSpec
+	// bad holds malformed-annotation findings, keyed by package path.
+	bad map[string][]Finding
+}
+
+func guardedState(m *Module) *guardState {
+	return m.memoize("guarded", func() any { return buildGuardState(m) }).(*guardState)
+}
+
+func buildGuardState(m *Module) *guardState {
+	st := &guardState{fields: map[*types.Var]*guardSpec{}, bad: map[string][]Finding{}}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				stype, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				st.collectStruct(m, p, ts, stype)
+				return true
+			})
+		}
+	}
+	return st
+}
+
+func (st *guardState) collectStruct(m *Module, p *Package, ts *ast.TypeSpec, stype *ast.StructType) {
+	mutexes := map[string]bool{}
+	for _, fl := range stype.Fields.List {
+		tv, ok := p.Info.Types[fl.Type]
+		if !ok || !isMutexType(tv.Type) {
+			continue
+		}
+		for _, name := range fl.Names {
+			mutexes[name.Name] = true
+		}
+	}
+	for _, fl := range stype.Fields.List {
+		mu := guardAnnotation(fl)
+		if mu == "" {
+			continue
+		}
+		if !mutexes[mu] {
+			st.bad[p.Path] = append(st.bad[p.Path], Finding{
+				Analyzer: "guarded",
+				Pos:      m.Position(fl.Pos()),
+				Package:  p.Path,
+				Message:  fmt.Sprintf("`guarded by %s` names no sync.Mutex/RWMutex field of struct %s; fix the annotation", mu, ts.Name.Name),
+			})
+			continue
+		}
+		for _, name := range fl.Names {
+			if v, ok := p.Info.Defs[name].(*types.Var); ok {
+				st.fields[v] = &guardSpec{mu: mu, owner: ts.Name.Name}
+			}
+		}
+	}
+}
+
+// guardAnnotation returns the mutex name of a field's `guarded by <mu>`
+// annotation (doc comment or trailing line comment), or "".
+func guardAnnotation(fl *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fl.Doc, fl.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if mm := guardedRe.FindStringSubmatch(c.Text); mm != nil {
+				return mm[1]
+			}
+		}
+	}
+	return ""
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex, or a pointer
+// to one.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func runGuarded(m *Module, p *Package) []Finding {
+	st := guardedState(m)
+	out := append([]Finding(nil), st.bad[p.Path]...)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkGuardedFunc(m, p, st, fd)...)
+		}
+	}
+	return out
+}
+
+// lockKey identifies one lock acquisition: the base variable the mutex
+// hangs off and the mutex field name.
+type lockKey struct {
+	obj types.Object
+	mu  string
+}
+
+func checkGuardedFunc(m *Module, p *Package, st *guardState, fd *ast.FuncDecl) []Finding {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return nil
+	}
+	// Collect the (base, mutex) pairs this function locks anywhere in its
+	// body (including deferred and closure-scoped acquisitions).
+	locks := map[lockKey]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if base := rootObject(p.Info, inner.X); base != nil {
+			locks[lockKey{base, inner.Sel.Name}] = true
+		}
+		return true
+	})
+
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selinfo := p.Info.Selections[sel]
+		if selinfo == nil || selinfo.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := selinfo.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		spec := st.fields[v]
+		if spec == nil {
+			return true
+		}
+		base := rootObject(p.Info, sel.X)
+		if base != nil && locks[lockKey{base, spec.mu}] {
+			return true
+		}
+		out = append(out, Finding{
+			Analyzer: "guarded",
+			Pos:      m.Position(sel.Sel.Pos()),
+			Package:  p.Path,
+			Message: fmt.Sprintf("%s.%s is guarded by %q but %s never locks it; lock %s.%s or give the function a *Locked name",
+				spec.owner, v.Name(), spec.mu, fd.Name.Name, types.ExprString(sel.X), spec.mu),
+		})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,627 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotRoot names one built-in hot-path entry point: a function (optionally a
+// method of recv) in the package at the module-relative directory rel. The
+// set mirrors the per-event entry points of the architecture: every
+// data-plane Deliver implementation, the migp interior Protocol Delivers and
+// the fabric's per-packet distribution loop, and the harness trial body.
+// Additional roots are annotated in-source with `//lint:hotpath`.
+type hotRoot struct {
+	rel  string
+	recv string // receiver type name; "" for plain functions
+	name string
+}
+
+var defaultHotRoots = []hotRoot{
+	{"internal/bgmp", "Component", "Deliver"},
+	{"internal/dataplane", "sharedTree", "Deliver"},
+	{"internal/dataplane", "overlay", "Deliver"},
+	{"internal/migp", "Fabric", "deliver"},
+	{"internal/migp/cbt", "Protocol", "Deliver"},
+	{"internal/migp/dvmrp", "Protocol", "Deliver"},
+	{"internal/migp/mospf", "Protocol", "Deliver"},
+	{"internal/migp/pimdm", "Protocol", "Deliver"},
+	{"internal/migp/pimsm", "Protocol", "Deliver"},
+	{"internal/harness", "", "runTrial"},
+}
+
+// HotAllocAnalyzer flags allocation-heavy constructs in functions reachable
+// from the forwarding/delivery hot paths: fmt.* calls, non-constant string
+// concatenation, per-event map/slice composite literals, append growth in a
+// loop without preallocated capacity, and interface boxing of wire/obs
+// structs. Roots are the built-in entry points above plus any function
+// annotated `//lint:hotpath`; a site is waived with `//lint:alloc <why>`.
+func HotAllocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "flag allocation-heavy constructs (fmt.*, string concat, map/slice literals, unsized append loops, interface boxing) reachable from //lint:hotpath roots and the Deliver hot paths",
+		Run:  runHotAlloc,
+	}
+}
+
+func runHotAlloc(m *Module, p *Package) []Finding {
+	st := hotAllocState(m)
+	return st.findings[p.Path]
+}
+
+// hotState is the memoized whole-module hotalloc result: the hot function
+// set with root attribution, per-package findings, and the waiver lines
+// each file consumed (for stale-waiver detection).
+type hotState struct {
+	findings map[string][]Finding
+	// usedWaivers maps module-relative file -> waiver comment line ->
+	// consumed (a finding existed at or below the waiver).
+	usedWaivers map[string]map[int]bool
+}
+
+func hotAllocState(m *Module) *hotState {
+	return m.memoize("hotalloc", func() any { return buildHotState(m) }).(*hotState)
+}
+
+// funcInfo is one module function in the call graph.
+type funcInfo struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+	// callees are the statically resolvable module-local callees plus the
+	// interface-dispatch candidates.
+	callees []*types.Func
+	// hotRoot is the attribution label once the function is marked hot.
+	hotRoot string
+}
+
+func buildHotState(m *Module) *hotState {
+	funcs := map[*types.Func]*funcInfo{}
+	var order []*funcInfo // deterministic iteration order (file position)
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &funcInfo{obj: obj, decl: fd, pkg: p}
+				funcs[obj] = fi
+				order = append(order, fi)
+			}
+		}
+	}
+
+	ifaceMethods := interfaceMethodIndex(m)
+	for _, fi := range order {
+		fi.callees = collectCallees(fi.pkg, fi.decl, ifaceMethods)
+	}
+
+	// Seed the hot set: built-in roots plus //lint:hotpath annotations.
+	type seed struct {
+		fi   *funcInfo
+		root string
+	}
+	var seeds []seed
+	for _, fi := range order {
+		rel := strings.TrimPrefix(strings.TrimPrefix(fi.pkg.Path, m.Path), "/")
+		for _, r := range defaultHotRoots {
+			if rel == r.rel && fi.decl.Name.Name == r.name && recvTypeName(fi.decl) == r.recv {
+				seeds = append(seeds, seed{fi, funcLabel(fi)})
+			}
+		}
+		if hasHotPathComment(m, fi.decl) {
+			seeds = append(seeds, seed{fi, funcLabel(fi)})
+		}
+	}
+
+	// BFS from the seeds; first (deterministic) root wins the attribution.
+	var queue []*funcInfo
+	for _, s := range seeds {
+		if s.fi.hotRoot == "" {
+			s.fi.hotRoot = s.root
+			queue = append(queue, s.fi)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		for _, callee := range fi.callees {
+			cfi, ok := funcs[callee]
+			if !ok || cfi.hotRoot != "" {
+				continue
+			}
+			cfi.hotRoot = fi.hotRoot
+			queue = append(queue, cfi)
+		}
+	}
+
+	st := &hotState{findings: map[string][]Finding{}, usedWaivers: map[string]map[int]bool{}}
+	for _, fi := range order {
+		if fi.hotRoot == "" {
+			continue
+		}
+		w := &hotWalker{m: m, p: fi.pkg, root: fi.hotRoot}
+		w.waivers = allocComments(m, fileOf(fi.pkg, fi.decl.Pos()))
+		w.check(fi.decl)
+		file := m.relFile(fi.decl.Pos())
+		for line := range w.used {
+			u := st.usedWaivers[file]
+			if u == nil {
+				u = map[int]bool{}
+				st.usedWaivers[file] = u
+			}
+			u[line] = true
+		}
+		st.findings[fi.pkg.Path] = append(st.findings[fi.pkg.Path], w.findings...)
+	}
+	for path := range st.findings {
+		SortFindings(st.findings[path])
+	}
+	return st
+}
+
+// interfaceMethodIndex maps (interface method name) to the module-local
+// concrete methods that can stand behind it: for every module-local named
+// type T and interface I it implements, T's implementation of each of I's
+// methods. Interface dispatch in the call graph resolves through this
+// index, so hotness propagates through Backend.Deliver-style calls.
+func interfaceMethodIndex(m *Module) map[*types.Func][]*types.Func {
+	// Collect the module's named types and interfaces.
+	var named []*types.Named
+	var ifaces []*types.Named
+	for _, p := range m.Pkgs {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			n, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(n) {
+				ifaces = append(ifaces, n)
+			} else {
+				named = append(named, n)
+			}
+		}
+	}
+	out := map[*types.Func][]*types.Func{}
+	for _, in := range ifaces {
+		iface := in.Underlying().(*types.Interface)
+		for _, cn := range named {
+			ptr := types.NewPointer(cn)
+			if !types.Implements(cn, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			for i := 0; i < iface.NumMethods(); i++ {
+				im := iface.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(ptr, true, cn.Obj().Pkg(), im.Name())
+				if cm, ok := obj.(*types.Func); ok && cm.Pkg() != nil {
+					out[im] = append(out[im], cm)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// collectCallees resolves the calls in one function body: static calls to
+// module-local functions, plus interface-dispatch candidates.
+func collectCallees(p *Package, fd *ast.FuncDecl, ifaceMethods map[*types.Func][]*types.Func) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var fn *types.Func
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			fn, _ = p.Info.Uses[fun].(*types.Func)
+		case *ast.SelectorExpr:
+			fn, _ = p.Info.Uses[fun.Sel].(*types.Func)
+		}
+		if fn == nil {
+			return true
+		}
+		if impls, ok := ifaceMethods[fn]; ok {
+			out = append(out, impls...)
+			return true
+		}
+		out = append(out, fn)
+		return true
+	})
+	return out
+}
+
+// recvTypeName returns the receiver's type name ("" for plain functions).
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// funcLabel renders a function for finding messages: pkg.(*Recv).Name.
+func funcLabel(fi *funcInfo) string {
+	pkg := fi.obj.Pkg().Name()
+	if r := recvTypeName(fi.decl); r != "" {
+		return fmt.Sprintf("%s.(*%s).%s", pkg, r, fi.decl.Name.Name)
+	}
+	return pkg + "." + fi.decl.Name.Name
+}
+
+// hasHotPathComment reports whether the declaration carries a
+// `//lint:hotpath` annotation (in its doc comment or on the decl line).
+func hasHotPathComment(m *Module, fd *ast.FuncDecl) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "lint:hotpath") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func fileOf(p *Package, pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// allocComments maps line numbers to the justification text of
+// `//lint:alloc` comments in the file.
+func allocComments(m *Module, f *ast.File) map[int]string {
+	out := map[int]string{}
+	if f == nil {
+		return out
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, "lint:alloc"); ok {
+				out[m.Fset.Position(c.Pos()).Line] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	return out
+}
+
+// hotWalker scans one hot function body for allocation-heavy constructs.
+type hotWalker struct {
+	m        *Module
+	p        *Package
+	root     string
+	waivers  map[int]string
+	used     map[int]bool
+	findings []Finding
+}
+
+func (w *hotWalker) check(fd *ast.FuncDecl) {
+	w.used = map[int]bool{}
+	decls := localSliceDecls(w.p, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			w.checkFmtCall(n)
+			w.checkBoxingCall(n)
+		case *ast.BinaryExpr:
+			w.checkConcat(n)
+		case *ast.AssignStmt:
+			w.checkConcatAssign(n)
+		case *ast.CompositeLit:
+			w.checkCompositeLit(n)
+		}
+		return true
+	})
+	w.checkAppendLoops(fd, decls)
+}
+
+// flag records a finding unless a `//lint:alloc <why>` waiver covers the
+// site (same line or the line above); an empty justification is itself a
+// finding, mirroring //lint:sorted.
+func (w *hotWalker) flag(pos token.Pos, msg string) {
+	line := w.m.Fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		if why, ok := w.waivers[l]; ok {
+			w.used[l] = true
+			if why == "" {
+				w.findings = append(w.findings, Finding{
+					Analyzer: "hotalloc",
+					Pos:      w.m.Position(pos),
+					Package:  w.p.Path,
+					Message:  "//lint:alloc needs a one-line justification for why this hot-path allocation is acceptable",
+				})
+			}
+			return
+		}
+	}
+	w.findings = append(w.findings, Finding{
+		Analyzer: "hotalloc",
+		Pos:      w.m.Position(pos),
+		Package:  w.p.Path,
+		Message:  fmt.Sprintf("%s (hot path via %s; fix or add //lint:alloc <why>)", msg, w.root),
+	})
+}
+
+func (w *hotWalker) checkFmtCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := w.p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	w.flag(call.Pos(), fmt.Sprintf("fmt.%s allocates per call", fn.Name()))
+}
+
+// checkConcat flags non-constant string concatenation.
+func (w *hotWalker) checkConcat(be *ast.BinaryExpr) {
+	if be.Op != token.ADD {
+		return
+	}
+	tv, ok := w.p.Info.Types[ast.Expr(be)]
+	if !ok || tv.Value != nil || tv.Type == nil {
+		return
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsString == 0 {
+		return
+	}
+	w.flag(be.Pos(), "string concatenation allocates per event")
+}
+
+func (w *hotWalker) checkConcatAssign(as *ast.AssignStmt) {
+	if as.Tok != token.ADD_ASSIGN || len(as.Lhs) != 1 {
+		return
+	}
+	tv, ok := w.p.Info.Types[as.Lhs[0]]
+	if !ok || tv.Type == nil {
+		return
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsString == 0 {
+		return
+	}
+	w.flag(as.Pos(), "string concatenation allocates per event")
+}
+
+// checkCompositeLit flags map and slice composite literals: each evaluation
+// is a fresh heap allocation. make() with a size hint is the sanctioned
+// replacement (sized once, reused by append).
+func (w *hotWalker) checkCompositeLit(cl *ast.CompositeLit) {
+	tv, ok := w.p.Info.Types[ast.Expr(cl)]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		w.flag(cl.Pos(), "map literal allocates per event; hoist it or size it with make")
+	case *types.Slice:
+		w.flag(cl.Pos(), "slice literal allocates per event; hoist it or preallocate with make")
+	}
+}
+
+// checkBoxingCall flags arguments that box a wire/obs struct value into an
+// interface parameter: every such call heap-allocates a copy of the struct.
+func (w *hotWalker) checkBoxingCall(call *ast.CallExpr) {
+	tv, ok := w.p.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() && !sig.Variadic() {
+			break
+		}
+		var pt types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		} else {
+			pt = sig.Params().At(i).Type()
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := w.p.Info.Types[arg].Type
+		if at == nil || !isWireObsStruct(at) {
+			continue
+		}
+		w.flag(arg.Pos(), fmt.Sprintf("%s boxed into an interface argument allocates per event; pass a pointer or restructure", at.String()))
+	}
+}
+
+// isWireObsStruct reports whether t is a non-pointer named struct from an
+// internal/wire or internal/obs package (the per-event payload types).
+func isWireObsStruct(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return strings.HasSuffix(pkg.Path(), "internal/wire") || strings.HasSuffix(pkg.Path(), "internal/obs")
+}
+
+// localSliceDecls records, for slices declared in this function, whether
+// the declaration preallocates capacity: `var x []T`, `x := []T{}` and
+// unsized `make` do not; `make([]T, n)` / `make([]T, 0, c)` do.
+func localSliceDecls(p *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	prealloc := map[types.Object]bool{}
+	record := func(id *ast.Ident, init ast.Expr) {
+		obj := p.Info.Defs[id]
+		if obj == nil || obj.Type() == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+			return
+		}
+		prealloc[obj] = sliceInitPreallocates(p, init)
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var init ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					init = n.Rhs[i]
+				}
+				record(id, init)
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					var init ast.Expr
+					if i < len(vs.Values) {
+						init = vs.Values[i]
+					}
+					record(id, init)
+				}
+			}
+		}
+		return true
+	})
+	return prealloc
+}
+
+// sliceInitPreallocates reports whether a slice initializer reserves
+// capacity: a make with a nonzero length or an explicit capacity, or any
+// expression other than an empty literal (copies, function results, and
+// conversions carry their own backing array).
+func sliceInitPreallocates(p *Package, init ast.Expr) bool {
+	switch e := init.(type) {
+	case nil:
+		return false // var x []T
+	case *ast.CompositeLit:
+		return len(e.Elts) > 0
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+			return true
+		}
+		if len(e.Args) >= 3 {
+			return true // explicit capacity
+		}
+		if len(e.Args) == 2 {
+			// make([]T, n): preallocated unless n is the constant 0.
+			tv := p.Info.Types[e.Args[1]]
+			return tv.Value == nil || tv.Value.String() != "0"
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// checkAppendLoops flags `x = append(x, ...)` inside a loop when x was
+// declared in this function without preallocated capacity: every growth
+// step reallocates and copies on the hot path.
+func (w *hotWalker) checkAppendLoops(fd *ast.FuncDecl, prealloc map[types.Object]bool) {
+	var walk func(n ast.Node, loop ast.Node)
+	walk = func(n ast.Node, loop ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.ForStmt:
+				if c != n {
+					walk(c.Body, c)
+					return false
+				}
+			case *ast.RangeStmt:
+				if c != n {
+					walk(c.Body, c)
+					return false
+				}
+			case *ast.CallExpr:
+				if loop == nil {
+					return true
+				}
+				id, ok := c.Fun.(*ast.Ident)
+				if !ok || id.Name != "append" {
+					return true
+				}
+				if b, ok := w.p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+					return true
+				}
+				if len(c.Args) == 0 {
+					return true
+				}
+				obj := rootObject(w.p.Info, c.Args[0])
+				if obj == nil {
+					return true
+				}
+				pre, local := prealloc[obj]
+				if !local || pre {
+					return true
+				}
+				if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+					return true // declared inside the loop: per-iteration storage
+				}
+				w.flag(c.Pos(), fmt.Sprintf("append to %q grows an unsized slice inside a loop; preallocate its capacity", types.ExprString(c.Args[0])))
+			}
+			return true
+		})
+	}
+	walk(fd.Body, nil)
+}

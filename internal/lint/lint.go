@@ -62,9 +62,13 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer(),
+		GuardedAnalyzer(),
+		HotAllocAnalyzer(),
 		LayeringAnalyzer(),
 		MapOrderAnalyzer(),
 		ObsDisciplineAnalyzer(),
+		StaleWaiverAnalyzer(),
+		WireExhaustiveAnalyzer(),
 	}
 }
 

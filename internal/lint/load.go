@@ -29,6 +29,27 @@ type Module struct {
 	Pkgs []*Package
 
 	byPath map[string]*Package
+
+	// memo caches cross-package analysis state (call graphs, guarded-field
+	// tables) so analyzers that need a whole-module view compute it once.
+	memoMu sync.Mutex
+	memo   map[string]any
+}
+
+// memoize returns the cached value for key, computing it with f on first
+// use. Safe for concurrent use by analyzers.
+func (m *Module) memoize(key string, f func() any) any {
+	m.memoMu.Lock()
+	defer m.memoMu.Unlock()
+	if m.memo == nil {
+		m.memo = map[string]any{}
+	}
+	v, ok := m.memo[key]
+	if !ok {
+		v = f()
+		m.memo[key] = v
+	}
+	return v
 }
 
 // Package is one parsed and typechecked package of the module.

@@ -33,26 +33,57 @@ func MapOrderAnalyzer() *Analyzer {
 }
 
 func runMapOrder(m *Module, p *Package) []Finding {
-	if !protocolPackage(p.Rel) {
-		return nil
-	}
-	var out []Finding
-	seen := map[string]bool{}
-	for _, f := range p.Files {
-		sorted := sortedComments(m, f)
-		w := &mapOrderWalker{m: m, p: p, sorted: sorted}
-		w.walk(f, nil)
-		// Nested map ranges can attribute one escape to both loops;
-		// report each site once.
-		for _, fd := range w.findings {
-			key := fd.Pos + "\x00" + fd.Message
-			if !seen[key] {
-				seen[key] = true
-				out = append(out, fd)
+	return mapOrderState(m).findings[p.Path]
+}
+
+// moState is the memoized whole-module maporder result: per-package
+// findings plus, for stale-waiver detection, the //lint:sorted lines that
+// actually suppressed something (module-relative file -> comment line).
+type moState struct {
+	findings    map[string][]Finding
+	usedWaivers map[string]map[int]bool
+}
+
+func mapOrderState(m *Module) *moState {
+	return m.memoize("maporder", func() any { return buildMapOrderState(m) }).(*moState)
+}
+
+func buildMapOrderState(m *Module) *moState {
+	st := &moState{findings: map[string][]Finding{}, usedWaivers: map[string]map[int]bool{}}
+	for _, p := range m.Pkgs {
+		if !protocolPackage(p.Rel) {
+			continue
+		}
+		var out []Finding
+		seen := map[string]bool{}
+		for _, f := range p.Files {
+			sorted := sortedComments(m, f)
+			w := &mapOrderWalker{m: m, p: p, sorted: sorted, used: map[int]bool{}}
+			w.walk(f, nil)
+			// Nested map ranges can attribute one escape to both loops;
+			// report each site once.
+			for _, fd := range w.findings {
+				key := fd.Pos + "\x00" + fd.Message
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, fd)
+				}
+			}
+			if len(w.used) > 0 {
+				rel := m.relFile(f.Pos())
+				u := st.usedWaivers[rel]
+				if u == nil {
+					u = map[int]bool{}
+					st.usedWaivers[rel] = u
+				}
+				for line := range w.used {
+					u[line] = true
+				}
 			}
 		}
+		st.findings[p.Path] = out
 	}
-	return out
+	return st
 }
 
 // sortedComments maps line numbers to the justification text of
@@ -76,6 +107,7 @@ type mapOrderWalker struct {
 	m        *Module
 	p        *Package
 	sorted   map[int]string
+	used     map[int]bool // //lint:sorted lines that suppressed a finding
 	findings []Finding
 }
 
@@ -119,19 +151,10 @@ func (w *mapOrderWalker) checkRange(rs *ast.RangeStmt, funcBody *ast.BlockStmt) 
 	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 		return
 	}
-	line := w.m.Fset.Position(rs.Pos()).Line
-	if why, ok := w.justification(line); ok {
-		if why == "" {
-			w.findings = append(w.findings, Finding{
-				Analyzer: "maporder",
-				Pos:      w.m.Position(rs.Pos()),
-				Package:  w.p.Path,
-				Message:  "//lint:sorted needs a one-line justification for why iteration order cannot escape",
-			})
-		}
-		return
-	}
-
+	// Scan the body first so a waiver can be credited with the findings it
+	// suppresses (stalewaiver flags the ones that suppress nothing).
+	saved := w.findings
+	w.findings = nil
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -142,16 +165,35 @@ func (w *mapOrderWalker) checkRange(rs *ast.RangeStmt, funcBody *ast.BlockStmt) 
 		w.checkEncoderWrite(rs, call)
 		return true
 	})
+	body := w.findings
+	w.findings = saved
+
+	line := w.m.Fset.Position(rs.Pos()).Line
+	if why, wline, ok := w.justification(line); ok {
+		if len(body) > 0 {
+			w.used[wline] = true
+		}
+		if why == "" {
+			w.findings = append(w.findings, Finding{
+				Analyzer: "maporder",
+				Pos:      w.m.Position(rs.Pos()),
+				Package:  w.p.Path,
+				Message:  "//lint:sorted needs a one-line justification for why iteration order cannot escape",
+			})
+		}
+		return
+	}
+	w.findings = append(w.findings, body...)
 }
 
 // justification returns the //lint:sorted text attached to the range (on
-// its own line or the line above).
-func (w *mapOrderWalker) justification(line int) (string, bool) {
+// its own line or the line above) and the line the waiver sits on.
+func (w *mapOrderWalker) justification(line int) (string, int, bool) {
 	if why, ok := w.sorted[line]; ok {
-		return why, true
+		return why, line, true
 	}
 	why, ok := w.sorted[line-1]
-	return why, ok
+	return why, line - 1, ok
 }
 
 // checkAppend flags `x = append(x, ...)` inside a map-range body when x is

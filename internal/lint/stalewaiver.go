@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StaleWaiverAnalyzer flags //lint:sorted and //lint:alloc comments that no
+// longer suppress any finding: the waived code was fixed or deleted, or the
+// waiver sits somewhere the analyzer never looks (a non-protocol package, a
+// cold function). Waivers must not outlive their reason — a stale one reads
+// as "this is known-unsafe" over code that is fine.
+func StaleWaiverAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "stalewaiver",
+		Doc:  "flag //lint:sorted and //lint:alloc waivers that no longer suppress any finding",
+		Run:  runStaleWaiver,
+	}
+}
+
+func runStaleWaiver(m *Module, p *Package) []Finding {
+	// The waiver-consuming analyzers record which comment lines earned
+	// their keep; both states are memoized, so this costs nothing extra
+	// when maporder/hotalloc also run.
+	mo := mapOrderState(m)
+	ha := hotAllocState(m)
+	var out []Finding
+	for _, f := range p.Files {
+		rel := m.relFile(f.Pos())
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				var kind string
+				var used map[int]bool
+				switch {
+				case strings.HasPrefix(text, "lint:sorted"):
+					kind, used = "sorted", mo.usedWaivers[rel]
+				case strings.HasPrefix(text, "lint:alloc"):
+					kind, used = "alloc", ha.usedWaivers[rel]
+				default:
+					continue
+				}
+				if used[m.Fset.Position(c.Pos()).Line] {
+					continue
+				}
+				out = append(out, Finding{
+					Analyzer: "stalewaiver",
+					Pos:      m.Position(c.Pos()),
+					Package:  p.Path,
+					Message:  fmt.Sprintf("stale //lint:%s waiver: it suppresses no finding here; remove it so waivers don't outlive their reason", kind),
+				})
+			}
+		}
+	}
+	return out
+}

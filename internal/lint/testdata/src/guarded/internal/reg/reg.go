@@ -1,0 +1,31 @@
+package reg
+
+import "sync"
+
+// Table demonstrates the guarded analyzer's annotation grammar.
+type Table struct {
+	mu   sync.Mutex
+	rows map[string]int // guarded by mu
+	hits int            // guarded by mu
+	name string         // guarded by lock — malformed: no such mutex field
+}
+
+// Get locks the guard before touching guarded fields: clean.
+func (t *Table) Get(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hits++
+	return t.rows[k]
+}
+
+// bump touches a guarded field without ever taking the lock: flagged.
+func (t *Table) bump() {
+	t.hits++
+}
+
+// resetLocked follows the *Locked naming convention for helpers called
+// with the lock already held: clean.
+func (t *Table) resetLocked() {
+	t.rows = map[string]int{}
+	t.hits = 0
+}

@@ -1,0 +1,43 @@
+package fwd
+
+import (
+	"fmt"
+
+	"mascbgmp/internal/wire"
+)
+
+type sink interface {
+	accept(v any)
+}
+
+// Deliver is the fixture's hot root; every construct below it should be
+// flagged except the explicitly waived one.
+//
+//lint:hotpath
+func Deliver(s sink, d wire.Data, names map[int]string) string {
+	msg := fmt.Sprintf("got %d", d.Seq) // want: fmt call
+	msg = msg + names[0]                // want: string concat
+	s.accept(d)                         // want: interface boxing of wire.Data
+	tags := map[string]int{}            // want: map literal
+	tags["a"]++
+	var out []string
+	for i := 0; i < 3; i++ {
+		out = append(out, names[i]) // want: unsized append in loop
+	}
+	//lint:alloc error path only, never taken per event
+	_ = fmt.Errorf("waived")
+	helper()
+	return msg + out[0]
+}
+
+// helper is hot transitively through Deliver.
+func helper() {
+	_ = fmt.Sprintln("hot via Deliver") // want: fmt call, attributed to the root
+}
+
+// Cold is unreachable from any hot root: nothing in it is flagged, and its
+// waiver suppresses no finding — the stalewaiver analyzer reports it.
+func Cold() string {
+	//lint:alloc leftover waiver from a deleted hot path
+	return fmt.Sprintf("cold")
+}

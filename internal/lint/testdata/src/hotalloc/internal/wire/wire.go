@@ -1,0 +1,7 @@
+package wire
+
+// Data is a per-event payload struct; boxing it into an interface on a
+// hot path is what the hotalloc fixture demonstrates.
+type Data struct {
+	Seq int
+}

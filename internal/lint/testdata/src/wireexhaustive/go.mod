@@ -1,0 +1,3 @@
+module mascbgmp
+
+go 1.22

@@ -1,0 +1,63 @@
+package wire
+
+// MsgType is the fixture's wire message kind registry.
+type MsgType uint8
+
+const (
+	TypeInvalid MsgType = 0 // zero sentinel: exempt from coverage
+	TypeJoin    MsgType = 1 // fully registered: clean
+	TypePrune   MsgType = 2 // missing from the decoder switch
+	TypeGraft   MsgType = 3 // decoder round-trip mismatch (and no encoder)
+	TypeHello   MsgType = 4 // missing from MsgType.String
+	TypeDead    MsgType = 5 // decoded but nothing encodes it
+)
+
+type Join struct{}
+
+func (*Join) Type() MsgType { return TypeJoin }
+
+type Prune struct{}
+
+func (*Prune) Type() MsgType { return TypePrune }
+
+type Graft struct{}
+
+// Type returns the wrong kind: re-encoding a decoded *Graft changes the
+// frame type.
+func (*Graft) Type() MsgType { return TypeHello }
+
+type Hello struct{}
+
+func (*Hello) Type() MsgType { return TypeHello }
+
+// Dead has no Type method, so TypeDead frames can be decoded but never
+// produced.
+type Dead struct{}
+
+func newMessage(t MsgType) any {
+	switch t {
+	case TypeJoin:
+		return &Join{}
+	case TypeGraft:
+		return &Graft{}
+	case TypeHello:
+		return &Hello{}
+	case TypeDead:
+		return &Dead{}
+	}
+	return nil
+}
+
+func (t MsgType) String() string {
+	switch t {
+	case TypeJoin:
+		return "join"
+	case TypePrune:
+		return "prune"
+	case TypeGraft:
+		return "graft"
+	case TypeDead:
+		return "dead"
+	}
+	return "invalid"
+}

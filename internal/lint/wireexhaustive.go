@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+)
+
+// WireExhaustiveAnalyzer checks the wire message registry for coverage:
+// every registered MsgType constant (except the zero TypeInvalid) must be
+// handled by the decoder switch in newMessage, be produced by exactly the
+// message type the decoder builds for it (the static form of the
+// encode/decode round-trip: Encode writes Type(), Decode dispatches on
+// it), and print through MsgType.String. Unhandled kinds fail decoding in
+// the field; dead kinds are registry rot.
+func WireExhaustiveAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "wireexhaustive",
+		Doc:  "every wire MsgType constant must be decoded by newMessage, returned by a Type() method of the decoded type, and named in MsgType.String",
+		Run:  runWireExhaustive,
+	}
+}
+
+func runWireExhaustive(m *Module, p *Package) []Finding {
+	if p.Rel != "internal/wire" {
+		return nil
+	}
+	tn, ok := p.Types.Scope().Lookup("MsgType").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	msgType := tn.Type()
+
+	// The registered kinds: package-level MsgType constants, excluding the
+	// zero value (the explicit "no kind" sentinel).
+	type kind struct {
+		c   *types.Const
+		val string
+	}
+	var kinds []kind
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), msgType) {
+			continue
+		}
+		if constant.Sign(c.Val()) == 0 {
+			continue
+		}
+		kinds = append(kinds, kind{c, c.Val().ExactString()})
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		vi, _ := constant.Uint64Val(kinds[i].c.Val())
+		vj, _ := constant.Uint64Val(kinds[j].c.Val())
+		return vi < vj
+	})
+
+	decoded := map[string]string{} // const value -> type name newMessage returns
+	encodes := map[string]string{} // type name -> const value its Type() returns
+	stringed := map[string]bool{}  // const values named in MsgType.String
+	haveDecoder, haveString := false, false
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch {
+			case fd.Recv == nil && fd.Name.Name == "newMessage":
+				haveDecoder = true
+				collectDecoderCases(p, fd, decoded)
+			case fd.Recv != nil && fd.Name.Name == "Type" && returnsMsgType(p, fd, msgType):
+				if v, ok := constReturnValue(p, fd); ok {
+					encodes[recvTypeName(fd)] = v
+				}
+			case fd.Recv != nil && fd.Name.Name == "String" && recvTypeName(fd) == tn.Name():
+				haveString = true
+				collectSwitchCaseConsts(p, fd, msgType, stringed)
+			}
+		}
+	}
+
+	var out []Finding
+	flag := func(c *types.Const, format string, a ...any) {
+		out = append(out, Finding{
+			Analyzer: "wireexhaustive",
+			Pos:      m.Position(c.Pos()),
+			Package:  p.Path,
+			Message:  fmt.Sprintf(format, a...),
+		})
+	}
+	for _, k := range kinds {
+		name := k.c.Name()
+		if haveDecoder {
+			tname, ok := decoded[k.val]
+			switch {
+			case !ok:
+				flag(k.c, "wire kind %s is not handled by the decoder switch in newMessage; frames of this kind fail to decode", name)
+			case encodes[tname] != "" && encodes[tname] != k.val:
+				flag(k.c, "round-trip mismatch: newMessage decodes %s into *%s, but (*%s).Type() returns a different kind; re-encoding changes the frame type", name, tname, tname)
+			}
+		}
+		if encoded := anyEncoderFor(encodes, k.val); !encoded {
+			flag(k.c, "dead wire kind: no message type's Type() method returns %s, so nothing can encode it; remove the constant or register its message", name)
+		}
+		if haveString && !stringed[k.val] {
+			flag(k.c, "wire kind %s is missing from MsgType.String; it prints as a raw byte in traces and logs", name)
+		}
+	}
+	return out
+}
+
+func anyEncoderFor(encodes map[string]string, val string) bool {
+	for _, v := range encodes {
+		if v == val {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDecoderCases maps each case constant of newMessage's switch to the
+// named type of the pointer its clause returns.
+func collectDecoderCases(p *Package, fd *ast.FuncDecl, decoded map[string]string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		tname := ""
+		for _, stmt := range cc.Body {
+			ret, ok := stmt.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				continue
+			}
+			if t := p.Info.Types[ret.Results[0]].Type; t != nil {
+				if ptr, ok := t.(*types.Pointer); ok {
+					if named, ok := ptr.Elem().(*types.Named); ok {
+						tname = named.Obj().Name()
+					}
+				}
+			}
+		}
+		if tname == "" {
+			return true
+		}
+		for _, e := range cc.List {
+			if tv := p.Info.Types[e]; tv.Value != nil {
+				decoded[tv.Value.ExactString()] = tname
+			}
+		}
+		return true
+	})
+}
+
+// returnsMsgType reports whether fd has the single result type msgType.
+func returnsMsgType(p *Package, fd *ast.FuncDecl, msgType types.Type) bool {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+		return false
+	}
+	tv, ok := p.Info.Types[fd.Type.Results.List[0].Type]
+	return ok && tv.Type != nil && types.Identical(tv.Type, msgType)
+}
+
+// constReturnValue extracts the constant value a single-return function
+// body yields, when its one return statement returns a constant.
+func constReturnValue(p *Package, fd *ast.FuncDecl) (string, bool) {
+	val, found := "", false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		if tv := p.Info.Types[ret.Results[0]]; tv.Value != nil {
+			val, found = tv.Value.ExactString(), true
+		}
+		return true
+	})
+	return val, found
+}
+
+// collectSwitchCaseConsts records the constant values of msgType appearing
+// as case expressions anywhere in fd's body.
+func collectSwitchCaseConsts(p *Package, fd *ast.FuncDecl, msgType types.Type, set map[string]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			tv := p.Info.Types[e]
+			if tv.Value != nil && tv.Type != nil && types.Identical(tv.Type, msgType) {
+				set[tv.Value.ExactString()] = true
+			}
+		}
+		return true
+	})
+}

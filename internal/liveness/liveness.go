@@ -95,21 +95,22 @@ type Monitor struct {
 	prm Params
 
 	mu      sync.Mutex
-	running bool
+	running bool // guarded by mu
 	// gen is the monitoring incarnation; probes stamped with an earlier
 	// generation (delayed past a Stop/Start cycle) are discarded on
-	// receipt rather than crediting the new incarnation.
+	// receipt rather than crediting the new incarnation. guarded by mu
 	gen      uint32
-	interval time.Duration
-	demand   bool
-	stable   int // consecutive clean rounds at the floor
-	rounds   uint64
+	interval time.Duration // guarded by mu
+	demand   bool          // guarded by mu
+	stable   int           // consecutive clean rounds at the floor; guarded by mu
+	rounds   uint64        // guarded by mu
 	// gotA/gotB record a probe received this round by A (from B) and by
 	// B (from A); missA/missB count consecutive missed rounds per
-	// direction.
-	gotA, gotB   bool
+	// direction. guarded by mu
+	gotA, gotB bool
+	// guarded by mu
 	missA, missB int
-	timer        simclock.Timer
+	timer        simclock.Timer // guarded by mu
 }
 
 // New returns a Monitor for the configured peering. Start arms it.

@@ -67,8 +67,8 @@ type Server struct {
 	cfg Config
 
 	mu     sync.Mutex
-	ranges []managedRange
-	leases map[addr.Addr]time.Time
+	ranges []managedRange          // guarded by mu
+	leases map[addr.Addr]time.Time // guarded by mu
 }
 
 type managedRange struct {

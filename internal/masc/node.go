@@ -75,23 +75,25 @@ type Node struct {
 	cfg NodeConfig
 
 	mu        sync.Mutex
-	dead      bool
-	parent    wire.DomainID
-	hasParent bool
-	siblings  map[wire.DomainID]bool
-	children  map[wire.DomainID]bool
+	dead      bool                   // guarded by mu
+	parent    wire.DomainID          // guarded by mu
+	hasParent bool                   // guarded by mu
+	siblings  map[wire.DomainID]bool // guarded by mu
+	children  map[wire.DomainID]bool // guarded by mu
 	// heard is this node's view of claimed space: parent's advertised
 	// ranges define the spaces; sibling claims and own holdings are
-	// recorded as taken.
+	// recorded as taken. guarded by mu
 	heard *Ledger
 	// childClaims tracks claims by children inside our space.
+	// guarded by mu
 	childClaims *Ledger
-	holdings    []*Holding
-	pending     map[addr.Prefix]*pendingClaim
-	nextClaimID uint64
-	outbox      []outMsg
+	holdings    []*Holding                    // guarded by mu
+	pending     map[addr.Prefix]*pendingClaim // guarded by mu
+	nextClaimID uint64                        // guarded by mu
+	outbox      []outMsg                      // guarded by mu
 	// evbuf collects events under the lock; they are emitted with the
 	// outbox after release so observers may call back into the node.
+	// guarded by mu
 	evbuf []obs.Event
 }
 
@@ -129,18 +131,18 @@ func NewNode(cfg NodeConfig) *Node {
 	if cfg.MaxAttempts == 0 {
 		cfg.MaxAttempts = 16
 	}
-	n := &Node{
+	heard := NewLedger()
+	if cfg.TopLevel {
+		heard.SetSpaces([]addr.Prefix{addr.MulticastSpace})
+	}
+	return &Node{
 		cfg:         cfg,
 		siblings:    map[wire.DomainID]bool{},
 		children:    map[wire.DomainID]bool{},
-		heard:       NewLedger(),
+		heard:       heard,
 		childClaims: NewLedger(),
 		pending:     map[addr.Prefix]*pendingClaim{},
 	}
-	if cfg.TopLevel {
-		n.heard.SetSpaces([]addr.Prefix{addr.MulticastSpace})
-	}
-	return n
 }
 
 // Shutdown models the node's process dying: pending-claim timers stop and
@@ -211,7 +213,7 @@ func (n *Node) Holdings() []Holding {
 func (n *Node) RequestSpace(size uint64, lifetime time.Duration) bool {
 	n.mu.Lock()
 	ok := n.claimLocked(size, lifetime, 0)
-	msgs, evs := n.drainOutbox()
+	msgs, evs := n.drainOutboxLocked()
 	n.mu.Unlock()
 	n.flush(msgs, evs)
 	return ok
@@ -253,14 +255,14 @@ func (n *Node) claimLocked(size uint64, lifetime time.Duration, attempts int) bo
 		LifeSecs: uint32(lifetime / time.Second),
 	}
 	wire.Stamp(claim, pc.span.Context())
-	for _, s := range n.sortedSiblings() {
+	for _, s := range n.sortedSiblingsLocked() {
 		n.outbox = append(n.outbox, outMsg{s, claim})
 	}
 	if n.hasParent {
 		n.outbox = append(n.outbox, outMsg{n.parent, claim})
 	}
 	pc.timer = n.cfg.Clock.AfterFunc(n.cfg.WaitPeriod, func() { n.claimMatured(p) })
-	n.event(obs.MASCClaim, p)
+	n.eventLocked(obs.MASCClaim, p)
 	return true
 }
 
@@ -281,11 +283,11 @@ func (n *Node) claimMatured(p addr.Prefix) {
 	expires := n.cfg.Clock.Now().Add(pc.life)
 	n.holdings = append(n.holdings, &Holding{Prefix: p, Active: true, Expires: expires})
 	n.scheduleExpiry(p, pc.life)
-	n.event(obs.MASCWon, p)
+	n.eventLocked(obs.MASCWon, p)
 	n.observeClaimConverge(pc)
 	ranges := n.rangesLocked()
-	children := n.sortedChildren()
-	msgs, evs := n.drainOutbox()
+	children := n.sortedChildrenLocked()
+	msgs, evs := n.drainOutboxLocked()
 	n.mu.Unlock()
 	n.flush(msgs, evs)
 	// Advertise the grown space to children.
@@ -313,15 +315,15 @@ func (n *Node) Release(p addr.Prefix) {
 	if found {
 		n.heard.Release(p)
 		rel := &wire.Release{Claimer: n.cfg.Domain, Prefix: p}
-		for _, s := range n.sortedSiblings() {
+		for _, s := range n.sortedSiblingsLocked() {
 			n.outbox = append(n.outbox, outMsg{s, rel})
 		}
 		if n.hasParent {
 			n.outbox = append(n.outbox, outMsg{n.parent, rel})
 		}
-		n.event(obs.MASCReleased, p)
+		n.eventLocked(obs.MASCReleased, p)
 	}
-	msgs, evs := n.drainOutbox()
+	msgs, evs := n.drainOutboxLocked()
 	n.mu.Unlock()
 	n.flush(msgs, evs)
 	if found && n.cfg.OnLost != nil {
@@ -387,7 +389,7 @@ func (n *Node) handleClaim(from wire.DomainID, m *wire.Claim) {
 		n.childClaims.Record(m.Prefix)
 		// Parent relays child claims to its other children (§4.1: "A then
 		// propagates this claim information to its other children").
-		for _, c := range n.sortedChildren() {
+		for _, c := range n.sortedChildrenLocked() {
 			if c != from {
 				n.outbox = append(n.outbox, outMsg{c, m})
 			}
@@ -396,7 +398,7 @@ func (n *Node) handleClaim(from wire.DomainID, m *wire.Claim) {
 		// Sibling claim: record it so our future claims avoid it.
 		n.heard.Record(m.Prefix)
 	}
-	msgs, evs := n.drainOutbox()
+	msgs, evs := n.drainOutboxLocked()
 	n.mu.Unlock()
 	n.flush(msgs, evs)
 }
@@ -432,7 +434,7 @@ func (n *Node) handleCollision(from wire.DomainID, m *wire.Collision) {
 	}
 	var lostHolding bool
 	if pc, ok := n.pending[m.Prefix]; ok {
-		n.event(obs.MASCCollision, m.Prefix)
+		n.eventLocked(obs.MASCCollision, m.Prefix)
 		n.abandonLocked(m.Prefix, pc)
 		if m.Reason == wire.CollideInUse && m.Conflict.Valid() {
 			// Avoid the objector's conflicting range — and only it —
@@ -448,13 +450,13 @@ func (n *Node) handleCollision(from wire.DomainID, m *wire.Collision) {
 				n.holdings = append(n.holdings[:i], n.holdings[i+1:]...)
 				n.heard.Release(m.Prefix)
 				n.heard.Record(m.Conflict) // still taken — by the winner
-				n.event(obs.MASCCollision, m.Prefix)
+				n.eventLocked(obs.MASCCollision, m.Prefix)
 				lostHolding = true
 				break
 			}
 		}
 	}
-	msgs, evs := n.drainOutbox()
+	msgs, evs := n.drainOutboxLocked()
 	n.mu.Unlock()
 	n.flush(msgs, evs)
 	if lostHolding && n.cfg.OnLost != nil {
@@ -483,7 +485,7 @@ func (n *Node) scheduleRetry(pc *pendingClaim) {
 			return
 		}
 		n.claimLocked(size, life, attempts)
-		msgs, evs := n.drainOutbox()
+		msgs, evs := n.drainOutboxLocked()
 		n.mu.Unlock()
 		n.flush(msgs, evs)
 	})
@@ -548,7 +550,7 @@ func (n *Node) rangesLocked() []wire.RangeLife {
 	return out
 }
 
-// drainOutbox empties the under-lock message queue for post-unlock delivery.
+// drainOutboxLocked empties the under-lock message queue for post-unlock delivery.
 // scheduleExpiry arms the lifetime timer for a holding: renewal (when
 // AutoRenew) or expiry-release. Caller holds n.mu.
 func (n *Node) scheduleExpiry(p addr.Prefix, life time.Duration) {
@@ -578,10 +580,10 @@ func (n *Node) lifetimeDue(p addr.Prefix, life time.Duration) {
 		h.Expires = n.cfg.Clock.Now().Add(life)
 		expires := h.Expires
 		ranges := n.rangesLocked()
-		children := n.sortedChildren()
+		children := n.sortedChildrenLocked()
 		n.scheduleExpiry(p, life)
-		n.event(obs.MASCRenewed, p)
-		_, evs := n.drainOutbox()
+		n.eventLocked(obs.MASCRenewed, p)
+		_, evs := n.drainOutboxLocked()
 		n.mu.Unlock()
 		n.flush(nil, evs)
 		adv := &wire.RangeAdvert{Owner: n.cfg.Domain, Ranges: ranges}
@@ -603,14 +605,14 @@ func (n *Node) lifetimeDue(p addr.Prefix, life time.Duration) {
 	}
 	n.heard.Release(p)
 	rel := &wire.Release{Claimer: n.cfg.Domain, Prefix: p}
-	for _, s := range n.sortedSiblings() {
+	for _, s := range n.sortedSiblingsLocked() {
 		n.outbox = append(n.outbox, outMsg{s, rel})
 	}
 	if n.hasParent {
 		n.outbox = append(n.outbox, outMsg{n.parent, rel})
 	}
-	n.event(obs.MASCExpired, p)
-	msgs, evs := n.drainOutbox()
+	n.eventLocked(obs.MASCExpired, p)
+	msgs, evs := n.drainOutboxLocked()
 	n.mu.Unlock()
 	n.flush(msgs, evs)
 	if n.cfg.OnLost != nil {
@@ -618,16 +620,16 @@ func (n *Node) lifetimeDue(p addr.Prefix, life time.Duration) {
 	}
 }
 
-// event queues an observability event for post-unlock emission. Caller
+// eventLocked queues an observability event for post-unlock emission. Caller
 // holds n.mu.
-func (n *Node) event(kind obs.Kind, p addr.Prefix) {
+func (n *Node) eventLocked(kind obs.Kind, p addr.Prefix) {
 	if n.cfg.Obs == nil {
 		return
 	}
 	n.evbuf = append(n.evbuf, obs.Event{Kind: kind, Domain: n.cfg.Domain, Prefix: p})
 }
 
-func (n *Node) drainOutbox() ([]outMsg, []obs.Event) {
+func (n *Node) drainOutboxLocked() ([]outMsg, []obs.Event) {
 	msgs, evs := n.outbox, n.evbuf
 	n.outbox, n.evbuf = nil, nil
 	return msgs, evs
@@ -648,10 +650,10 @@ func (n *Node) send(to wire.DomainID, msg wire.Message) {
 	}
 }
 
-// sortedSiblings returns the sibling domain IDs in ascending order.
+// sortedSiblingsLocked returns the sibling domain IDs in ascending order.
 // Outbound message order is part of the protocol's observable behavior,
 // so it must never depend on map iteration. Caller holds n.mu.
-func (n *Node) sortedSiblings() []wire.DomainID {
+func (n *Node) sortedSiblingsLocked() []wire.DomainID {
 	out := make([]wire.DomainID, 0, len(n.siblings))
 	for s := range n.siblings {
 		out = append(out, s)
@@ -660,9 +662,9 @@ func (n *Node) sortedSiblings() []wire.DomainID {
 	return out
 }
 
-// sortedChildren returns the child domain IDs in ascending order. Caller
+// sortedChildrenLocked returns the child domain IDs in ascending order. Caller
 // holds n.mu.
-func (n *Node) sortedChildren() []wire.DomainID {
+func (n *Node) sortedChildrenLocked() []wire.DomainID {
 	out := make([]wire.DomainID, 0, len(n.children))
 	for c := range n.children {
 		out = append(out, c)

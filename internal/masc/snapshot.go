@@ -127,8 +127,8 @@ func (n *Node) Restore(s Snapshot) {
 		pc.timer = n.cfg.Clock.AfterFunc(remaining, func() { n.claimMatured(p) })
 		n.pending[ps.Prefix] = pc
 	}
-	n.event(obs.MASCRestored, addr.Prefix{})
-	_, evs := n.drainOutbox()
+	n.eventLocked(obs.MASCRestored, addr.Prefix{})
+	_, evs := n.drainOutboxLocked()
 	n.mu.Unlock()
 	n.flush(nil, evs)
 }

@@ -21,6 +21,7 @@ import (
 type Protocol struct {
 	mu sync.Mutex
 	// trees caches the BFS tree rooted at each group's core.
+	// guarded by mu
 	trees map[addr.Addr]*coreTree
 }
 

@@ -22,8 +22,10 @@ type Protocol struct {
 	mu sync.Mutex
 	// pruned marks (source, group) pairs whose first-packet flood has
 	// happened; later packets follow the pruned tree (members only).
+	// guarded by mu
 	pruned map[key]bool
 	// floods counts first-packet floods (each reached every node).
+	// guarded by mu
 	floods int
 }
 

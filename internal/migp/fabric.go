@@ -69,16 +69,27 @@ type Fabric struct {
 
 	mu sync.Mutex
 	// borders maps border router IDs to their interior attachment node.
+	// guarded by mu
 	borders map[wire.RouterID]Node
 	// comps holds the forwarding plane of each border router.
+	// guarded by mu
 	comps map[wire.RouterID]Border
 	// members tracks interior host membership per group, by node.
+	// guarded by mu
 	members map[addr.Addr]map[Node]int
 	// borderJoined tracks which border routers joined a group via BGMP.
+	// guarded by mu
 	borderJoined map[addr.Addr]map[wire.RouterID]bool
 
-	// Stats accumulates data-plane counters.
-	Stats DeliveryStats
+	// stats accumulates data-plane counters. guarded by mu
+	stats DeliveryStats
+}
+
+// Stats returns a snapshot of the fabric's data-plane counters.
+func (f *Fabric) Stats() DeliveryStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
 }
 
 // NewFabric returns an empty fabric; attach border routers with
@@ -196,17 +207,14 @@ func (f *Fabric) deliver(entry Node, fromBorder wire.RouterID, d *wire.Data) {
 	f.mu.Lock()
 	memberNodes := sortedNodeSet(f.members[d.Group])
 	hops := f.cfg.Protocol.Deliver(f.cfg.Graph, entry, d.Source, d.Group, memberNodes)
-	f.Stats.Injected++
+	f.stats.Injected++
 	for _, h := range hops {
-		f.Stats.HostDeliveries++
-		f.Stats.InteriorHops += h
+		f.stats.HostDeliveries++
+		f.stats.InteriorHops += h
 	}
 	// Border routers that joined the group (or that must see interior-
 	// origin traffic to forward it off-domain) receive the packet too.
-	type handoff struct {
-		comp Border
-	}
-	var handoffs []handoff
+	handoffs := make([]Border, 0, len(f.comps))
 	routers := make([]wire.RouterID, 0, len(f.comps))
 	for r := range f.comps {
 		routers = append(routers, r)
@@ -226,7 +234,7 @@ func (f *Fabric) deliver(entry Node, fromBorder wire.RouterID, d *wire.Data) {
 		// they receive", §5.2) — the others are pruned.
 		joined := f.borderJoined[d.Group][r] || comp.HasForwardingState(d.Group)
 		if joined || fromBorder == 0 {
-			handoffs = append(handoffs, handoff{comp})
+			handoffs = append(handoffs, comp)
 		}
 	}
 	onDeliver := f.cfg.OnHostDeliver
@@ -243,7 +251,7 @@ func (f *Fabric) deliver(entry Node, fromBorder wire.RouterID, d *wire.Data) {
 		}
 	}
 	for _, h := range handoffs {
-		h.comp.Deliver(bgmp.MIGPTarget, d)
+		h.Deliver(bgmp.MIGPTarget, d)
 	}
 }
 
@@ -259,7 +267,7 @@ func (b *borderAdapter) JoinGroup(g addr.Addr) {
 	f.mu.Lock()
 	m := f.borderJoined[g]
 	if m == nil {
-		m = map[wire.RouterID]bool{}
+		m = make(map[wire.RouterID]bool, 2)
 		f.borderJoined[g] = m
 	}
 	m[b.router] = true
@@ -303,7 +311,7 @@ func (b *borderAdapter) Inject(d *wire.Data) bool {
 	if strict {
 		if exp := b.ExpectedEntry(d.Source); exp != 0 && exp != b.router {
 			f.mu.Lock()
-			f.Stats.RPFDrops++
+			f.stats.RPFDrops++
 			f.mu.Unlock()
 			return false
 		}

@@ -115,7 +115,7 @@ func TestInjectStrictRPFRejectsWrongEntry(t *testing.T) {
 	// and injects — which must fail RPF and encapsulate to 102.
 	rig.gribs[fGroup] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 102}
 	rig.comps[101].HandlePeer(7, &wire.Data{Group: fGroup, Source: fSrc, TTL: 16, Payload: []byte("x")})
-	if got := rig.fab.Stats.RPFDrops; got != 1 {
+	if got := rig.fab.Stats().RPFDrops; got != 1 {
 		t.Fatalf("RPF drops = %d, want 1", got)
 	}
 	// The encapsulated copy was decapsulated at 102 and delivered.
@@ -131,7 +131,7 @@ func TestInjectRelaxedRPFAcceptsAnyEntry(t *testing.T) {
 	rig.fab.HostJoin(fGroup, 1)
 	rig.gribs[fGroup] = bgp.Entry{Route: wire.Route{Origin: 9}, NextHop: 102}
 	rig.comps[101].HandlePeer(7, &wire.Data{Group: fGroup, Source: fSrc, TTL: 16})
-	if rig.fab.Stats.RPFDrops != 0 {
+	if rig.fab.Stats().RPFDrops != 0 {
 		t.Fatal("PIM-SM fabric must accept any entry border")
 	}
 	if len(rig.delivered) == 0 {
@@ -176,14 +176,14 @@ func TestMemberNodesAndStats(t *testing.T) {
 		t.Fatalf("member nodes = %v", got)
 	}
 	rig.fab.SendFromHost(0, &wire.Data{Group: fGroup, Source: fSrc, TTL: 16})
-	if rig.fab.Stats.HostDeliveries != 2 {
-		t.Fatalf("host deliveries = %d", rig.fab.Stats.HostDeliveries)
+	if rig.fab.Stats().HostDeliveries != 2 {
+		t.Fatalf("host deliveries = %d", rig.fab.Stats().HostDeliveries)
 	}
-	if rig.fab.Stats.InteriorHops < 2 {
-		t.Fatalf("interior hops = %d", rig.fab.Stats.InteriorHops)
+	if rig.fab.Stats().InteriorHops < 2 {
+		t.Fatalf("interior hops = %d", rig.fab.Stats().InteriorHops)
 	}
-	if rig.fab.Stats.Injected != 1 {
-		t.Fatalf("injected = %d", rig.fab.Stats.Injected)
+	if rig.fab.Stats().Injected != 1 {
+		t.Fatalf("injected = %d", rig.fab.Stats().Injected)
 	}
 }
 

@@ -21,9 +21,9 @@ import (
 type Protocol struct {
 	mu sync.Mutex
 	// memberLSAs counts membership-change floods: one per distinct
-	// member set observed per group.
+	// member set observed per group. guarded by mu
 	memberLSAs int
-	lastSet    map[addr.Addr]string
+	lastSet    map[addr.Addr]string // guarded by mu
 }
 
 // New returns an MOSPF instance.

@@ -24,8 +24,8 @@ type Protocol struct {
 	PruneLife int
 
 	mu     sync.Mutex
-	state  map[key]int // packets since last flood
-	floods int
+	state  map[key]int // packets since last flood; guarded by mu
+	floods int         // guarded by mu
 }
 
 type key struct {

@@ -27,7 +27,7 @@ type Protocol struct {
 	SPTThreshold int
 
 	mu   sync.Mutex
-	seen map[key]int
+	seen map[key]int // guarded by mu
 }
 
 type key struct {

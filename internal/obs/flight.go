@@ -17,9 +17,9 @@ import (
 // without guarding call sites.
 type FlightRecorder struct {
 	mu    sync.Mutex
-	cap   int
-	seq   uint64 // global arrival order across all scopes
-	rings map[CounterKey]*flightRing
+	cap   int                        // guarded by mu
+	seq   uint64                     // global arrival order across all scopes; guarded by mu
+	rings map[CounterKey]*flightRing // guarded by mu
 }
 
 type flightRing struct {

@@ -60,8 +60,8 @@ func (c *Counter) Value() uint64 {
 // *Metrics is a no-op registry whose lookups return nil counters.
 type Metrics struct {
 	mu       sync.Mutex
-	counters map[CounterKey]*Counter
-	hists    map[CounterKey]*Histogram
+	counters map[CounterKey]*Counter   // guarded by mu
+	hists    map[CounterKey]*Histogram // guarded by mu
 }
 
 // NewMetrics returns an empty registry.

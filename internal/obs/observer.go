@@ -23,8 +23,8 @@ type Observer struct {
 	flight atomic.Pointer[FlightRecorder]
 
 	mu      sync.Mutex
-	subs    map[int]func(Event)
-	nextSub int
+	subs    map[int]func(Event) // guarded by mu
+	nextSub int                 // guarded by mu
 	// nsubs mirrors len(subs) so Emit can skip the fan-out lock when
 	// nobody is listening.
 	nsubs atomic.Int32

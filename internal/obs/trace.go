@@ -62,9 +62,9 @@ type SpanRecord struct {
 // timestamps are zero — span structure is still recorded.
 type Tracer struct {
 	mu   sync.Mutex
-	id   uint64 // splitmix64 state
-	now  func() time.Time
-	recs []SpanRecord
+	id   uint64           // splitmix64 state; guarded by mu
+	now  func() time.Time // guarded by mu
+	recs []SpanRecord     // guarded by mu
 }
 
 // NewTracer returns a Tracer whose ID stream derives from seed.

@@ -53,9 +53,9 @@ func (r realTimer) Stop() bool { return r.t.Stop() }
 // scheduled instant. Sim's zero value is not usable; construct with NewSim.
 type Sim struct {
 	mu   sync.Mutex
-	now  time.Time
-	seq  uint64
-	pend eventQueue
+	now  time.Time  // guarded by mu
+	seq  uint64     // guarded by mu
+	pend eventQueue // guarded by mu
 }
 
 // NewSim returns a simulated clock whose current time is start.

@@ -29,7 +29,7 @@ type Peer struct {
 	recv    *obs.Counter
 
 	mu     sync.Mutex
-	closed bool
+	closed bool // guarded by mu
 
 	done chan struct{}
 }

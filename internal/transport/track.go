@@ -22,8 +22,9 @@ var ErrQuiesceTimeout = errors.New("transport: quiesce timeout")
 // The zero value is ready to use; a nil *Tracker disables tracking.
 type Tracker struct {
 	mu sync.Mutex
-	n  int64
+	n  int64 // guarded by mu
 	// waiters are closed and cleared whenever n returns to zero.
+	// guarded by mu
 	waiters []chan struct{}
 }
 
@@ -103,8 +104,8 @@ func (t *Tracker) NewFlight() *Flight {
 type Flight struct {
 	t      *Tracker
 	mu     sync.Mutex
-	n      int64
-	closed bool
+	n      int64 // guarded by mu
+	closed bool  // guarded by mu
 }
 
 // Sent records one message entering the stream.

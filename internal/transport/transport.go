@@ -29,7 +29,7 @@ type MsgConn struct {
 	br   *bufio.Reader
 
 	wmu  sync.Mutex
-	wbuf []byte
+	wbuf []byte // guarded by wmu
 
 	closeOnce sync.Once
 	closeErr  error

@@ -12,7 +12,18 @@ go vet ./...
 go run ./cmd/masclint ./...
 go test ./...
 go test -race ./...
+go test -race ./internal/lint
 go test -run Determinism -count=2 ./...
+
+# masclint determinism smoke: two runs over the same tree must emit
+# byte-identical JSON (findings are stably sorted by position, and the
+# memoized cross-package state — call graph, guard table — must not leak
+# map order into the output).
+LINT_TMP="$(mktemp -d)"
+go run ./cmd/masclint -json ./... >"$LINT_TMP/l1.json" || true
+go run ./cmd/masclint -json ./... >"$LINT_TMP/l2.json" || true
+cmp "$LINT_TMP/l1.json" "$LINT_TMP/l2.json"
+rm -rf "$LINT_TMP"
 
 # benchsuite smoke: same suite seed at -parallel 1 and -parallel 2 must
 # produce schema-valid results that match modulo the env/timing sections.
